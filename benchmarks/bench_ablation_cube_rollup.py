@@ -1,0 +1,74 @@
+"""Ablation: Theorem 1's suff-stats rollup vs refitting per cube subset.
+
+The optimized cube merges per-base-cell sufficient statistics up the item
+hierarchy lattice; the single-scan cube refits a model per (region, subset).
+Identical results (tested); this bench quantifies the saving and a second
+ablation shows the tree's prefix-stat numeric-split fast path.
+"""
+
+import time
+
+import pytest
+
+from repro.core import BellwetherCubeBuilder, BellwetherTreeBuilder
+from repro.datasets import make_scalability
+from repro.experiments import render_grid
+
+from .conftest import publish
+
+
+def test_ablation_suffstats_rollup(benchmark):
+    ds = make_scalability(n_items=1_500, n_regions=24, hierarchy_leaves=4, seed=0)
+    builder = BellwetherCubeBuilder(
+        ds.task, ds.store, ds.hierarchies, min_subset_size=20
+    )
+    start = time.perf_counter()
+    builder.build("optimized")
+    opt_s = time.perf_counter() - start
+    start = time.perf_counter()
+    builder.build("single_scan")
+    scan_s = time.perf_counter() - start
+    publish(
+        "ablation_cube_rollup",
+        render_grid(
+            "Ablation — cube model errors: suff-stats rollup vs refit",
+            ("n_subsets", "rollup_s", "refit_s", "speedup"),
+            [(len(builder.significant_subsets), opt_s, scan_s, scan_s / opt_s)],
+        ),
+    )
+    assert opt_s < scan_s
+
+    benchmark.pedantic(lambda: builder.build("optimized"), rounds=1, iterations=1)
+
+
+def test_ablation_tree_prefix_stats(benchmark):
+    ds = make_scalability(
+        n_items=1_500, n_regions=16, n_numeric_features=6, seed=0
+    )
+    kwargs = dict(
+        split_attrs=ds.task.item_feature_attrs,
+        min_items=150,
+        max_depth=2,
+        max_numeric_splits=8,
+    )
+    fast = BellwetherTreeBuilder(ds.task, ds.store, use_prefix_stats=True, **kwargs)
+    slow = BellwetherTreeBuilder(ds.task, ds.store, use_prefix_stats=False, **kwargs)
+    start = time.perf_counter()
+    fast.build("rf")
+    fast_s = time.perf_counter() - start
+    start = time.perf_counter()
+    slow.build("rf")
+    slow_s = time.perf_counter() - start
+    publish(
+        "ablation_tree_prefix",
+        render_grid(
+            "Ablation — numeric splits: prefix suff-stats vs refit per side",
+            ("n_features", "prefix_s", "refit_s", "ratio"),
+            [(6, fast_s, slow_s, slow_s / fast_s)],
+        ),
+    )
+    # The two-way prefix evaluation avoids one of the two fits per split;
+    # it must never be slower by more than measurement noise.
+    assert fast_s < slow_s * 1.2
+
+    benchmark.pedantic(lambda: fast.build("rf"), rounds=1, iterations=1)

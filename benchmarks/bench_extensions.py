@@ -1,0 +1,145 @@
+"""Benches for the Section 3.4 extensions (beyond the paper's evaluation).
+
+These quantify the headroom the paper conjectured: combinations of regions
+can beat the best single region at equal budget, and schema-driven feature
+selection recovers the hand-written feature set's signal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    GreedyCombinationSearch,
+    LinearCriterion,
+    MultiInstanceBellwetherSearch,
+    TrainingDataGenerator,
+    build_store,
+    select_features,
+)
+from repro.datasets import make_mailorder
+from repro.experiments import render_grid
+from repro.ml import TrainingSetEstimator
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = make_mailorder(n_items=100, seed=0, error_estimator=TrainingSetEstimator())
+    gen = TrainingDataGenerator(ds.task)
+    store, costs, coverage = build_store(ds.task)
+    return ds, gen, store, costs
+
+
+def test_combinatorial_beats_single_region(benchmark, setup):
+    """At equal budget, a greedy combination never loses to a single region."""
+    ds, gen, store, costs = setup
+    comb = GreedyCombinationSearch(ds.task, gen, ds.cell_costs)
+    rows = []
+    for budget in (15.0, 25.0, 40.0):
+        single = comb.run(budget=budget, max_regions=1)
+        combo = comb.run(budget=budget, max_regions=3)
+        rows.append(
+            (budget, single.rmse, combo.rmse, len(combo.regions),
+             single.rmse / combo.rmse)
+        )
+        assert combo.rmse <= single.rmse + 1e-9
+    publish(
+        "ext_combinatorial",
+        render_grid(
+            "Extension — combinatorial vs single-region bellwether (RMSE)",
+            ("budget", "single", "combination", "n_regions", "gain"),
+            rows,
+        ),
+    )
+    benchmark.pedantic(
+        lambda: comb.run(budget=25.0, max_regions=2), rounds=1, iterations=1
+    )
+
+
+def test_linear_criterion_traces_cost_frontier(benchmark, setup):
+    """Sweeping w_cost walks the error/cost trade-off monotonically."""
+    ds, gen, store, costs = setup
+    rows = []
+    last_cost = np.inf
+    for w_cost in (0.0, 10.0, 100.0, 1000.0):
+        task = ds.task.with_criterion(LinearCriterion(w_cost=w_cost))
+        best = BasicBellwetherSearch(task, store, costs=costs).run().bellwether
+        rows.append((w_cost, str(best.region), best.cost, best.rmse))
+        assert best.cost <= last_cost + 1e-9
+        last_cost = best.cost
+    publish(
+        "ext_linear_criterion",
+        render_grid(
+            "Extension — linear criterion cost/error frontier",
+            ("w_cost", "region", "cost", "rmse"),
+            rows,
+        ),
+    )
+    benchmark.pedantic(
+        lambda: BasicBellwetherSearch(
+            ds.task.with_criterion(LinearCriterion(w_cost=10.0)),
+            store,
+            costs=costs,
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_autofeatures_recover_signal(benchmark, setup):
+    """Greedy selection over the schema finds profit-based features first."""
+    ds, gen, store, costs = setup
+    result = select_features(ds.task, max_features=3, n_probe_regions=6, seed=0)
+    publish(
+        "ext_autofeatures",
+        render_grid(
+            "Extension — automatic feature generation (greedy forward)",
+            ("step", "feature", "probe_rmse"),
+            [
+                (k + 1, f.alias, e)
+                for k, (f, e) in enumerate(
+                    zip(result.selected, result.probe_errors)
+                )
+            ],
+        ),
+    )
+    assert any("profit" in f.alias for f in result.selected)
+    assert list(result.probe_errors) == sorted(result.probe_errors, reverse=True)
+
+    benchmark.pedantic(
+        lambda: select_features(
+            ds.task, max_features=1, n_probe_regions=4, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_multi_instance_close_to_aggregated(benchmark, setup):
+    """The MI reduction lands near the aggregated pipeline's best region."""
+    ds, gen, store, costs = setup
+    mi = MultiInstanceBellwetherSearch(ds.task, ["profit", "quantity"])
+    best_mi = mi.run(budget=30.0)
+    best_agg = BasicBellwetherSearch(ds.task, store, costs=costs).run(
+        budget=30.0
+    ).bellwether
+    publish(
+        "ext_multi_instance",
+        render_grid(
+            "Extension — multi-instance vs aggregated bellwether at budget 30",
+            ("method", "region", "rmse"),
+            [
+                ("aggregated", str(best_agg.region), best_agg.rmse),
+                ("multi-instance", str(best_mi.region), best_mi.rmse),
+            ],
+        ),
+    )
+    # both land on an early-MD window: the plant dominates either way
+    assert str(best_mi.region.values[1]) == "MD"
+    assert str(best_agg.region.values[1]) == "MD"
+
+    benchmark.pedantic(
+        lambda: mi.evaluate(best_mi.region), rounds=1, iterations=1
+    )

@@ -1,0 +1,96 @@
+"""Figure 7 bench: basic bellwether analysis of the (synthetic) mail order data.
+
+Regenerates all three panels' series and checks the paper's qualitative
+claims; the benchmark payload is the basic search's store scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BasicBellwetherSearch, build_store
+from repro.datasets import make_mailorder
+from repro.experiments import run_fig7
+from repro.ml import CrossValidationEstimator
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(n_items=150, seed=0)
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    ds = make_mailorder(
+        n_items=150, seed=0,
+        error_estimator=CrossValidationEstimator(n_folds=10, seed=0),
+    )
+    store, costs, coverage = build_store(ds.task)
+    return ds, store, costs
+
+
+def test_fig7a_bellwether_error_vs_budget(benchmark, fig7, search_setup):
+    """Panel (a): Bel Err falls with budget, converges, beats Avg and Smp."""
+    publish("fig07", fig7.render())
+    points = fig7.cv_points
+    bel = [p.bel_err for p in points]
+    # error is (weakly) decreasing and converges: the last three budgets tie
+    assert all(a >= b - 1e-9 for a, b in zip(bel, bel[1:]))
+    assert bel[-1] == pytest.approx(bel[-3], rel=0.15)
+    # the bellwether beats the average region everywhere, by far at the knee
+    for p in points:
+        assert p.bel_err < p.avg_err
+    assert points[-1].bel_err < 0.5 * points[-1].avg_err
+    # and beats random sampling at every budget where sampling succeeds
+    for p in points:
+        if np.isfinite(p.smp_err):
+            assert p.bel_err <= p.smp_err * 1.05
+    # the converged bellwether is an early-MD window (the planted [1-8, MD])
+    interval, state = points[-1].bellwether.values
+    assert state == "MD"
+
+    ds, store, costs = search_setup
+    def scan_once():
+        search = BasicBellwetherSearch(ds.task, store, costs=costs)
+        return search.run(budget=85.0)
+    result = benchmark.pedantic(scan_once, rounds=1, iterations=1)
+    assert result.found
+
+
+def test_fig7b_bellwether_uniqueness(benchmark, fig7):
+    """Panel (b): the bellwether is near-unique in the mid-budget band."""
+    points = fig7.cv_points
+    mid = [p for p in points if 35.0 <= p.budget <= 85.0]
+    for p in mid:
+        assert p.frac_indist[0.95] < 0.10, f"not unique at budget {p.budget}"
+        assert p.frac_indist[0.99] < 0.15
+    # looser at the starved low end, as in the paper's left edge
+    assert points[0].frac_indist[0.99] >= points[-1].frac_indist[0.99]
+
+    # payload: recomputing the uniqueness profile from the error estimates
+    result_points = points
+    def uniqueness_profile():
+        return [
+            (p.budget, p.frac_indist.get(0.95), p.frac_indist.get(0.99))
+            for p in result_points
+        ]
+    benchmark.pedantic(uniqueness_profile, rounds=3, iterations=1)
+
+
+def test_fig7c_training_error_tracks_cv(benchmark, fig7):
+    """Panel (c): training-set error reproduces the CV panel almost exactly."""
+    cv = {p.budget: p for p in fig7.cv_points}
+    tr = {p.budget: p for p in fig7.training_points}
+    for budget in cv:
+        assert tr[budget].bel_err == pytest.approx(cv[budget].bel_err, rel=0.2)
+        # the same bellwether region at the converged end
+    assert tr[85.0].bellwether == cv[85.0].bellwether
+
+    # payload: the cheap estimator itself (the reason panel (c) exists)
+    from repro.ml import TrainingSetEstimator
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(150, 6))
+    y = x @ rng.normal(size=6) + rng.normal(size=150)
+    estimator = TrainingSetEstimator()
+    benchmark.pedantic(lambda: estimator.estimate(x, y), rounds=5, iterations=2)

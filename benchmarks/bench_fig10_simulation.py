@@ -1,0 +1,73 @@
+"""Figure 10 bench: cube/basic/tree on the Section 7.3 simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import compare_methods
+from repro.datasets import make_simulation
+from repro.experiments import run_fig10a, run_fig10b
+from repro.ml import TrainingSetEstimator
+
+from .conftest import publish
+
+
+@pytest.fixture(scope="module")
+def fig10a():
+    return run_fig10a(n_datasets=3, n_items=400, n_folds=3)
+
+
+@pytest.fixture(scope="module")
+def fig10b():
+    return run_fig10b(n_datasets=3, n_items=400, n_folds=3)
+
+
+def test_fig10a_error_vs_noise(benchmark, fig10a):
+    """Tree/cube beat basic; the gap closes as noise grows."""
+    publish("fig10a", fig10a.render())
+    basic = np.asarray(fig10a.basic)
+    tree = np.asarray(fig10a.tree)
+    cube = np.asarray(fig10a.cube)
+    # at low noise both item-centric methods clearly win
+    assert tree[0] < basic[0]
+    assert cube[0] < basic[0]
+    # errors grow with noise for every method
+    assert basic[-1] > basic[0] and tree[-1] > tree[0]
+    # the relative gap at the top noise is small (paper: difference shrinks)
+    assert tree[-1] / basic[-1] > 0.85
+    assert cube[-1] / basic[-1] > 0.85
+
+    # payload: one full method comparison on a fresh dataset
+    ds = make_simulation(
+        n_items=300, n_tree_nodes=15, noise=0.5, seed=123,
+        error_estimator=TrainingSetEstimator(),
+    )
+
+    def run_once():
+        return compare_methods(
+            ds.task, ds.store, hierarchies=ds.hierarchies, n_folds=3,
+            tree_kwargs=dict(min_items=25, max_depth=4),
+            cube_kwargs=dict(min_subset_size=15),
+        )
+
+    out = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert set(out) == {"basic", "tree", "cube"}
+
+
+def test_fig10b_error_vs_complexity(benchmark, fig10b):
+    """Tree/cube beat basic at low complexity; improvement shrinks after."""
+    publish("fig10b", fig10b.render())
+    basic = np.asarray(fig10b.basic)
+    tree = np.asarray(fig10b.tree)
+    cube = np.asarray(fig10b.cube)
+    # large advantage on the simplest generator
+    assert tree[0] < 0.6 * basic[0]
+    assert cube[0] < 0.9 * basic[0]
+    # the advantage shrinks as the generating tree grows
+    rel_tree = tree / basic
+    assert rel_tree[-1] > rel_tree[0]
+
+    benchmark.pedantic(
+        lambda: (basic.tolist(), tree.tolist(), cube.tolist()),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,90 @@
+"""Figure 11 bench: efficiency/scalability of the construction algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherCubeBuilder, BellwetherTreeBuilder
+from repro.datasets import make_scalability
+from repro.experiments import run_fig11a, run_fig11b, run_fig11c
+
+from .conftest import publish
+
+
+def _linearity(xs, ys) -> float:
+    """R² of a linear fit — the paper's 'scales linearly' claim."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    coeffs = np.polyfit(xs, ys, 1)
+    pred = np.polyval(coeffs, xs)
+    ss_res = ((ys - pred) ** 2).sum()
+    ss_tot = ((ys - ys.mean()) ** 2).sum()
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def test_fig11a_naive_vs_scan_oriented(benchmark, tmp_path_factory):
+    """Disk-resident: naive algorithms lose by a growing margin."""
+    scratch = tmp_path_factory.mktemp("fig11a")
+    result = run_fig11a(
+        region_counts=(6, 10, 14), n_items=400, scratch_dir=scratch
+    )
+    publish("fig11a", result.render())
+    s = result.series
+    # scan-oriented beats naive at every size, and the gap grows
+    for k in range(len(result.xs)):
+        assert s["single-scan cube"][k] < s["naive cube"][k]
+        assert s["optimized cube"][k] < s["naive cube"][k]
+        assert s["RF tree"][k] < s["naive tree"][k]
+    gap_first = s["naive cube"][0] - s["single-scan cube"][0]
+    gap_last = s["naive cube"][-1] - s["single-scan cube"][-1]
+    assert gap_last > gap_first
+
+    # payload: one naive-cube build at the smallest size
+    from repro.storage import DiskStore
+
+    ds = make_scalability(n_items=400, n_regions=6, seed=0, hierarchy_leaves=3)
+    disk = DiskStore.from_memory(scratch / "payload", ds.store)
+
+    def naive_build():
+        return BellwetherCubeBuilder(
+            ds.task, disk, ds.hierarchies, min_subset_size=40
+        ).build("naive")
+
+    benchmark.pedantic(naive_build, rounds=1, iterations=1)
+
+
+def test_fig11b_cube_scales_linearly(benchmark):
+    """Both cube algorithms scale ~linearly; optimized stays ahead."""
+    result = run_fig11b(region_counts=(16, 32, 48, 64), n_items=1_200)
+    publish("fig11b", result.render())
+    for name, seconds in result.series.items():
+        assert _linearity(result.xs, seconds) > 0.9, name
+    for k in range(len(result.xs)):
+        assert (
+            result.series["optimized cube"][k]
+            <= result.series["single-scan cube"][k]
+        )
+
+    ds = make_scalability(n_items=1_200, n_regions=32, seed=0, hierarchy_leaves=3)
+
+    def optimized_build():
+        return BellwetherCubeBuilder(
+            ds.task, ds.store, ds.hierarchies, min_subset_size=50
+        ).build("optimized")
+
+    benchmark.pedantic(optimized_build, rounds=1, iterations=1)
+
+
+def test_fig11c_rf_tree_scales_linearly(benchmark):
+    result = run_fig11c(region_counts=(16, 32, 48, 64), n_items=1_200)
+    publish("fig11c", result.render())
+    assert _linearity(result.xs, result.series["RF tree"]) > 0.9
+
+    ds = make_scalability(n_items=1_200, n_regions=32, seed=0, hierarchy_leaves=3)
+
+    def rf_build():
+        return BellwetherTreeBuilder(
+            ds.task, ds.store, split_attrs=ds.task.item_feature_attrs,
+            min_items=100, max_depth=3, max_numeric_splits=4,
+        ).build("rf")
+
+    benchmark.pedantic(rf_build, rounds=1, iterations=1)

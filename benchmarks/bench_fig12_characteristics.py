@@ -1,0 +1,54 @@
+"""Figure 12 bench: cost drivers of the optimized cube and the RF tree."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherCubeBuilder, BellwetherTreeBuilder
+from repro.datasets import make_scalability
+from repro.experiments import run_fig12a, run_fig12b
+
+from .conftest import publish
+
+
+def _linearity(xs, ys) -> float:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    coeffs = np.polyfit(xs, ys, 1)
+    pred = np.polyval(coeffs, xs)
+    ss_res = ((ys - pred) ** 2).sum()
+    ss_tot = ((ys - ys.mean()) ** 2).sum()
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def test_fig12a_cube_linear_in_significant_subsets(benchmark):
+    result = run_fig12a(leaf_counts=(2, 4, 6, 8), n_items=1_000)
+    publish("fig12a", result.render())
+    assert _linearity(result.xs, result.seconds) > 0.9
+    # runtime strictly grows with the subset count
+    assert result.seconds == sorted(result.seconds)
+
+    ds = make_scalability(n_items=1_000, n_regions=24, hierarchy_leaves=4, seed=0)
+
+    def build():
+        return BellwetherCubeBuilder(
+            ds.task, ds.store, ds.hierarchies, min_subset_size=1
+        ).build("optimized")
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_fig12b_rf_tree_linear_in_item_features(benchmark):
+    result = run_fig12b(feature_counts=(2, 4, 8, 12), n_items=1_000)
+    publish("fig12b", result.render())
+    assert _linearity(result.xs, result.seconds) > 0.9
+    assert result.seconds[-1] > result.seconds[0]
+
+    ds = make_scalability(n_items=1_000, n_regions=16, n_numeric_features=8, seed=0)
+
+    def build():
+        return BellwetherTreeBuilder(
+            ds.task, ds.store, split_attrs=ds.task.item_feature_attrs,
+            min_items=150, max_depth=2, max_numeric_splits=4,
+        ).build("rf")
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

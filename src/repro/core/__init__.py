@@ -1,0 +1,115 @@
+"""Bellwether analysis: the paper's core contribution.
+
+Public surface:
+
+* :class:`BellwetherTask`, :class:`Criterion` — problem specification.
+* Target / feature queries (:class:`AggregateTargetQuery`,
+  :class:`FactAggregate`, :class:`JoinAggregate`,
+  :class:`DistinctJoinAggregate`).
+* :class:`TrainingDataGenerator`, :func:`build_store` — Section 4.2's
+  training-set generation.
+* :class:`BasicBellwetherSearch` — Section 4's search.
+* :class:`BellwetherTreeBuilder` / :class:`BellwetherTree` — Section 5.
+* :class:`BellwetherCubeBuilder` / :class:`BellwetherCubeResult` /
+  :class:`CubePredictor` — Section 6.
+* :class:`BasicPredictor`, :func:`kfold_item_rmse`, :func:`compare_methods`
+  — item-centric evaluation (Section 7's protocol).
+* :func:`budget_sweep`, :class:`RandomSamplingBaseline` — Figure 7/9 series.
+"""
+
+from .autofeatures import (
+    FeatureSelectionResult,
+    enumerate_candidate_features,
+    select_features,
+)
+from .baselines import RandomSamplingBaseline
+from .combinatorial import CombinationResult, GreedyCombinationSearch
+from .multi_instance import BagResult, MultiInstanceBellwetherSearch
+from .basic import BasicBellwetherResult, BasicBellwetherSearch, RegionResult
+from .cube import (
+    BellwetherCubeBuilder,
+    BellwetherCubeResult,
+    CubePredictor,
+    SubsetEntry,
+)
+from .evaluation import (
+    basic_factory,
+    compare_methods,
+    cube_factory,
+    kfold_item_rmse,
+    tree_factory,
+)
+from .exceptions import BellwetherError, SearchError, TaskError
+from .features import (
+    AggregateTargetQuery,
+    DistinctJoinAggregate,
+    FactAggregate,
+    ItemFeatureEncoder,
+    JoinAggregate,
+    RegionalFeature,
+    TableTargetQuery,
+    TargetQuery,
+)
+from .predict import BasicPredictor
+from .relational import (
+    AggregatingRelationalLearner,
+    RelationalBellwetherSearch,
+    RelationalLearner,
+    RelationalResult,
+)
+from .report import BudgetPoint, budget_sweep, render_table
+from .task import BellwetherTask, Criterion, DirectTask, LinearCriterion
+from .training_data import TrainingDataGenerator, build_store
+from .tree import BellwetherTree, BellwetherTreeBuilder, SplitCandidate, TreeNode
+
+__all__ = [
+    "AggregateTargetQuery",
+    "BagResult",
+    "CombinationResult",
+    "FeatureSelectionResult",
+    "GreedyCombinationSearch",
+    "MultiInstanceBellwetherSearch",
+    "enumerate_candidate_features",
+    "select_features",
+    "BasicBellwetherResult",
+    "BasicBellwetherSearch",
+    "BasicPredictor",
+    "BellwetherCubeBuilder",
+    "BellwetherCubeResult",
+    "BellwetherError",
+    "BellwetherTask",
+    "BellwetherTree",
+    "BellwetherTreeBuilder",
+    "BudgetPoint",
+    "Criterion",
+    "DirectTask",
+    "LinearCriterion",
+    "CubePredictor",
+    "DistinctJoinAggregate",
+    "FactAggregate",
+    "ItemFeatureEncoder",
+    "JoinAggregate",
+    "AggregatingRelationalLearner",
+    "RandomSamplingBaseline",
+    "RelationalBellwetherSearch",
+    "RelationalLearner",
+    "RelationalResult",
+    "RegionResult",
+    "RegionalFeature",
+    "SearchError",
+    "SplitCandidate",
+    "SubsetEntry",
+    "TableTargetQuery",
+    "TargetQuery",
+    "TaskError",
+    "TrainingDataGenerator",
+    "TreeNode",
+    "basic_factory",
+    "budget_sweep",
+    "build_store",
+    "compare_methods",
+    "cube_factory",
+    "kfold_item_rmse",
+    "render_table",
+    "tree_factory",
+]

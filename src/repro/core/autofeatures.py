@@ -1,0 +1,198 @@
+"""Automatic feature generation (Section 3.4, fourth extension).
+
+The paper notes that hand-writing feature generation queries does not scale
+— "the number of possibly useful queries can be huge ... it is desirable to
+have an automatic feature generation framework".  This module provides one:
+
+1. :func:`enumerate_candidate_features` walks the star schema and emits
+   every stylized query the engine supports — each numeric fact measure
+   under {sum, avg, min, max}, a row count, and each numeric reference
+   attribute under forms 2 (per-row join) and 3 (distinct foreign keys);
+2. :func:`select_features` runs greedy forward selection, scoring candidate
+   sets by the error of models built on a small *probe* sample of regions —
+   cheap, and unbiased with respect to which region ultimately wins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.table import Database
+
+from .exceptions import TaskError
+from .features import (
+    DistinctJoinAggregate,
+    FactAggregate,
+    JoinAggregate,
+    RegionalFeature,
+)
+from .task import BellwetherTask
+from .training_data import TrainingDataGenerator
+
+_FACT_FUNCS = ("sum", "avg", "min", "max")
+_REF_FUNCS = ("max", "avg")
+_DISTINCT_FUNCS = ("sum", "count")
+
+
+def enumerate_candidate_features(
+    db: Database,
+    exclude_columns: Sequence[str] = (),
+    id_column: str | None = None,
+) -> list[RegionalFeature]:
+    """Every stylized aggregate-select-join query the schema affords.
+
+    ``exclude_columns`` should list dimension attributes and keys that make
+    no sense as measures (ids, time points, leaf values).
+    """
+    excluded = set(exclude_columns)
+    if id_column:
+        excluded.add(id_column)
+    out: list[RegionalFeature] = []
+    fact = db.fact
+    ref_keys = {db.reference(name).key for name in db.reference_names}
+    measure_cols = [
+        c
+        for c in fact.column_names
+        if c not in excluded
+        and c not in ref_keys
+        and fact.schema.type_of(c).is_numeric
+    ]
+    for col in measure_cols:
+        for func in _FACT_FUNCS:
+            out.append(FactAggregate(func, col, f"auto_{func}_{col}"))
+    if measure_cols:
+        out.append(FactAggregate("count", measure_cols[0], "auto_row_count"))
+    for name in db.reference_names:
+        ref = db.reference(name)
+        for col in ref.table.column_names:
+            if col == ref.key or not ref.table.schema.type_of(col).is_numeric:
+                continue
+            for func in _REF_FUNCS:
+                out.append(
+                    JoinAggregate(func, col, f"auto_{func}_{name}_{col}", reference=name)
+                )
+            for func in _DISTINCT_FUNCS:
+                out.append(
+                    DistinctJoinAggregate(
+                        func, col, f"auto_d{func}_{name}_{col}", reference=name
+                    )
+                )
+    return out
+
+
+@dataclass(frozen=True)
+class FeatureSelectionResult:
+    """Outcome of greedy feature selection."""
+
+    selected: tuple[RegionalFeature, ...]
+    probe_errors: tuple[float, ...]  # best probe error after each addition
+    task: BellwetherTask
+
+    def __str__(self) -> str:
+        steps = ", ".join(
+            f"{f.alias}({e:.4g})" for f, e in zip(self.selected, self.probe_errors)
+        )
+        return f"FeatureSelectionResult[{steps}]"
+
+
+def _probe_error(
+    task: BellwetherTask,
+    probe_regions: Sequence[Region],
+    min_examples: int,
+) -> float:
+    """Best model error across the probe regions for the task's features."""
+    gen = TrainingDataGenerator(task)
+    store = gen.generate(regions=list(probe_regions))
+    best = np.inf
+    for region in probe_regions:
+        block = store._fetch(region)
+        if block.n_examples < min_examples:
+            continue
+        est = task.error_estimator.estimate(block.x, block.y)
+        best = min(best, est.rmse)
+    return float(best)
+
+
+def select_features(
+    base_task: BellwetherTask,
+    candidates: Sequence[RegionalFeature] | None = None,
+    max_features: int = 4,
+    n_probe_regions: int = 8,
+    seed: int = 0,
+    min_improvement: float = 0.01,
+) -> FeatureSelectionResult:
+    """Greedy forward selection of regional feature queries.
+
+    Starting from the item-table features alone, repeatedly add the
+    candidate whose addition most lowers the best model error over a fixed
+    random probe sample of regions; stop when ``max_features`` is reached or
+    the relative improvement falls below ``min_improvement``.
+
+    Returns a new task identical to ``base_task`` but with the selected
+    regional features.
+    """
+    if candidates is None:
+        dim_attrs = [d.attribute for d in base_task.space.dimensions]
+        candidates = enumerate_candidate_features(
+            base_task.db,
+            exclude_columns=dim_attrs,
+            id_column=base_task.id_column,
+        )
+    candidates = list(candidates)
+    if not candidates:
+        raise TaskError("no candidate features to select from")
+    rng = np.random.default_rng(seed)
+    all_regions = base_task.space.all_regions()
+    probe_idx = rng.choice(
+        len(all_regions), size=min(n_probe_regions, len(all_regions)), replace=False
+    )
+    probe_regions = [all_regions[i] for i in probe_idx]
+
+    def task_with(features: list[RegionalFeature]) -> BellwetherTask:
+        return BellwetherTask(
+            base_task.db,
+            base_task.space,
+            base_task.item_table,
+            base_task.id_column,
+            target=base_task.target,
+            regional_features=features,
+            item_feature_attrs=base_task.item_feature_attrs,
+            cost_model=base_task.cost_model,
+            criterion=base_task.criterion,
+            error_estimator=base_task.error_estimator,
+        )
+
+    selected: list[RegionalFeature] = []
+    errors: list[float] = []
+    remaining = list(candidates)
+    current_best = np.inf
+    while remaining and len(selected) < max_features:
+        step_feature = None
+        step_error = np.inf
+        for feature in remaining:
+            trial = task_with(selected + [feature])
+            min_examples = max(5, len(trial.feature_names) + 4)
+            err = _probe_error(trial, probe_regions, min_examples)
+            if err < step_error:
+                step_feature, step_error = feature, err
+        if step_feature is None or not np.isfinite(step_error):
+            break
+        improved = (
+            not np.isfinite(current_best)
+            or step_error < current_best * (1.0 - min_improvement)
+        )
+        if not improved:
+            break
+        selected.append(step_feature)
+        errors.append(step_error)
+        remaining.remove(step_feature)
+        current_best = step_error
+    if not selected:
+        raise TaskError("greedy selection found no useful feature")
+    return FeatureSelectionResult(
+        tuple(selected), tuple(errors), task_with(selected)
+    )

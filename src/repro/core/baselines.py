@@ -1,0 +1,103 @@
+"""Comparison baselines for the basic search (Figure 7/9's Avg and Smp).
+
+* **Average baseline** — mean error over feasible regions; available directly
+  from :meth:`BasicBellwetherResult.average_error`.
+* **Random-sampling baseline** (``Smp Err``) — instead of an OLAP region,
+  draw a random *collection of finest cells* whose total cost fits the
+  budget, aggregate features over that collection, and measure the model's
+  error.  The collection need not correspond to any region in R.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.ml import ErrorEstimate
+
+from .exceptions import SearchError
+from .task import BellwetherTask
+from .training_data import TrainingDataGenerator
+
+
+class RandomSamplingBaseline:
+    """The random data-collection baseline of Section 7.1.
+
+    Parameters
+    ----------
+    task:
+        The bellwether task (shares its error estimator).
+    cell_costs:
+        Cost of each finest-grained cell, keyed by dimension-order tuples of
+        (time point, hierarchy leaf name, ...).  A trial greedily accepts
+        random cells while the accumulated cost stays within budget.
+    generator:
+        Optional pre-built :class:`TrainingDataGenerator` to share encodings.
+    seed:
+        RNG seed for the random cell draws.
+    """
+
+    def __init__(
+        self,
+        task: BellwetherTask,
+        cell_costs: Mapping[tuple, float],
+        generator: TrainingDataGenerator | None = None,
+        seed: int = 0,
+    ):
+        self.task = task
+        self._gen = generator or TrainingDataGenerator(task)
+        self._seed = seed
+        self._cells = list(cell_costs)
+        self._costs = np.array([cell_costs[c] for c in self._cells], dtype=np.float64)
+        if not self._cells:
+            raise SearchError("cell_costs must not be empty")
+        # Encode each fact row's finest cell as an index into self._cells.
+        coords = self._gen.fact_cells()
+        hier_dims = [
+            d
+            for d in task.space.dimensions
+            if not hasattr(d, "n_points")
+        ]
+        cell_index: dict[tuple, int] = {}
+        for k, cell in enumerate(self._cells):
+            cell_index[tuple(cell)] = k
+        n_rows = len(coords[0]) if coords else 0
+        row_cells = np.full(n_rows, -1, dtype=np.int64)
+        # Decode leaf codes back to names so keys match user-provided cells.
+        decoded: list[np.ndarray] = []
+        hier_i = 0
+        for dim, col in zip(task.space.dimensions, coords):
+            if hasattr(dim, "n_points"):  # interval dimension: raw time points
+                decoded.append(col)
+            else:
+                names = np.array(dim.leaf_names, dtype=object)
+                decoded.append(names[col])
+                hier_i += 1
+        for i in range(n_rows):
+            key = tuple(d[i] for d in decoded)
+            row_cells[i] = cell_index.get(key, -1)
+        self._row_cells = row_cells
+
+    def sample_error(self, budget: float, n_trials: int = 5) -> float:
+        """Mean model error over random cell collections within the budget."""
+        rng = np.random.default_rng(self._seed)
+        errors: list[float] = []
+        for __ in range(n_trials):
+            order = rng.permutation(len(self._cells))
+            chosen = np.zeros(len(self._cells), dtype=bool)
+            spent = 0.0
+            for idx in order:
+                if spent + self._costs[idx] <= budget:
+                    chosen[idx] = True
+                    spent += self._costs[idx]
+            mask = chosen[self._row_cells]
+            mask &= self._row_cells >= 0
+            block = self._gen.block_for_mask(mask)
+            if block.n_examples < 3:
+                continue
+            est: ErrorEstimate = self.task.error_estimator.estimate(block.x, block.y)
+            errors.append(est.rmse)
+        if not errors:
+            return float("nan")
+        return float(np.mean(errors))

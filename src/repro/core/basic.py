@@ -1,0 +1,194 @@
+"""Basic bellwether search (Section 4).
+
+With the entire training data materialized (one block per feasible region —
+see :mod:`repro.core.training_data`), the search itself is a single scan:
+estimate the error of a model per region, keep the minimum-error region that
+satisfies the criterion.
+
+:class:`BasicBellwetherSearch` evaluates every region *once* and can then
+answer any number of budget queries (:meth:`run`, :meth:`sweep`) from the
+cached per-region profile — exactly how the Figure 7/9 budget sweeps are
+produced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.ml import ErrorEstimate, LinearRegression
+from repro.storage import TrainingDataStore
+
+from .exceptions import SearchError
+from .task import BellwetherTask, Criterion
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """The evaluation of one candidate region."""
+
+    region: Region
+    cost: float
+    coverage: float
+    n_items: int
+    error: ErrorEstimate
+
+    @property
+    def rmse(self) -> float:
+        return self.error.rmse
+
+
+@dataclass(frozen=True)
+class BasicBellwetherResult:
+    """Outcome of a basic bellwether search under one criterion."""
+
+    bellwether: RegionResult | None
+    feasible: tuple[RegionResult, ...]
+    criterion: Criterion
+
+    @property
+    def found(self) -> bool:
+        return self.bellwether is not None
+
+    def indistinguishable_fraction(self, confidence: float = 0.95) -> float:
+        """Fraction of feasible regions statistically tied with the winner.
+
+        Figure 7(b)'s measure: the share of feasible regions whose error
+        falls inside the P% confidence interval of the bellwether model's
+        error.  Low fraction = the bellwether is nearly unique.
+        """
+        if self.bellwether is None or not self.feasible:
+            return float("nan")
+        interval = self.bellwether.error
+        hits = sum(
+            1 for r in self.feasible if interval.contains(r.rmse, confidence)
+        )
+        return hits / len(self.feasible)
+
+    def average_error(self) -> float:
+        """Mean error over feasible regions (Figure 7(a)'s "Avg Err")."""
+        if not self.feasible:
+            return float("nan")
+        return float(np.mean([r.rmse for r in self.feasible]))
+
+
+class BasicBellwetherSearch:
+    """Scan-once, query-many basic bellwether search.
+
+    Parameters
+    ----------
+    task:
+        The problem definition (criterion's coverage bound is honoured; the
+        budget can be overridden per query).
+    store:
+        Entire training data: one block per candidate (or feasible) region.
+    costs, coverage:
+        Optional precomputed per-region cost/coverage (else recomputed from
+        the task / store contents).
+    min_examples:
+        Regions whose training set (after any item restriction) has fewer
+        examples are skipped — a model can't be fit meaningfully.
+    """
+
+    def __init__(
+        self,
+        task: BellwetherTask,
+        store: TrainingDataStore,
+        costs: dict[Region, float] | None = None,
+        coverage: dict[Region, float] | None = None,
+        min_examples: int | None = None,
+    ):
+        self.task = task
+        self.store = store
+        # A model with fewer examples than design columns interpolates and
+        # reports a deceptive near-zero training error; demand headroom.
+        p = len(store.feature_names) + 1  # + intercept
+        self.min_examples = min_examples if min_examples is not None else max(5, p + 3)
+        self._costs = costs or {r: task.cost(r) for r in store.regions()}
+        self._coverage = coverage
+        self._profile: dict[frozenset, list[RegionResult]] = {}
+
+    # -------------------------------------------------------------- evaluate
+
+    def evaluate_all(self, item_ids: Sequence | None = None) -> list[RegionResult]:
+        """One scan over the store: a RegionResult per region.
+
+        ``item_ids`` restricts training to a subset S of items (used by
+        trees/cubes); coverage is then measured against |S|.
+        """
+        key = frozenset(item_ids) if item_ids is not None else frozenset()
+        if key in self._profile:
+            return self._profile[key]
+        restrict = np.asarray(list(item_ids)) if item_ids is not None else None
+        n_total = len(restrict) if restrict is not None else self.task.n_items
+        results: list[RegionResult] = []
+        for region, block in self.store.scan():
+            if restrict is not None:
+                block = block.restrict_to(restrict)
+            if block.n_examples < self.min_examples:
+                continue
+            error = self.task.error_estimator.estimate(block.x, block.y, block.weights)
+            results.append(
+                RegionResult(
+                    region=region,
+                    cost=self._costs[region],
+                    coverage=block.n_examples / n_total,
+                    n_items=block.n_examples,
+                    error=error,
+                )
+            )
+        self._profile[key] = results
+        return results
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        budget: float | None = None,
+        item_ids: Sequence | None = None,
+    ) -> BasicBellwetherResult:
+        """Find the bellwether region under the (possibly overridden) budget."""
+        criterion = (
+            self.task.criterion
+            if budget is None
+            else self.task.criterion.with_budget(budget)
+        )
+        evaluated = self.evaluate_all(item_ids)
+        feasible = tuple(
+            r for r in evaluated if criterion.admits(r.cost, r.coverage)
+        )
+        best = (
+            min(
+                feasible,
+                key=lambda r: criterion.objective(r.rmse, r.cost, r.coverage),
+            )
+            if feasible
+            else None
+        )
+        return BasicBellwetherResult(best, feasible, criterion)
+
+    def sweep(
+        self,
+        budgets: Sequence[float],
+        item_ids: Sequence | None = None,
+    ) -> list[tuple[float, BasicBellwetherResult]]:
+        """run() for each budget, sharing the single evaluation scan."""
+        return [(b, self.run(budget=b, item_ids=item_ids)) for b in budgets]
+
+    # ----------------------------------------------------------------- model
+
+    def fit_model(
+        self,
+        region: Region,
+        item_ids: Sequence | None = None,
+    ) -> LinearRegression:
+        """The bellwether model h_r: fit on the region's training set."""
+        block = self.store.read(region)
+        if item_ids is not None:
+            block = block.restrict_to(np.asarray(list(item_ids)))
+        if block.n_examples < 1:
+            raise SearchError(f"no training examples in region {region}")
+        return LinearRegression().fit(block.x, block.y, block.weights)

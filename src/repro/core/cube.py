@@ -1,0 +1,443 @@
+"""Bellwether cubes (Section 6): a bellwether region per cube subset of items.
+
+A bellwether cube is ``{<S, r_S>}`` for every *significant* cube subset ``S``
+(|S| ≥ K) induced by the item hierarchies.  Three construction algorithms:
+
+* **naive** — one basic bellwether search per subset (reads every region's
+  block once per subset);
+* **single_scan** — one pass over the entire training data, keeping a
+  ``MinError[S]`` entry per subset in memory (Lemma 2);
+* **optimized** — the single scan plus Theorem 1: per region, sufficient
+  statistics are computed once per *base cell* and then merged up the item
+  hierarchy lattice, so each subset's model error costs O(p³) instead of a
+  refit over its rows.  Implies training-set error (the algebraic measure).
+
+Prediction for a new item (Section 6.2): among the significant subsets
+containing the item, pick the one whose bellwether model has the lowest
+*upper confidence bound* of error; use its region and model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import CubeSubset, ItemHierarchies, Region
+from repro.ml import (
+    ErrorEstimate,
+    LinearRegression,
+    LinearSuffStats,
+    TrainingSetEstimator,
+    add_intercept,
+)
+from repro.storage import TrainingDataStore
+
+from .exceptions import SearchError, TaskError
+from .task import BellwetherTask
+
+
+@dataclass(frozen=True)
+class SubsetEntry:
+    """One cell of the bellwether cube."""
+
+    subset: CubeSubset
+    n_items: int
+    region: Region | None
+    error: ErrorEstimate | None
+
+    @property
+    def found(self) -> bool:
+        return self.region is not None
+
+
+class BellwetherCubeResult:
+    """The constructed cube: subset -> (bellwether region, error)."""
+
+    def __init__(
+        self,
+        entries: dict[CubeSubset, SubsetEntry],
+        hierarchies: ItemHierarchies,
+        confidence: float,
+    ):
+        self._entries = entries
+        self.hierarchies = hierarchies
+        self.confidence = confidence
+
+    @property
+    def subsets(self) -> tuple[CubeSubset, ...]:
+        return tuple(self._entries)
+
+    def entry(self, subset: CubeSubset) -> SubsetEntry:
+        try:
+            return self._entries[subset]
+        except KeyError:
+            raise SearchError(f"subset {subset} is not in the cube") from None
+
+    def __contains__(self, subset: CubeSubset) -> bool:
+        return subset in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------ rollup/drilldown
+
+    def crosstab(self, level: tuple[int, ...]) -> list[SubsetEntry]:
+        """All cube cells at one lattice level — one rollup/drilldown view.
+
+        Mirrors the cross-tabular interface of Section 6.2: each returned
+        entry is a cell showing its bellwether region and model error.
+        """
+        return [e for s, e in self._entries.items() if s.level == level]
+
+    def crosstab_text(
+        self,
+        level: tuple[int, ...],
+        show: str = "region",
+        row_hierarchy: int = 0,
+        col_hierarchy: int = 1,
+    ) -> str:
+        """A 2-D cross tabulation of one lattice level (Section 6.2's UI).
+
+        Rows and columns are nodes of two chosen item hierarchies; each cell
+        shows the subset's bellwether region (``show="region"``) or its
+        model error (``show="error"``).  Cube subsets over more than two
+        hierarchies collapse the remaining ones (they are fixed per level).
+        """
+        if show not in ("region", "error"):
+            raise SearchError(f"show must be 'region' or 'error', got {show!r}")
+        entries = self.crosstab(level)
+        if not entries:
+            return f"(no significant subsets at level {level})"
+        n_h = len(self.hierarchies.hierarchies)
+        if not (0 <= row_hierarchy < n_h and 0 <= col_hierarchy < n_h):
+            raise SearchError("hierarchy indices out of range")
+        if row_hierarchy == col_hierarchy:
+            raise SearchError("row and column hierarchies must differ")
+        rows = sorted({e.subset.nodes[row_hierarchy] for e in entries})
+        cols = sorted({e.subset.nodes[col_hierarchy] for e in entries})
+        def cell(r, c):
+            for e in entries:
+                if (
+                    e.subset.nodes[row_hierarchy] == r
+                    and e.subset.nodes[col_hierarchy] == c
+                ):
+                    if not e.found:
+                        return "-"
+                    if show == "region":
+                        return str(e.region)
+                    return f"{e.error.rmse:.4g}"
+            return ""
+        grid = [["", *cols]] + [[r, *[cell(r, c) for c in cols]] for r in rows]
+        widths = [max(len(row[j]) for row in grid) for j in range(len(cols) + 1)]
+        lines = [
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in grid
+        ]
+        lines.insert(1, "-+-".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def drilldown(self, subset: CubeSubset) -> list[SubsetEntry]:
+        """Entries exactly one level finer on some hierarchy, nested in subset."""
+        out: list[SubsetEntry] = []
+        for s, e in self._entries.items():
+            diffs = [sd - d for sd, d in zip(s.level, subset.level)]
+            if sorted(diffs) != [0] * (len(diffs) - 1) + [1]:
+                continue
+            contained = all(
+                node == parent or h.parent_of(node) == parent
+                for h, node, parent in zip(
+                    self.hierarchies.hierarchies, s.nodes, subset.nodes
+                )
+            )
+            if contained:
+                out.append(e)
+        return out
+
+    # --------------------------------------------------------------- predict
+
+    def choose_subset(self, item_attrs: dict) -> SubsetEntry:
+        """Pick the enclosing subset with the lowest upper error bound."""
+        candidates = [
+            self._entries[s]
+            for s in self.hierarchies.subsets_containing(item_attrs)
+            if s in self._entries and self._entries[s].found
+        ]
+        if not candidates:
+            raise SearchError(
+                f"no significant subset with a bellwether contains {item_attrs}"
+            )
+        return min(candidates, key=lambda e: e.error.upper(self.confidence))
+
+
+class BellwetherCubeBuilder:
+    """Builds bellwether cubes with any of the three algorithms.
+
+    Parameters
+    ----------
+    task, store:
+        Problem definition and the entire training data.
+    hierarchies:
+        Item hierarchies over item-table attributes (Figure 5).
+    min_subset_size:
+        The significance threshold K: subsets with fewer items are skipped.
+    confidence:
+        The P% level used by prediction's upper-confidence-bound rule.
+    min_examples:
+        Minimum (region ∩ subset) examples for a model to count.
+    """
+
+    def __init__(
+        self,
+        task: BellwetherTask,
+        store: TrainingDataStore,
+        hierarchies: ItemHierarchies,
+        min_subset_size: int = 10,
+        confidence: float = 0.95,
+        min_examples: int | None = None,
+        item_ids: Sequence | None = None,
+    ):
+        for h in hierarchies.hierarchies:
+            task.item_table.schema.require(h.attribute)
+        self.task = task
+        self.store = store
+        self.hierarchies = hierarchies
+        self.min_subset_size = min_subset_size
+        self.confidence = confidence
+        p = len(store.feature_names) + 1  # + intercept
+        self.min_examples = min_examples if min_examples is not None else max(5, p + 3)
+        cell_of_all, self._cells = hierarchies.encode_items(task.item_table)
+        all_ids = np.asarray(task.item_ids)
+        if item_ids is None:
+            keep_rows = np.arange(len(all_ids))
+        else:
+            wanted = set(item_ids)
+            keep_rows = np.array(
+                [k for k, i in enumerate(all_ids) if i in wanted], dtype=np.int64
+            )
+            if len(keep_rows) != len(wanted):
+                raise TaskError("item_ids contains ids not in the item table")
+        self._ids = all_ids[keep_rows]
+        self._cell_of_item = cell_of_all[keep_rows]
+        self._row_of = {i: k for k, i in enumerate(self._ids)}
+        # Significant subsets per level (the iceberg step of Section 6.3).
+        self._levels: list = []
+        for level in hierarchies.levels():
+            rm = hierarchies.rollup_map(level, self._cells)
+            counts = np.bincount(
+                rm.subset_of_base[self._cell_of_item], minlength=len(rm.subsets)
+            )
+            keep = [
+                (s_idx, subset, int(counts[s_idx]))
+                for s_idx, subset in enumerate(rm.subsets)
+                if counts[s_idx] >= self.min_subset_size
+            ]
+            if keep:
+                self._levels.append((level, rm, keep))
+
+    @property
+    def significant_subsets(self) -> list[CubeSubset]:
+        return [s for __, __, keep in self._levels for __, s, __ in keep]
+
+    # ------------------------------------------------------------------ build
+
+    def build(self, method: str = "optimized") -> BellwetherCubeResult:
+        if method == "naive":
+            entries = self._build_naive()
+        elif method == "single_scan":
+            entries = self._build_single_scan()
+        elif method == "optimized":
+            entries = self._build_optimized()
+        else:
+            raise TaskError(f"unknown cube method {method!r}")
+        return BellwetherCubeResult(entries, self.hierarchies, self.confidence)
+
+    # ------------------------------------------------------------------ naive
+
+    def _build_naive(self) -> dict[CubeSubset, SubsetEntry]:
+        entries: dict[CubeSubset, SubsetEntry] = {}
+        for __, rm, keep in self._levels:
+            for s_idx, subset, n_items in keep:
+                member_ids = self._ids[
+                    rm.subset_of_base[self._cell_of_item] == s_idx
+                ]
+                best_region, best_err = None, None
+                for region in self.store.regions():
+                    block = self.store.read(region).restrict_to(member_ids)
+                    if block.n_examples < self.min_examples:
+                        continue
+                    est = self.task.error_estimator.estimate(
+                        block.x, block.y, block.weights
+                    )
+                    if best_err is None or est.rmse < best_err.rmse:
+                        best_region, best_err = region, est
+                entries[subset] = SubsetEntry(subset, n_items, best_region, best_err)
+        return entries
+
+    # ------------------------------------------------------------ single scan
+
+    def _build_single_scan(self) -> dict[CubeSubset, SubsetEntry]:
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
+        sizes: dict[CubeSubset, int] = {}
+        for __, rm, keep in self._levels:
+            for __, subset, n_items in keep:
+                sizes[subset] = n_items
+        for region, block in self.store.scan():
+            block = block.restrict_to(self._ids)
+            if block.n_examples == 0:
+                continue
+            rows_item = np.array(
+                [self._row_of[i] for i in block.item_ids], dtype=np.int64
+            )
+            cell_of_row = self._cell_of_item[rows_item]
+            for __, rm, keep in self._levels:
+                subset_of_row = rm.subset_of_base[cell_of_row]
+                for s_idx, subset, __n in keep:
+                    mask = subset_of_row == s_idx
+                    if mask.sum() < self.min_examples:
+                        continue
+                    est = self.task.error_estimator.estimate(
+                        block.x[mask],
+                        block.y[mask],
+                        None if block.weights is None else block.weights[mask],
+                    )
+                    if subset not in best or est.rmse < best[subset][1].rmse:
+                        best[subset] = (region, est)
+        entries: dict[CubeSubset, SubsetEntry] = {}
+        for __, rm, keep in self._levels:
+            for __, subset, n_items in keep:
+                region, est = best.get(subset, (None, None))
+                entries[subset] = SubsetEntry(subset, n_items, region, est)
+        return entries
+
+    # -------------------------------------------------------------- optimized
+
+    def _build_optimized(self) -> dict[CubeSubset, SubsetEntry]:
+        """Single scan + Theorem 1 rollup of per-base-cell statistics.
+
+        Model errors are training-set RMSE (the algebraic measure the
+        theorem covers); the winning subset entries report chi-square-interval
+        estimates exactly like :class:`~repro.ml.TrainingSetEstimator`.
+        """
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
+        sizes: dict[CubeSubset, int] = {}
+        for __, rm, keep in self._levels:
+            for __, subset, n_items in keep:
+                sizes[subset] = n_items
+        n_cells = len(self._cells)
+        for region, block in self.store.scan():
+            block = block.restrict_to(self._ids)
+            if block.n_examples == 0:
+                continue
+            rows_item = np.array(
+                [self._row_of[i] for i in block.item_ids], dtype=np.int64
+            )
+            cell_of_row = self._cell_of_item[rows_item]
+            design = add_intercept(block.x)
+            p = design.shape[1]
+            # g per base cell, one grouped pass over the block.
+            order = np.argsort(cell_of_row, kind="stable")
+            sorted_cells = cell_of_row[order]
+            starts = np.flatnonzero(np.diff(sorted_cells, prepend=-1))
+            cell_stats: dict[int, LinearSuffStats] = {}
+            bounds = np.append(starts, len(sorted_cells))
+            for b_idx in range(len(starts)):
+                rows = order[bounds[b_idx]:bounds[b_idx + 1]]
+                cell_stats[int(sorted_cells[bounds[b_idx]])] = (
+                    LinearSuffStats.from_data(
+                        design[rows],
+                        block.y[rows],
+                        None if block.weights is None else block.weights[rows],
+                    )
+                )
+            for __, rm, keep in self._levels:
+                # Merge base-cell stats into subset stats (the rollup).
+                subset_stats: dict[int, LinearSuffStats] = {}
+                for cell, stats in cell_stats.items():
+                    s_idx = int(rm.subset_of_base[cell])
+                    if s_idx in subset_stats:
+                        subset_stats[s_idx] = subset_stats[s_idx] + stats
+                    else:
+                        subset_stats[s_idx] = stats
+                for s_idx, subset, __n in keep:
+                    stats = subset_stats.get(s_idx)
+                    if stats is None or stats.n < self.min_examples:
+                        continue
+                    est = ErrorEstimate(
+                        rmse=stats.rmse(),
+                        kind="training",
+                        sse=stats.sse(),
+                        dof=stats.dof,
+                    )
+                    if subset not in best or est.rmse < best[subset][1].rmse:
+                        best[subset] = (region, est)
+        entries: dict[CubeSubset, SubsetEntry] = {}
+        for __, rm, keep in self._levels:
+            for __, subset, n_items in keep:
+                region, est = best.get(subset, (None, None))
+                entries[subset] = SubsetEntry(subset, n_items, region, est)
+        return entries
+
+
+class CubePredictor:
+    """Item-centric prediction backed by a bellwether cube."""
+
+    def __init__(
+        self,
+        result: BellwetherCubeResult,
+        task: BellwetherTask,
+        store: TrainingDataStore,
+        item_ids: Sequence | None = None,
+    ):
+        self.result = result
+        self.task = task
+        self.store = store
+        item_table = task.item_table
+        self._attr_of: dict[str, dict] = {
+            h.attribute: dict(
+                zip(item_table[task.id_column], item_table[h.attribute])
+            )
+            for h in result.hierarchies.hierarchies
+        }
+        self._model_cache: dict[tuple[CubeSubset, Region], LinearRegression] = {}
+        # Models are fit on the *training* item set only (matters when the
+        # cube was built on a train fold and test items sit in the store).
+        self._train_ids = (
+            np.asarray(task.item_ids)
+            if item_ids is None
+            else np.asarray(list(item_ids))
+        )
+
+    def _attrs(self, item_id) -> dict:
+        return {a: str(v[item_id]) for a, v in self._attr_of.items()}
+
+    def region_for(self, item_id) -> Region:
+        return self.result.choose_subset(self._attrs(item_id)).region
+
+    def _subset_member_ids(self, subset: CubeSubset) -> np.ndarray:
+        mask = self.result.hierarchies.member_mask(self.task.item_table, subset)
+        members = np.asarray(self.task.item_ids)[mask]
+        return members[np.isin(members, self._train_ids)]
+
+    def predict(self, item_id) -> float:
+        """Predict τ_i via the chosen subset's bellwether region and model."""
+        entry = self.result.choose_subset(self._attrs(item_id))
+        key = (entry.subset, entry.region)
+        if key not in self._model_cache:
+            block = self.store.read(entry.region).restrict_to(
+                self._subset_member_ids(entry.subset)
+            )
+            self._model_cache[key] = LinearRegression().fit(block.x, block.y)
+        block = self.store.read(entry.region)
+        hit = np.flatnonzero(block.item_ids == item_id)
+        if len(hit):
+            return float(self._model_cache[key].predict(block.x[hit[0]])[0])
+        # No data for the item in the chosen region: fall back to the
+        # subset's training mean (the budget bought nothing usable).
+        member_block = self.store.read(entry.region).restrict_to(
+            self._subset_member_ids(entry.subset)
+        )
+        if member_block.n_examples:
+            return float(member_block.y.mean())
+        raise SearchError(f"cannot predict item {item_id!r}")

@@ -1,0 +1,135 @@
+"""Item-centric evaluation: k-fold CV over *items* (Figures 8, 9c, 10).
+
+The paper scores the basic / tree / cube prediction methods by 10-fold
+cross-validation over the item set: hold out a fold of items, build each
+method on the remaining items, then predict every held-out item's target
+(buying its data from whichever region the method prescribes) and measure
+RMSE against τ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.dimensions import ItemHierarchies
+from repro.storage import TrainingDataStore
+
+from .cube import BellwetherCubeBuilder, CubePredictor
+from .exceptions import SearchError
+from .predict import BasicPredictor
+from .task import BellwetherTask
+from .tree import BellwetherTreeBuilder
+
+# A factory builds a predictor from the training fold's item ids.
+PredictorFactory = Callable[[np.ndarray], object]
+
+
+def kfold_item_rmse(
+    task: BellwetherTask,
+    predictor_factory: PredictorFactory,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> float:
+    """k-fold CV prediction RMSE over items for one method."""
+    ids = np.asarray(task.item_ids)
+    y = task.target_values()
+    y_of = dict(zip(ids, y))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(ids))
+    folds = np.array_split(order, min(n_folds, len(ids)))
+    sq_errors: list[float] = []
+    for test_idx in folds:
+        train_mask = np.ones(len(ids), dtype=bool)
+        train_mask[test_idx] = False
+        try:
+            predictor = predictor_factory(ids[train_mask])
+        except SearchError:
+            continue  # no feasible region for this fold
+        for item_id in ids[test_idx]:
+            try:
+                pred = predictor.predict(item_id)
+            except SearchError:
+                continue
+            sq_errors.append((pred - y_of[item_id]) ** 2)
+    if not sq_errors:
+        return float("nan")
+    return float(np.sqrt(np.mean(sq_errors)))
+
+
+def basic_factory(
+    task: BellwetherTask,
+    store: TrainingDataStore,
+    budget: float | None = None,
+) -> PredictorFactory:
+    return lambda train_ids: BasicPredictor(
+        task, store, budget=budget, item_ids=train_ids
+    )
+
+
+def tree_factory(
+    task: BellwetherTask,
+    store: TrainingDataStore,
+    split_attrs: Sequence[str] | None = None,
+    **builder_kwargs,
+) -> PredictorFactory:
+    def make(train_ids: np.ndarray):
+        builder = BellwetherTreeBuilder(
+            task, store, split_attrs=split_attrs, **builder_kwargs
+        )
+        return builder.build(method="rf", item_ids=train_ids)
+    return make
+
+
+def cube_factory(
+    task: BellwetherTask,
+    store: TrainingDataStore,
+    hierarchies: ItemHierarchies,
+    **builder_kwargs,
+) -> PredictorFactory:
+    def make(train_ids: np.ndarray):
+        builder = BellwetherCubeBuilder(
+            task, store, hierarchies, item_ids=train_ids, **builder_kwargs
+        )
+        result = builder.build(method="optimized")
+        return CubePredictor(result, task, store, item_ids=train_ids)
+    return make
+
+
+def compare_methods(
+    task: BellwetherTask,
+    store: TrainingDataStore,
+    hierarchies: ItemHierarchies | None = None,
+    split_attrs: Sequence[str] | None = None,
+    budget: float | None = None,
+    n_folds: int = 10,
+    seed: int = 0,
+    tree_kwargs: dict | None = None,
+    cube_kwargs: dict | None = None,
+) -> dict[str, float]:
+    """Basic vs Tree vs Cube prediction RMSE under one budget.
+
+    The budget restricts which store regions are visible; pass a
+    :class:`~repro.storage.FilteredStore` built from the feasible set, or a
+    ``budget`` here to let the basic search filter (trees/cubes see the
+    whole store, so pre-filtering is the usual route).
+    """
+    out: dict[str, float] = {}
+    out["basic"] = kfold_item_rmse(
+        task, basic_factory(task, store, budget), n_folds=n_folds, seed=seed
+    )
+    out["tree"] = kfold_item_rmse(
+        task,
+        tree_factory(task, store, split_attrs, **(tree_kwargs or {})),
+        n_folds=n_folds,
+        seed=seed,
+    )
+    if hierarchies is not None:
+        out["cube"] = kfold_item_rmse(
+            task,
+            cube_factory(task, store, hierarchies, **(cube_kwargs or {})),
+            n_folds=n_folds,
+            seed=seed,
+        )
+    return out

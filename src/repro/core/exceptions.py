@@ -1,0 +1,13 @@
+"""Exceptions for the bellwether core."""
+
+
+class BellwetherError(Exception):
+    """Base class for bellwether-analysis errors."""
+
+
+class TaskError(BellwetherError):
+    """A task specification is inconsistent."""
+
+
+class SearchError(BellwetherError):
+    """A search could not produce a result (no feasible regions, ...)."""

@@ -1,0 +1,248 @@
+"""Target and feature generation queries (Sections 3.2 and 4.1).
+
+Targets
+-------
+``τ_i(DB)`` returns the label of item ``i`` — e.g. total first-year worldwide
+profit.  :class:`AggregateTargetQuery` expresses the common aggregate form;
+:class:`TableTargetQuery` accepts precomputed labels.
+
+Regional features
+-----------------
+``φ_{i,r}(DB)`` has three stylized aggregate-select-join forms (Section 4.1):
+
+* :class:`FactAggregate` — ``α_f(F.A) σ_{ID=i, Z∈r} F``
+* :class:`JoinAggregate` — ``α_f(T.A) ((σ_{ID=i, Z∈r} F) ⋈ T)``
+* :class:`DistinctJoinAggregate` — ``α_f(T.A) ((π_FK σ_{ID=i, Z∈r} F) ⋈ T)``
+  (each matching reference row counted once)
+
+Each query computes *per-fact-row values* once; the per-region aggregation is
+done by :mod:`repro.core.training_data`, either naively per region or through
+the CUBE-style rewrite of Section 4.2.
+
+Item-table features
+-------------------
+Item-table features are region-independent and always available
+(Section 3.2).  :class:`ItemFeatureEncoder` turns them into a numeric design
+block: numeric attributes pass through, categorical attributes are one-hot
+encoded (first level dropped; the model carries an intercept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.table import Database, Table, natural_join
+from repro.table.schema import ColumnType
+
+from .exceptions import TaskError
+
+_SUPPORTED_FUNCS = ("sum", "count", "min", "max", "avg")
+
+
+def _check_func(func: str) -> None:
+    if func not in _SUPPORTED_FUNCS:
+        raise TaskError(f"unsupported aggregate {func!r}; known: {_SUPPORTED_FUNCS}")
+
+
+# ---------------------------------------------------------------------- targets
+
+
+class TargetQuery:
+    """Interface: label every item (τ in the paper)."""
+
+    def values(self, db: Database, item_ids: np.ndarray) -> np.ndarray:
+        """Target value per requested item id (aligned with ``item_ids``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AggregateTargetQuery(TargetQuery):
+    """τ_i = f(F.A) over *all* of item i's fact rows.
+
+    The motivating example's "first-year worldwide profit" is
+    ``AggregateTargetQuery("sum", "profit", id_column="item")``.
+    """
+
+    func: str
+    column: str
+    id_column: str
+
+    def __post_init__(self) -> None:
+        _check_func(self.func)
+
+    def values(self, db: Database, item_ids: np.ndarray) -> np.ndarray:
+        from repro.table import AggregateSpec, group_by
+
+        grouped = group_by(
+            db.fact, [self.id_column], [AggregateSpec(self.func, self.column, alias="y")]
+        )
+        lookup = dict(zip(grouped[self.id_column], grouped["y"]))
+        missing = [i for i in item_ids if i not in lookup]
+        if missing:
+            raise TaskError(f"items with no fact rows have no target: {missing[:5]}")
+        return np.array([lookup[i] for i in item_ids], dtype=np.float64)
+
+
+class TableTargetQuery(TargetQuery):
+    """τ given as a precomputed (ID, Y) table."""
+
+    def __init__(self, table: Table, id_column: str, y_column: str):
+        table.schema.require(id_column, y_column)
+        self._lookup = dict(zip(table[id_column], table[y_column]))
+
+    def values(self, db: Database, item_ids: np.ndarray) -> np.ndarray:
+        missing = [i for i in item_ids if i not in self._lookup]
+        if missing:
+            raise TaskError(f"no target for items: {missing[:5]}")
+        return np.array([self._lookup[i] for i in item_ids], dtype=np.float64)
+
+
+# --------------------------------------------------------------------- features
+
+
+@dataclass(frozen=True)
+class RegionalFeature:
+    """Base for the three stylized feature-query forms."""
+
+    func: str
+    column: str
+    alias: str
+
+    def __post_init__(self) -> None:
+        _check_func(self.func)
+        if not self.alias:
+            raise TaskError("feature alias must be non-empty")
+
+    @property
+    def distinct_key(self) -> str | None:
+        """Foreign-key column to dedupe on, or None for forms 1 and 2."""
+        return None
+
+    def value_column(self, db: Database) -> np.ndarray:
+        """Per-fact-row values of the aggregated attribute."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FactAggregate(RegionalFeature):
+    """Form 1: aggregate a fact-table measure, e.g. regional profit."""
+
+    def value_column(self, db: Database) -> np.ndarray:
+        return np.asarray(db.fact.column(self.column), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class JoinAggregate(RegionalFeature):
+    """Form 2: aggregate a reference attribute joined per fact row.
+
+    E.g. regional max ad size: every matching OrderTable row contributes its
+    ad's size.
+    """
+
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.reference:
+            raise TaskError("JoinAggregate needs a reference table name")
+
+    def value_column(self, db: Database) -> np.ndarray:
+        ref = db.reference(self.reference)
+        joined = natural_join(
+            db.fact.project([ref.key]).with_column("__row__", np.arange(db.fact.n_rows)),
+            ref.table.project([ref.key, self.column]),
+            on=[ref.key],
+        )
+        out = np.empty(db.fact.n_rows, dtype=np.float64)
+        out[:] = np.nan
+        out[joined["__row__"]] = joined[self.column]
+        if np.isnan(out).any():
+            raise TaskError(
+                f"fact rows dangle against reference {self.reference!r}; "
+                "run Database.check_integrity()"
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class DistinctJoinAggregate(RegionalFeature):
+    """Form 3: aggregate over *distinct* reference rows (π_FK before join).
+
+    E.g. total ad size with each advertisement counted once, however many
+    orders it produced.
+    """
+
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.reference:
+            raise TaskError("DistinctJoinAggregate needs a reference table name")
+
+    @property
+    def distinct_key(self) -> str:
+        return self.reference  # resolved to the key column via the database
+
+    def key_column(self, db: Database) -> np.ndarray:
+        """Per-fact-row foreign-key codes to dedupe on."""
+        ref = db.reference(self.reference)
+        return np.asarray(db.fact.column(ref.key))
+
+    def value_column(self, db: Database) -> np.ndarray:
+        # Same per-row lookup as form 2; dedup happens during aggregation.
+        return JoinAggregate(
+            self.func, self.column, self.alias, reference=self.reference
+        ).value_column(db)
+
+
+# ------------------------------------------------------------- item features
+
+
+class ItemFeatureEncoder:
+    """Numeric design block from item-table features.
+
+    Numeric columns pass through; categorical (string) columns one-hot encode
+    with the lexicographically-first level dropped.
+    """
+
+    def __init__(self, item_table: Table, id_column: str, attributes: Sequence[str]):
+        item_table.schema.require(id_column, *attributes)
+        self.id_column = id_column
+        self.attributes = tuple(attributes)
+        ids = item_table[id_column]
+        self._row_of: dict = {i: k for k, i in enumerate(ids)}
+        if len(self._row_of) != len(ids):
+            raise TaskError(f"duplicate item ids in item table")
+        names: list[str] = []
+        columns: list[np.ndarray] = []
+        for attr in attributes:
+            col = item_table.column(attr)
+            if item_table.schema.type_of(attr) is ColumnType.STR:
+                levels = sorted(set(map(str, col)))
+                for level in levels[1:]:
+                    names.append(f"{attr}={level}")
+                    columns.append((col.astype(str) == level).astype(np.float64))
+            else:
+                names.append(attr)
+                columns.append(np.asarray(col, dtype=np.float64))
+        self.feature_names: tuple[str, ...] = tuple(names)
+        self._matrix = (
+            np.column_stack(columns)
+            if columns
+            else np.empty((item_table.n_rows, 0))
+        )
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def matrix(self, item_ids: np.ndarray) -> np.ndarray:
+        """Feature rows aligned with the requested item ids."""
+        try:
+            rows = [self._row_of[i] for i in item_ids]
+        except KeyError as exc:
+            raise TaskError(f"unknown item id {exc}") from None
+        return self._matrix[rows]

@@ -1,0 +1,169 @@
+"""Multi-instance bellwether analysis (Section 3.4, second extension).
+
+Here ``φ_{i,r}(DB)`` returns the *set* of feature vectors of item i's fact
+rows in region r — no aggregation.  Each training example is a bag of
+instances plus the item's target, the setting the paper links to
+multi-instance learning.
+
+Two layers:
+
+* :meth:`MultiInstanceBellwetherSearch.bags_for_region` exposes the raw bags
+  so any MI learner can be plugged in;
+* the built-in learner reduces MI regression to the standard case with the
+  classic bag-embedding: per instance column mean/min/max plus bag size,
+  fed (with the item-table features) to the same linear model and error
+  estimators as the rest of the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.ml import ErrorEstimate, LinearRegression
+
+from .exceptions import SearchError, TaskError
+from .task import BellwetherTask
+
+
+@dataclass(frozen=True)
+class BagResult:
+    """Evaluation of one region under the multi-instance reduction."""
+
+    region: Region
+    cost: float
+    n_items: int
+    error: ErrorEstimate
+
+    @property
+    def rmse(self) -> float:
+        return self.error.rmse
+
+
+class MultiInstanceBellwetherSearch:
+    """Bellwether search where regions yield bags of instances.
+
+    Parameters
+    ----------
+    task:
+        Supplies the database, region space, item table, target, cost model,
+        criterion and error estimator.  The task's *regional features* are
+        ignored — instances come from ``instance_columns`` instead.
+    instance_columns:
+        Numeric fact-table columns forming each instance vector.
+    """
+
+    def __init__(self, task: BellwetherTask, instance_columns: Sequence[str]):
+        if not instance_columns:
+            raise TaskError("instance_columns must be non-empty")
+        fact = task.db.fact
+        fact.schema.require(*instance_columns)
+        for col in instance_columns:
+            if not fact.schema.type_of(col).is_numeric:
+                raise TaskError(f"instance column {col!r} must be numeric")
+        self.task = task
+        self.instance_columns = tuple(instance_columns)
+        self._instances = np.column_stack(
+            [np.asarray(fact[c], dtype=np.float64) for c in instance_columns]
+        )
+        ids = np.asarray(task.item_ids)
+        id_code = {i: k for k, i in enumerate(ids)}
+        raw = fact[task.id_column]
+        keep = np.array([i in id_code for i in raw], dtype=bool)
+        self._instances = self._instances[keep]
+        self._item_codes = np.array([id_code[i] for i in raw[keep]], dtype=np.int64)
+        self._keep = keep
+        self._ids = ids
+        self._y = task.target_values()
+        self._item_x = task.item_encoder.matrix(ids)
+
+    # ------------------------------------------------------------------ bags
+
+    def bags_for_region(self, region: Region) -> dict:
+        """φ_{i,r} as raw bags: item id -> (n_instances, d) array."""
+        mask = self.task.space.mask(self.task.db.fact, region)[self._keep]
+        bags: dict = {}
+        items = self._item_codes[mask]
+        rows = self._instances[mask]
+        order = np.argsort(items, kind="stable")
+        items = items[order]
+        rows = rows[order]
+        starts = np.flatnonzero(np.diff(items, prepend=-1))
+        bounds = np.append(starts, len(items))
+        for b in range(len(starts)):
+            code = items[bounds[b]]
+            bags[self._ids[code]] = rows[bounds[b]:bounds[b + 1]]
+        return bags
+
+    # ------------------------------------------------------------- embedding
+
+    @property
+    def embedded_feature_names(self) -> tuple[str, ...]:
+        names = list(self.task.item_encoder.feature_names)
+        for col in self.instance_columns:
+            names += [f"bag_mean_{col}", f"bag_min_{col}", f"bag_max_{col}"]
+        names.append("bag_size")
+        return tuple(names)
+
+    def embed_region(self, region: Region) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(item_ids, X, y) under the mean/min/max/size bag embedding."""
+        bags = self.bags_for_region(region)
+        if not bags:
+            d = len(self.embedded_feature_names)
+            return np.empty(0, dtype=self._ids.dtype), np.empty((0, d)), np.empty(0)
+        item_ids = np.array(list(bags))
+        code_of = {i: k for k, i in enumerate(self._ids)}
+        rows = [code_of[i] for i in item_ids]
+        parts = [self._item_x[rows]]
+        stats = []
+        for bag in bags.values():
+            row = []
+            for j in range(bag.shape[1]):
+                row += [bag[:, j].mean(), bag[:, j].min(), bag[:, j].max()]
+            row.append(float(len(bag)))
+            stats.append(row)
+        parts.append(np.asarray(stats))
+        x = np.hstack(parts)
+        y = self._y[rows]
+        return item_ids, x, y
+
+    # ---------------------------------------------------------------- search
+
+    def evaluate(self, region: Region, min_examples: int | None = None) -> BagResult | None:
+        p = len(self.embedded_feature_names) + 1
+        min_examples = min_examples if min_examples is not None else max(5, p + 3)
+        __, x, y = self.embed_region(region)
+        if len(y) < min_examples:
+            return None
+        est = self.task.error_estimator.estimate(x, y)
+        return BagResult(region, self.task.cost(region), len(y), est)
+
+    def run(self, budget: float | None = None) -> BagResult:
+        """The minimum-error feasible region under the MI reduction."""
+        criterion = (
+            self.task.criterion
+            if budget is None
+            else self.task.criterion.with_budget(budget)
+        )
+        n_items = self.task.n_items
+        best: BagResult | None = None
+        for region in self.task.space.all_regions():
+            result = self.evaluate(region)
+            if result is None:
+                continue
+            if not criterion.admits(result.cost, result.n_items / n_items):
+                continue
+            if best is None or result.rmse < best.rmse:
+                best = result
+        if best is None:
+            raise SearchError("no feasible region for the multi-instance search")
+        return best
+
+    def fit_model(self, region: Region) -> LinearRegression:
+        __, x, y = self.embed_region(region)
+        if len(y) < 1:
+            raise SearchError(f"no bags in region {region}")
+        return LinearRegression().fit(x, y)

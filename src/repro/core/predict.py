@@ -1,0 +1,80 @@
+"""Item-centric predictors sharing one interface (Section 3.3).
+
+All three methods answer: *given a new item, which region should we buy data
+from, and what target value do we then predict?*
+
+* :class:`BasicPredictor` — one bellwether region for all items (Section 4).
+* Bellwether trees (:meth:`repro.core.tree.BellwetherTree.predict`) — a
+  region per leaf.
+* Bellwether cubes (:class:`repro.core.cube.CubePredictor`) — a region per
+  enclosing cube subset, chosen by the upper-confidence-bound rule.
+
+The common protocol is two methods: ``region_for(item_id)`` and
+``predict(item_id)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.ml import LinearRegression
+from repro.storage import TrainingDataStore
+
+from .basic import BasicBellwetherSearch
+from .exceptions import SearchError
+from .task import BellwetherTask
+
+
+class BasicPredictor:
+    """Predict every item from the single basic bellwether region.
+
+    Parameters
+    ----------
+    task, store:
+        Problem definition and entire training data.
+    budget:
+        Budget override for the search (None = the task's criterion).
+    item_ids:
+        Training item subset (e.g. a CV train fold); models never see other
+        items' rows.
+    """
+
+    def __init__(
+        self,
+        task: BellwetherTask,
+        store: TrainingDataStore,
+        budget: float | None = None,
+        item_ids: Sequence | None = None,
+        search: BasicBellwetherSearch | None = None,
+    ):
+        self.task = task
+        self.store = store
+        self._train_ids = (
+            np.asarray(task.item_ids)
+            if item_ids is None
+            else np.asarray(list(item_ids))
+        )
+        search = search or BasicBellwetherSearch(task, store)
+        result = search.run(budget=budget, item_ids=self._train_ids)
+        if result.bellwether is None:
+            raise SearchError("no feasible bellwether region under the budget")
+        self.result = result
+        self.region: Region = result.bellwether.region
+        block = store.read(self.region).restrict_to(self._train_ids)
+        self.model = LinearRegression().fit(block.x, block.y)
+        self._train_mean = float(block.y.mean()) if block.n_examples else 0.0
+
+    def region_for(self, item_id) -> Region:
+        return self.region
+
+    def predict(self, item_id) -> float:
+        """φ_{i,r} from the bellwether region into the bellwether model."""
+        block = self.store.read(self.region)
+        hit = np.flatnonzero(block.item_ids == item_id)
+        if len(hit):
+            return float(self.model.predict(block.x[hit[0]])[0])
+        # Item has no data in the region: predict the training mean.
+        return self._train_mean

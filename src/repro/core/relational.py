@@ -1,0 +1,217 @@
+"""Relational bellwether analysis (Section 3.4, third extension).
+
+Some relational predictive models need no feature vectors: they consume the
+item's raw relational data in a region.  Here ``φ_{i,r}(DB)`` returns a
+*sub-database* — item i's fact rows inside region r plus the reference rows
+they touch.
+
+Two layers:
+
+* :meth:`RelationalBellwetherSearch.subdatabase` materializes the per-region
+  sub-database (shared across items; per-item slices come free via the
+  fact's ID column), so any relational learner can be plugged in through
+  the :class:`RelationalLearner` protocol;
+* :class:`AggregatingRelationalLearner` is the built-in reduction: it
+  derives a feature vector per item from the sub-database with the stylized
+  aggregate queries and delegates to the linear model — which also serves as
+  the correctness oracle for the plumbing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.ml import ErrorEstimate, LinearRegression
+from repro.table import Database, Reference
+
+from .exceptions import SearchError, TaskError
+from .features import RegionalFeature
+from .task import BellwetherTask
+
+
+class RelationalLearner:
+    """Interface: learn τ from a per-region sub-database.
+
+    ``fit`` receives the region's sub-database, the training item ids and
+    their targets; ``predict`` maps item ids (with data in the sub-database)
+    to predictions.
+    """
+
+    def fit(self, subdb: Database, item_ids: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def predict(self, subdb: Database, item_ids: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class AggregatingRelationalLearner(RelationalLearner):
+    """Reduction: aggregate the sub-database into features, fit linear LS."""
+
+    def __init__(self, features: Sequence[RegionalFeature], id_column: str):
+        if not features:
+            raise TaskError("need at least one feature query")
+        self.features = tuple(features)
+        self.id_column = id_column
+        self._model: LinearRegression | None = None
+
+    def _featurize(self, subdb: Database, item_ids: np.ndarray) -> np.ndarray:
+        fact = subdb.fact
+        raw_ids = fact[self.id_column]
+        columns: list[np.ndarray] = []
+        for feature in self.features:
+            values = feature.value_column(subdb)
+            if getattr(feature, "distinct_key", None):
+                ref = subdb.reference(feature.reference)  # type: ignore[attr-defined]
+                fks = np.asarray(fact[ref.key])
+            else:
+                fks = None
+            per_item = []
+            for item in item_ids:
+                mask = raw_ids == item
+                vals = values[mask]
+                if fks is not None and len(vals):
+                    __, first = np.unique(fks[mask], return_index=True)
+                    vals = vals[first]
+                if len(vals) == 0:
+                    per_item.append(np.nan)
+                elif feature.func == "sum":
+                    per_item.append(float(vals.sum()))
+                elif feature.func == "count":
+                    per_item.append(float(len(vals)))
+                elif feature.func == "avg":
+                    per_item.append(float(vals.mean()))
+                elif feature.func == "min":
+                    per_item.append(float(vals.min()))
+                else:
+                    per_item.append(float(vals.max()))
+            columns.append(np.asarray(per_item))
+        return np.column_stack(columns)
+
+    def fit(self, subdb: Database, item_ids: np.ndarray, y: np.ndarray) -> None:
+        x = self._featurize(subdb, item_ids)
+        keep = ~np.isnan(x).any(axis=1)
+        if keep.sum() < x.shape[1] + 2:
+            raise SearchError("too few items with data to fit")
+        self._model = LinearRegression().fit(x[keep], y[keep])
+
+    def predict(self, subdb: Database, item_ids: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise SearchError("learner is not fitted")
+        x = self._featurize(subdb, item_ids)
+        return self._model.predict(x)
+
+
+@dataclass(frozen=True)
+class RelationalResult:
+    region: Region
+    cost: float
+    n_items: int
+    error: ErrorEstimate
+
+    @property
+    def rmse(self) -> float:
+        return self.error.rmse
+
+
+class RelationalBellwetherSearch:
+    """Bellwether search for learners that consume raw relational data."""
+
+    def __init__(self, task: BellwetherTask, learner: RelationalLearner):
+        self.task = task
+        self.learner = learner
+        self._subdb_cache: dict[Region, Database] = {}
+
+    # ----------------------------------------------------------- subdatabase
+
+    def subdatabase(self, region: Region) -> Database:
+        """φ_r: the fact rows inside the region plus touched reference rows."""
+        if region in self._subdb_cache:
+            return self._subdb_cache[region]
+        db = self.task.db
+        mask = self.task.space.mask(db.fact, region)
+        fact = db.fact.select(mask)
+        refs = []
+        for name in db.reference_names:
+            ref = db.reference(name)
+            used = set(fact[ref.key])
+            keep = np.array([k in used for k in ref.table[ref.key]], dtype=bool)
+            refs.append(Reference(name, ref.table.select(keep), ref.key))
+        subdb = Database(fact, refs)
+        self._subdb_cache[region] = subdb
+        return subdb
+
+    def items_in(self, region: Region) -> np.ndarray:
+        subdb = self.subdatabase(region)
+        present = set(subdb.fact[self.task.id_column])
+        ids = np.asarray(self.task.item_ids)
+        return ids[[i in present for i in ids]]
+
+    # ---------------------------------------------------------------- search
+
+    def evaluate(self, region: Region, n_folds: int = 5, seed: int = 0) -> RelationalResult | None:
+        """k-fold CV of the relational learner on one region's sub-database."""
+        subdb = self.subdatabase(region)
+        item_ids = self.items_in(region)
+        if len(item_ids) < 2 * n_folds:
+            return None
+        y_all = dict(
+            zip(np.asarray(self.task.item_ids), self.task.target_values())
+        )
+        y = np.array([y_all[i] for i in item_ids])
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(item_ids))
+        folds = np.array_split(order, n_folds)
+        fold_rmses = []
+        for test in folds:
+            train_mask = np.ones(len(item_ids), dtype=bool)
+            train_mask[test] = False
+            try:
+                self.learner.fit(subdb, item_ids[train_mask], y[train_mask])
+                pred = self.learner.predict(subdb, item_ids[test])
+            except SearchError:
+                return None
+            fold_rmses.append(float(np.sqrt(np.mean((pred - y[test]) ** 2))))
+        est = ErrorEstimate(
+            rmse=float(np.mean(fold_rmses)),
+            kind="cv",
+            fold_rmses=tuple(fold_rmses),
+            dof=n_folds - 1,
+        )
+        return RelationalResult(
+            region, self.task.cost(region), len(item_ids), est
+        )
+
+    def run(
+        self,
+        budget: float | None = None,
+        n_folds: int = 5,
+        seed: int = 0,
+        candidate_regions: Sequence[Region] | None = None,
+    ) -> RelationalResult:
+        criterion = (
+            self.task.criterion
+            if budget is None
+            else self.task.criterion.with_budget(budget)
+        )
+        candidates = (
+            list(candidate_regions)
+            if candidate_regions is not None
+            else self.task.space.all_regions()
+        )
+        best: RelationalResult | None = None
+        n_items = self.task.n_items
+        for region in candidates:
+            result = self.evaluate(region, n_folds=n_folds, seed=seed)
+            if result is None:
+                continue
+            if not criterion.admits(result.cost, result.n_items / n_items):
+                continue
+            if best is None or result.rmse < best.rmse:
+                best = result
+        if best is None:
+            raise SearchError("no feasible region for the relational search")
+        return best

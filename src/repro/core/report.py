@@ -1,0 +1,104 @@
+"""Budget-sweep reporting: the series behind Figures 7 and 9.
+
+Given a :class:`~repro.core.basic.BasicBellwetherSearch`, these helpers
+compute, per budget:
+
+* ``bel_err`` — the bellwether model's error ("Bel Err"),
+* ``avg_err`` — the average error over feasible regions ("Avg Err"),
+* ``smp_err`` — the random-sampling baseline ("Smp Err", optional),
+* ``frac_indist`` — the fraction of feasible regions statistically
+  indistinguishable from the bellwether at each confidence level
+  (Figure 7(b)/9(b)).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.dimensions import Region
+
+from .baselines import RandomSamplingBaseline
+from .basic import BasicBellwetherSearch
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """One budget's worth of Figure 7-style series."""
+
+    budget: float
+    bel_err: float
+    avg_err: float
+    bellwether: Region | None
+    n_feasible: int
+    smp_err: float = float("nan")
+    frac_indist: dict[float, float] = field(default_factory=dict)
+
+
+def budget_sweep(
+    search: BasicBellwetherSearch,
+    budgets: Sequence[float],
+    confidences: Sequence[float] = (0.95, 0.99),
+    sampling: RandomSamplingBaseline | None = None,
+    sampling_trials: int = 5,
+    item_ids: Sequence | None = None,
+) -> list[BudgetPoint]:
+    """Evaluate the basic search across budgets (one store scan total)."""
+    points: list[BudgetPoint] = []
+    for budget, result in search.sweep(budgets, item_ids=item_ids):
+        if result.bellwether is None:
+            points.append(
+                BudgetPoint(
+                    budget=budget,
+                    bel_err=float("nan"),
+                    avg_err=float("nan"),
+                    bellwether=None,
+                    n_feasible=0,
+                )
+            )
+            continue
+        frac = {
+            c: result.indistinguishable_fraction(c) for c in confidences
+        }
+        smp = (
+            sampling.sample_error(budget, n_trials=sampling_trials)
+            if sampling is not None
+            else float("nan")
+        )
+        points.append(
+            BudgetPoint(
+                budget=budget,
+                bel_err=result.bellwether.rmse,
+                avg_err=result.average_error(),
+                bellwether=result.bellwether.region,
+                n_feasible=len(result.feasible),
+                smp_err=smp,
+                frac_indist=frac,
+            )
+        )
+    return points
+
+
+def render_table(points: Sequence[BudgetPoint]) -> str:
+    """ASCII table of a budget sweep (used by benches and EXPERIMENTS.md)."""
+    confidences = sorted(points[0].frac_indist) if points else []
+    header = ["budget", "bel_err", "avg_err", "smp_err", "bellwether", "n_feas"]
+    header += [f"indist@{int(c * 100)}%" for c in confidences]
+    rows = [header]
+    for pt in points:
+        row = [
+            f"{pt.budget:g}",
+            f"{pt.bel_err:.4g}",
+            f"{pt.avg_err:.4g}",
+            f"{pt.smp_err:.4g}",
+            str(pt.bellwether),
+            str(pt.n_feasible),
+        ]
+        row += [f"{pt.frac_indist.get(c, float('nan')):.3f}" for c in confidences]
+        rows.append(row)
+    widths = [max(len(r[j]) for r in rows) for j in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

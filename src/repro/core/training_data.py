@@ -1,0 +1,536 @@
+"""Training-set generation for all candidate regions (Section 4.2).
+
+Two interchangeable strategies produce one :class:`~repro.storage.RegionBlock`
+per region — the table ``{(φ_{i,r}(DB), τ_i(DB)) : i ∈ I_r}``:
+
+* **naive** — one selection + aggregation per region, exactly the textbook
+  reading of the feature queries.  O(|R|) passes over the fact table.
+* **cube** — the paper's rewrite: one grouped pass over the fact table
+  produces *base cells* (finest dimension values x item), which then roll up
+  along hierarchy subtrees and interval prefixes like any data cube.  All
+  three stylized query forms are covered; the distinct-FK form rolls up via
+  first-appearance times, keeping it exact.
+
+Both paths agree bit-for-bit up to float associativity (tested), and both
+report per-region coverage, which feeds the criterion's pruning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dimensions import (
+    HierarchicalDimension,
+    Interval,
+    IntervalDimension,
+    Region,
+)
+from repro.storage import MemoryStore, RegionBlock
+from repro.table import factorize
+
+from .exceptions import TaskError
+from .features import DistinctJoinAggregate
+from .task import BellwetherTask
+
+_NEUTRAL = {"sum": 0.0, "count": 0.0, "min": np.inf, "max": -np.inf}
+
+
+@dataclass
+class _FeaturePlan:
+    """Per-feature arrays shared by both generation strategies."""
+
+    alias: str
+    func: str
+    values: np.ndarray  # per-fact-row value of the aggregated attribute
+    fk_codes: np.ndarray | None  # per-fact-row FK codes for distinct form
+
+
+class TrainingDataGenerator:
+    """Materializes per-region training sets for a task.
+
+    The generator pre-encodes fact rows once (item codes, dimension leaf
+    codes, time points, per-feature value columns); both strategies then work
+    from those arrays.
+    """
+
+    def __init__(self, task: BellwetherTask):
+        self.task = task
+        space = task.space
+        fact = task.db.fact
+        # --- item codes; fact rows for unknown items are dropped (I defines the task)
+        ids = task.item_ids
+        id_code = {i: k for k, i in enumerate(ids)}
+        raw_ids = fact[task.id_column]
+        keep = np.array([i in id_code for i in raw_ids], dtype=bool)
+        self._row_idx = np.flatnonzero(keep)
+        self._item_codes = np.array(
+            [id_code[i] for i in raw_ids[keep]], dtype=np.int64
+        )
+        self.n_items = len(ids)
+        self._item_ids = np.asarray(ids)
+        # --- dimension encodings
+        self._hier_dims: list[HierarchicalDimension] = []
+        self._hier_codes: list[np.ndarray] = []
+        self._interval_dim: IntervalDimension | None = None
+        self._interval_pos: int | None = None
+        self._dim_order: list[tuple[str, int]] = []  # ("hier", idx) / ("interval", 0)
+        for dim in space.dimensions:
+            if isinstance(dim, IntervalDimension):
+                if self._interval_dim is not None:
+                    raise TaskError("at most one interval dimension is supported")
+                self._interval_dim = dim
+                points = np.asarray(fact[dim.attribute])[keep]
+                dim.validate_points(points)
+                self._time_points = points.astype(np.int64)
+                self._dim_order.append(("interval", 0))
+            else:
+                codes = dim.encode_leaves(np.asarray(fact[dim.attribute])[keep])
+                self._hier_dims.append(dim)
+                self._hier_codes.append(codes)
+                self._dim_order.append(("hier", len(self._hier_dims) - 1))
+        if self._interval_dim is None:
+            self._time_points = np.zeros(len(self._item_codes), dtype=np.int64) + 1
+        self.n_time = self._interval_dim.n_points if self._interval_dim else 1
+        # Candidate windows: the dimension's interval list (prefixes for the
+        # standard incremental dimension, arbitrary for windowed ones).
+        self._window_list = (
+            self._interval_dim.intervals()
+            if self._interval_dim is not None
+            else [Interval(1, 1)]
+        )
+        self.n_windows = len(self._window_list)
+        # --- feature plans
+        self._plans: list[_FeaturePlan] = []
+        for feat in task.regional_features:
+            values = feat.value_column(task.db)[keep]
+            fk_codes = None
+            if isinstance(feat, DistinctJoinAggregate):
+                fk_codes, __ = factorize(feat.key_column(task.db)[keep])
+            self._plans.append(_FeaturePlan(feat.alias, feat.func, values, fk_codes))
+        # --- targets, item features, optional WLS weights
+        self._y = task.target_values()
+        self._item_x = task.item_encoder.matrix(self._item_ids)
+        self._w = getattr(task, "item_weights", None)
+        # --- node combos (regions = node combo x prefix)
+        self._node_combos: list[tuple[str, ...]] = [
+            combo
+            for combo in itertools.product(
+                *[[n.name for n in d.nodes()] for d in self._hier_dims]
+            )
+        ]
+        # boolean leaf-membership per dim per node
+        self._leaf_member: list[dict[str, np.ndarray]] = []
+        for dim in self._hier_dims:
+            table: dict[str, np.ndarray] = {}
+            for node in dim.nodes():
+                member = np.zeros(dim.n_leaves, dtype=bool)
+                for leaf in dim.leaves_under(node.name):
+                    member[dim.leaf_code(leaf)] = True
+                table[node.name] = member
+            self._leaf_member.append(table)
+        self._coverage_cache: dict[Region, float] | None = None
+
+    # ------------------------------------------------------------- region ids
+
+    def _region_for(self, combo: tuple[str, ...], w_idx: int) -> Region:
+        values: list = []
+        for kind, idx in self._dim_order:
+            if kind == "interval":
+                values.append(self._window_list[w_idx])
+            else:
+                values.append(combo[idx])
+        return Region(tuple(values))
+
+    def all_regions(self) -> list[Region]:
+        return [
+            self._region_for(combo, w)
+            for combo in self._node_combos
+            for w in range(self.n_windows)
+        ]
+
+    def _window_reduce(self, raw: np.ndarray, func: str) -> np.ndarray:
+        """Merge per-time-point raw stats into per-window stats.
+
+        ``raw`` is (items x n_time) holding the per-time aggregate; the
+        result is (items x n_windows).  Sums/counts merge via cumulative
+        differences; min/max reduce over the window slice.
+        """
+        out = np.empty((raw.shape[0], self.n_windows))
+        if func in ("sum", "count"):
+            csum = np.cumsum(raw, axis=1)
+            for w, window in enumerate(self._window_list):
+                hi = csum[:, window.end - 1]
+                lo = csum[:, window.start - 2] if window.start > 1 else 0.0
+                out[:, w] = hi - lo
+            return out
+        reduce = np.minimum.reduce if func == "min" else np.maximum.reduce
+        for w, window in enumerate(self._window_list):
+            out[:, w] = reduce(raw[:, window.start - 1:window.end], axis=1)
+        return out
+
+    # -------------------------------------------------------------- coverage
+
+    def coverage(self) -> dict[Region, float]:
+        """Coverage(r) = |I_r| / |I| for every candidate region."""
+        if self._coverage_cache is not None:
+            return self._coverage_cache
+        result: dict[Region, float] = {}
+        for combo in self._node_combos:
+            present = self._dense_presence(combo)
+            counts = present.sum(axis=0)
+            for w in range(self.n_windows):
+                result[self._region_for(combo, w)] = counts[w] / self.n_items
+        self._coverage_cache = result
+        return result
+
+    def _combo_mask(
+        self, codes_per_dim: Sequence[np.ndarray], combo: tuple[str, ...]
+    ) -> np.ndarray:
+        n = len(self._item_codes) if not codes_per_dim else len(codes_per_dim[0])
+        mask = np.ones(n, dtype=bool)
+        for member_table, codes, node in zip(
+            self._leaf_member, codes_per_dim, combo
+        ):
+            mask &= member_table[node][codes]
+        return mask
+
+    # ------------------------------------------------------------------ cube
+
+    def generate(
+        self,
+        regions: Sequence[Region] | None = None,
+        method: str = "cube",
+    ) -> MemoryStore:
+        """Build the store of training sets.
+
+        Parameters
+        ----------
+        regions:
+            Restrict output to these regions (e.g. the feasible set); default
+            all candidate regions.
+        method:
+            ``"cube"`` (single grouped pass + rollup) or ``"naive"``
+            (one aggregation per region).
+        """
+        wanted = set(regions) if regions is not None else None
+        if method == "cube":
+            blocks = self._generate_cube(wanted)
+        elif method == "naive":
+            blocks = self._generate_naive(wanted)
+        else:
+            raise TaskError(f"unknown generation method {method!r}")
+        feature_names = self.task.feature_names
+        return MemoryStore(blocks, feature_names)
+
+    def _generate_cube(self, wanted: set[Region] | None) -> dict[Region, RegionBlock]:
+        blocks: dict[Region, RegionBlock] = {}
+        for combo in self._node_combos:
+            if wanted is not None and not any(
+                self._region_for(combo, w) in wanted
+                for w in range(self.n_windows)
+            ):
+                continue
+            dense_features = [
+                self._dense_feature(plan, combo) for plan in self._plans
+            ]
+            present = self._dense_presence(combo)
+            for w in range(self.n_windows):
+                region = self._region_for(combo, w)
+                if wanted is not None and region not in wanted:
+                    continue
+                rows = np.flatnonzero(present[:, w])
+                x = np.column_stack(
+                    [self._item_x[rows]]
+                    + [dense[rows, w][:, None] for dense in dense_features]
+                ) if len(rows) else np.empty((0, self._item_x.shape[1] + len(dense_features)))
+                blocks[region] = RegionBlock(
+                    self._item_ids[rows], x, self._y[rows],
+                    None if self._w is None else self._w[rows],
+                )
+        return blocks
+
+    def _dense_presence(self, combo: tuple[str, ...]) -> np.ndarray:
+        """(items x n_windows) boolean: item has >= 1 fact row in window."""
+        mask = self._combo_mask(self._hier_codes, combo)
+        counts = np.zeros((self.n_items, self.n_time))
+        np.add.at(counts, (self._item_codes[mask], self._time_points[mask] - 1), 1.0)
+        return self._window_reduce(counts, "count") > 0
+
+    def _dense_feature(self, plan: _FeaturePlan, combo: tuple[str, ...]) -> np.ndarray:
+        """(items x time) matrix of the feature at every prefix."""
+        mask = self._combo_mask(self._hier_codes, combo)
+        items = self._item_codes[mask]
+        times = self._time_points[mask]
+        values = plan.values[mask]
+        if plan.fk_codes is None:
+            return self._rollup_plain(plan.func, items, times, values)
+        return self._rollup_distinct(plan.func, items, times, values, plan.fk_codes[mask])
+
+    def _rollup_plain(
+        self, func: str, items: np.ndarray, times: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Forms 1-2: aggregate per (item, time point), then window-merge."""
+        shape = (self.n_items, self.n_time)
+        if func == "avg":
+            sums = np.zeros(shape)
+            counts = np.zeros(shape)
+            np.add.at(sums, (items, times - 1), values)
+            np.add.at(counts, (items, times - 1), 1.0)
+            wsum = self._window_reduce(sums, "sum")
+            wcount = self._window_reduce(counts, "count")
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return wsum / wcount
+        if func in ("sum", "count"):
+            dense = np.zeros(shape)
+            np.add.at(dense, (items, times - 1), values if func == "sum" else 1.0)
+            return self._window_reduce(dense, func)
+        fill = _NEUTRAL[func]
+        dense = np.full(shape, fill)
+        if func == "min":
+            np.minimum.at(dense, (items, times - 1), values)
+        else:
+            np.maximum.at(dense, (items, times - 1), values)
+        return self._window_reduce(dense, func)
+
+    def _rollup_distinct(
+        self,
+        func: str,
+        items: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        fks: np.ndarray,
+    ) -> np.ndarray:
+        """Form 3: each FK counts once per (item, window).
+
+        For incremental windows a reference row joins ``[1-t, node]`` iff
+        its earliest fact row under the node is at time ≤ t, so aggregating
+        arrival events and prefix-merging is exact.  General windows cannot
+        use arrivals (an FK may recur inside a later window), so they dedupe
+        per window.
+        """
+        if len(items) == 0:
+            return np.full((self.n_items, self.n_windows), np.nan)
+        all_prefix = all(w.start == 1 for w in self._window_list)
+        if not all_prefix:
+            return self._distinct_per_window(func, items, times, values, fks)
+        pair = items.astype(np.int64) * (fks.max() + 1) + fks
+        order = np.lexsort((times, pair))
+        first = np.flatnonzero(np.diff(pair[order], prepend=-1))
+        arrival_rows = order[first]  # one row per (item, fk): earliest time
+        a_items = items[arrival_rows]
+        a_times = times[arrival_rows]
+        a_values = values[arrival_rows]
+        shape = (self.n_items, self.n_time)
+        if func == "avg":
+            sums = np.zeros(shape)
+            counts = np.zeros(shape)
+            np.add.at(sums, (a_items, a_times - 1), a_values)
+            np.add.at(counts, (a_items, a_times - 1), 1.0)
+            wsum = self._window_reduce(sums, "sum")
+            wcount = self._window_reduce(counts, "count")
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return wsum / wcount
+        if func in ("sum", "count"):
+            dense = np.zeros(shape)
+            np.add.at(
+                dense, (a_items, a_times - 1), a_values if func == "sum" else 1.0
+            )
+            return self._window_reduce(dense, func)
+        dense = np.full(shape, _NEUTRAL[func])
+        if func == "min":
+            np.minimum.at(dense, (a_items, a_times - 1), a_values)
+        else:
+            np.maximum.at(dense, (a_items, a_times - 1), a_values)
+        return self._window_reduce(dense, func)
+
+    def _distinct_per_window(
+        self,
+        func: str,
+        items: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        fks: np.ndarray,
+    ) -> np.ndarray:
+        """Exact distinct-FK aggregation for arbitrary candidate windows."""
+        out = np.full((self.n_items, self.n_windows), np.nan)
+        radix = int(fks.max()) + 1
+        for w, window in enumerate(self._window_list):
+            in_window = (times >= window.start) & (times <= window.end)
+            w_items = items[in_window]
+            w_values = values[in_window]
+            w_fks = fks[in_window]
+            if len(w_items) == 0:
+                continue
+            pair = w_items.astype(np.int64) * radix + w_fks
+            __, first_idx = np.unique(pair, return_index=True)
+            d_items = w_items[first_idx]
+            d_values = w_values[first_idx]
+            if func in ("sum", "count", "avg"):
+                sums = np.zeros(self.n_items)
+                counts = np.zeros(self.n_items)
+                np.add.at(sums, d_items, d_values)
+                np.add.at(counts, d_items, 1.0)
+                if func == "sum":
+                    out[:, w] = sums
+                elif func == "count":
+                    out[:, w] = counts
+                else:
+                    with np.errstate(invalid="ignore", divide="ignore"):
+                        out[:, w] = sums / counts
+            else:
+                agg = np.full(self.n_items, _NEUTRAL[func])
+                if func == "min":
+                    np.minimum.at(agg, d_items, d_values)
+                else:
+                    np.maximum.at(agg, d_items, d_values)
+                out[:, w] = agg
+        return out
+
+    # ----------------------------------------------------------------- naive
+
+    def _generate_naive(self, wanted: set[Region] | None) -> dict[Region, RegionBlock]:
+        blocks: dict[Region, RegionBlock] = {}
+        space = self.task.space
+        for region in self.all_regions():
+            if wanted is not None and region not in wanted:
+                continue
+            mask = self._region_mask(region)
+            items = self._item_codes[mask]
+            present_codes = np.unique(items)
+            columns: list[np.ndarray] = []
+            for plan in self._plans:
+                columns.append(
+                    self._naive_feature(plan, mask, present_codes)
+                )
+            rows = present_codes
+            x = (
+                np.column_stack([self._item_x[rows]] + [c[:, None] for c in columns])
+                if len(rows)
+                else np.empty((0, self._item_x.shape[1] + len(self._plans)))
+            )
+            blocks[region] = RegionBlock(
+                self._item_ids[rows], x, self._y[rows],
+                None if self._w is None else self._w[rows],
+            )
+        return blocks
+
+    def block_for_mask(self, mask: np.ndarray) -> RegionBlock:
+        """Training block aggregated over an arbitrary fact-row subset.
+
+        Used by the random-sampling baseline (Section 7.1's "Smp Err"),
+        whose data-collection sets are unions of finest cells that need not
+        form any OLAP region.
+        """
+        if mask.shape != self._item_codes.shape:
+            raise TaskError(
+                f"mask has shape {mask.shape}, expected {self._item_codes.shape}"
+            )
+        present_codes = np.unique(self._item_codes[mask])
+        columns = [
+            self._naive_feature(plan, mask, present_codes) for plan in self._plans
+        ]
+        rows = present_codes
+        x = (
+            np.column_stack([self._item_x[rows]] + [c[:, None] for c in columns])
+            if len(rows)
+            else np.empty((0, self._item_x.shape[1] + len(self._plans)))
+        )
+        return RegionBlock(
+            self._item_ids[rows], x, self._y[rows],
+            None if self._w is None else self._w[rows],
+        )
+
+    def fact_cells(self) -> list[np.ndarray]:
+        """Per-fact-row finest-cell coordinates: time points and leaf codes.
+
+        Returned in dimension order; used by baselines to select rows by
+        finest cell.
+        """
+        out: list[np.ndarray] = []
+        for kind, idx in self._dim_order:
+            if kind == "interval":
+                out.append(self._time_points)
+            else:
+                out.append(self._hier_codes[idx])
+        return out
+
+    def _region_mask(self, region: Region) -> np.ndarray:
+        mask = np.ones(len(self._item_codes), dtype=bool)
+        hier_i = 0
+        for (kind, idx), value in zip(self._dim_order, region.values):
+            if kind == "interval":
+                mask &= (self._time_points >= value.start) & (
+                    self._time_points <= value.end
+                )
+            else:
+                dim = self._hier_dims[idx]
+                member = self._leaf_member[idx][str(value)]
+                mask &= member[self._hier_codes[idx]]
+                hier_i += 1
+        return mask
+
+    def _naive_feature(
+        self, plan: _FeaturePlan, mask: np.ndarray, present_codes: np.ndarray
+    ) -> np.ndarray:
+        items = self._item_codes[mask]
+        values = plan.values[mask]
+        if plan.fk_codes is not None:
+            fks = plan.fk_codes[mask]
+            if len(items):
+                pair = items.astype(np.int64) * (fks.max() + 1) + fks
+                __, first_idx = np.unique(pair, return_index=True)
+                items = items[first_idx]
+                values = values[first_idx]
+        out = np.full(self.n_items, np.nan)
+        if len(items):
+            if plan.func == "sum":
+                agg = np.zeros(self.n_items)
+                np.add.at(agg, items, values)
+            elif plan.func == "count":
+                agg = np.zeros(self.n_items)
+                np.add.at(agg, items, 1.0)
+            elif plan.func == "avg":
+                s = np.zeros(self.n_items)
+                c = np.zeros(self.n_items)
+                np.add.at(s, items, values)
+                np.add.at(c, items, 1.0)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    agg = s / c
+            elif plan.func == "min":
+                agg = np.full(self.n_items, np.inf)
+                np.minimum.at(agg, items, values)
+            else:
+                agg = np.full(self.n_items, -np.inf)
+                np.maximum.at(agg, items, values)
+            out[:] = agg
+        return out[present_codes]
+
+
+def build_store(
+    task: BellwetherTask,
+    method: str = "cube",
+    enforce_coverage: bool = True,
+    enforce_budget: bool = False,
+) -> tuple[MemoryStore, dict[Region, float], dict[Region, float]]:
+    """Generate the entire training data for a task.
+
+    Returns ``(store, costs, coverage)``.  Coverage pruning is applied by
+    default (it does not change with the budget); budget pruning is off by
+    default so one store can serve a whole budget sweep.
+    """
+    gen = TrainingDataGenerator(task)
+    coverage = gen.coverage()
+    costs = {r: task.cost(r) for r in gen.all_regions()}
+    regions = []
+    for region in gen.all_regions():
+        if enforce_coverage and coverage[region] < task.criterion.min_coverage:
+            continue
+        if enforce_budget and not task.criterion.admits(costs[region], coverage[region]):
+            continue
+        regions.append(region)
+    store = gen.generate(regions=regions, method=method)
+    return store, costs, coverage

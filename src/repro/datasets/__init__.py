@@ -1,0 +1,31 @@
+"""Synthetic datasets standing in for the paper's proprietary data.
+
+See DESIGN.md Section 2 for the substitution rationale per dataset.
+"""
+
+from .bookstore import make_bookstore
+from .locations import STATE_WEIGHTS, all_states, us_location_dimension
+from .mailorder import (
+    DEFAULT_PLANT,
+    HETEROGENEOUS_PLANT,
+    make_mailorder,
+)
+from .retail import RetailDataset, generate_retail
+from .scalability import ScalabilityDataset, make_scalability
+from .simulation import SimulationDataset, make_simulation
+
+__all__ = [
+    "DEFAULT_PLANT",
+    "HETEROGENEOUS_PLANT",
+    "RetailDataset",
+    "STATE_WEIGHTS",
+    "ScalabilityDataset",
+    "SimulationDataset",
+    "all_states",
+    "generate_retail",
+    "make_bookstore",
+    "make_mailorder",
+    "make_scalability",
+    "make_simulation",
+    "us_location_dimension",
+]

@@ -1,0 +1,69 @@
+"""Synthetic book store dataset (Section 7.2 substitute).
+
+The paper's bookstore sample (900 K transactions, five states, 2004) showed
+*no* clear bellwether: the basic search's error flattens with budget, but a
+large fraction of regions stays statistically indistinguishable from the
+returned one.  This generator reproduces that regime: no planted region —
+every (city, month) cell carries the same heavy noise — over a
+City/State/All location hierarchy in five states.
+"""
+
+from __future__ import annotations
+
+from repro.dimensions import HierarchicalDimension
+from repro.ml import ErrorEstimator
+
+from .retail import RetailDataset, generate_retail
+
+#: Five states with a City level below, echoing the 86-city sample.
+BOOKSTORE_SPEC: dict[str, list[str]] = {
+    "CA": ["LosAngeles", "SanFrancisco", "SanDiego", "Sacramento"],
+    "TX": ["Houston", "Dallas", "Austin"],
+    "NY": ["NewYorkCity", "Buffalo", "Albany"],
+    "IL": ["Chicago", "Springfield"],
+    "WA": ["Seattle", "Spokane", "Tacoma"],
+}
+
+CITY_WEIGHTS: dict[str, float] = {
+    "LosAngeles": 3.5, "SanFrancisco": 2.2, "SanDiego": 1.8, "Sacramento": 1.2,
+    "Houston": 2.8, "Dallas": 2.4, "Austin": 1.6,
+    "NewYorkCity": 4.0, "Buffalo": 1.0, "Albany": 0.8,
+    "Chicago": 3.0, "Springfield": 0.7,
+    "Seattle": 2.0, "Spokane": 0.8, "Tacoma": 0.9,
+}
+
+GENRES = ("fiction", "history", "science", "children")
+
+
+def bookstore_location_dimension(attribute: str = "city") -> HierarchicalDimension:
+    return HierarchicalDimension.from_spec(
+        attribute,
+        BOOKSTORE_SPEC,
+        level_names=("All", "State", "City"),
+    )
+
+
+def make_bookstore(
+    n_items: int = 150,
+    n_months: int = 12,
+    seed: int = 7,
+    presence: float = 0.45,
+    cell_noise: float = 1.5,
+    error_estimator: ErrorEstimator | None = None,
+) -> RetailDataset:
+    """Generate the bookstore analog — deliberately without a bellwether."""
+    location = bookstore_location_dimension("city")
+    return generate_retail(
+        n_items=n_items,
+        n_months=n_months,
+        location=location,
+        state_weights=CITY_WEIGHTS,
+        categories=GENRES,
+        planted={},  # no planted region: the defining property of this regime
+        seed=seed,
+        presence=presence,
+        cell_noise=cell_noise,
+        error_estimator=error_estimator,
+        month_attr="month",
+        state_attr="city",
+    )

@@ -1,0 +1,225 @@
+"""Shared machinery for the synthetic retail generators (mail order, books).
+
+The real datasets of Sections 7.1-7.2 are proprietary; these generators
+produce star schemas of the same shape with a *controllable* bellwether
+structure:
+
+* every item has a latent size ``u_i`` (weakly driven by its item-table
+  features, so item-only models underperform — Section 3.1's premise) and a
+  common factor ``c_i`` that dominates its total profit;
+* cells of a *planted* (state, month-window) track ``u_i * c_i`` with tiny
+  noise, so that cheap region's features predict the global target well;
+* all other cells carry heavy multiplicative noise, so only large (costly)
+  regions wash it out.
+
+With no planted region every cell is equally noisy — the bookstore regime,
+where no unique bellwether exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import (
+    AggregateTargetQuery,
+    BellwetherTask,
+    Criterion,
+    DistinctJoinAggregate,
+    FactAggregate,
+    JoinAggregate,
+)
+from repro.dimensions import (
+    HierarchicalDimension,
+    IntervalDimension,
+    ItemHierarchies,
+    ProductCostModel,
+    RegionSpace,
+)
+from repro.ml import CrossValidationEstimator, ErrorEstimator
+from repro.table import Database, Reference, Table
+
+
+@dataclass
+class RetailDataset:
+    """A generated retail star schema plus its ready-made bellwether task."""
+
+    db: Database
+    space: RegionSpace
+    item_table: Table
+    task: BellwetherTask
+    cell_costs: dict[tuple, float]
+    hierarchies: ItemHierarchies
+    planted: dict[str, tuple[str, int]]  # category -> (state, month window)
+
+
+def _split_cell_profit(rng: np.random.Generator, total: float, n: int) -> np.ndarray:
+    """Split a cell's profit into n transaction profits (positive parts)."""
+    if n == 1:
+        return np.array([total])
+    parts = rng.dirichlet(np.ones(n))
+    return total * parts
+
+
+def generate_retail(
+    n_items: int,
+    n_months: int,
+    location: HierarchicalDimension,
+    state_weights: dict[str, float],
+    categories: tuple[str, ...],
+    planted: dict[str, tuple[str, int]],
+    seed: int = 0,
+    presence: float = 0.7,
+    cell_noise: float = 0.9,
+    planted_noise: float = 0.2,
+    common_noise: float = 0.4,
+    size_noise: float = 0.5,
+    n_catalogs: int = 12,
+    min_coverage: float = 0.25,
+    error_estimator: ErrorEstimator | None = None,
+    month_attr: str = "month",
+    state_attr: str = "state",
+) -> RetailDataset:
+    """Build a retail star schema with (optionally) planted bellwethers.
+
+    ``planted`` maps item categories to their (state, window) bellwether;
+    an empty dict produces the no-bellwether (bookstore) regime.
+    """
+    rng = np.random.default_rng(seed)
+    states = list(location.leaf_names)
+    # ------------------------------------------------------------- item table
+    ids = np.arange(1, n_items + 1)
+    category = rng.choice(list(categories), n_items).astype(object)
+    rdexpense = rng.normal(50.0, 15.0, n_items)
+    rd_band = np.where(
+        rdexpense < 42, "low", np.where(rdexpense < 58, "mid", "high")
+    ).astype(object)
+    item_table = Table(
+        {
+            "item": ids,
+            "category": category,
+            "rdexpense": rdexpense,
+            "rd_band": rd_band,
+        }
+    )
+    # --------------------------------------------------------- latent structure
+    z_rd = (rdexpense - rdexpense.mean()) / rdexpense.std()
+    u = np.exp(0.35 * z_rd + rng.normal(0.0, size_noise, n_items)) * 2_000.0
+    c = np.exp(rng.normal(0.0, common_noise, n_items))
+    season = 1.0 + 0.25 * np.sin(np.linspace(0, np.pi, n_months))
+    share = {s: state_weights[s] / sum(state_weights.values()) for s in states}
+    # ------------------------------------------------------------- fact rows
+    rows_item: list[int] = []
+    rows_month: list[int] = []
+    rows_state: list[str] = []
+    rows_catalog: list[int] = []
+    rows_quantity: list[int] = []
+    rows_profit: list[float] = []
+    catalogs_of_item = {
+        i: rng.choice(n_catalogs, size=rng.integers(2, 5), replace=False)
+        for i in ids
+    }
+    for k, item in enumerate(ids):
+        plant = planted.get(str(category[k]))
+        for s in states:
+            for m in range(1, n_months + 1):
+                is_planted = (
+                    plant is not None and s == plant[0] and m <= plant[1]
+                )
+                if not is_planted and rng.random() > presence:
+                    continue
+                if is_planted:
+                    mean = u[k] * c[k] * share[s] * season[m - 1]
+                    profit = mean * np.exp(rng.normal(0.0, planted_noise))
+                else:
+                    mean = u[k] * c[k] * share[s] * season[m - 1]
+                    profit = mean * np.exp(
+                        rng.normal(-cell_noise**2 / 2, cell_noise)
+                    )
+                n_orders = 1 + int(rng.poisson(0.4))
+                for part in _split_cell_profit(rng, profit, n_orders):
+                    rows_item.append(int(item))
+                    rows_month.append(m)
+                    rows_state.append(s)
+                    rows_catalog.append(int(rng.choice(catalogs_of_item[item])))
+                    rows_quantity.append(int(rng.integers(1, 6)))
+                    rows_profit.append(float(part))
+    fact = Table(
+        {
+            "item": rows_item,
+            month_attr: rows_month,
+            state_attr: np.array(rows_state, dtype=object),
+            "catalog": rows_catalog,
+            "quantity": rows_quantity,
+            "profit": rows_profit,
+        }
+    )
+    catalog_table = Table(
+        {
+            "catalog": np.arange(n_catalogs),
+            "pages": rng.uniform(8, 64, n_catalogs).round(0),
+        }
+    )
+    db = Database(fact, [Reference("catalogs", catalog_table, "catalog")])
+    # ----------------------------------------------------------------- task
+    time = IntervalDimension(month_attr, n_months, unit="month")
+    space = RegionSpace([time, location])
+    cost_model = ProductCostModel(space, state_weights)
+    task = BellwetherTask(
+        db,
+        space,
+        item_table,
+        "item",
+        target=AggregateTargetQuery("sum", "profit", "item"),
+        regional_features=[
+            FactAggregate("sum", "profit", "reg_profit"),
+            FactAggregate("count", "profit", "reg_orders"),
+            JoinAggregate("max", "pages", "reg_max_pages", reference="catalogs"),
+            DistinctJoinAggregate(
+                "sum", "pages", "reg_catalog_pages", reference="catalogs"
+            ),
+        ],
+        item_feature_attrs=("category", "rdexpense"),
+        cost_model=cost_model,
+        criterion=Criterion(min_coverage=min_coverage),
+        error_estimator=error_estimator or CrossValidationEstimator(n_folds=10),
+    )
+    cell_costs = {
+        (m, s): state_weights[s]
+        for m in range(1, n_months + 1)
+        for s in states
+    }
+    hierarchies = _item_hierarchies(categories)
+    return RetailDataset(
+        db=db,
+        space=space,
+        item_table=item_table,
+        task=task,
+        cell_costs=cell_costs,
+        hierarchies=hierarchies,
+        planted=dict(planted),
+    )
+
+
+def _item_hierarchies(categories: tuple[str, ...]) -> ItemHierarchies:
+    """Category and R&D-band item hierarchies (Figure 5 analog)."""
+    half = max(len(categories) // 2, 1)
+    cat_spec = {
+        "GroupA": sorted(categories[:half]),
+        "GroupB": sorted(categories[half:]) or [categories[-1]],
+    }
+    cat_spec = {k: v for k, v in cat_spec.items() if v}
+    category_h = HierarchicalDimension.from_spec(
+        "category",
+        cat_spec,
+        level_names=("Any", "Group", "Category"),
+        root_name="Any",
+    )
+    band_h = HierarchicalDimension.from_spec(
+        "rd_band",
+        {"Cheap": ["low", "mid"], "Pricey": ["high"]},
+        level_names=("Any", "Range", "Band"),
+        root_name="Any",
+    )
+    return ItemHierarchies([category_h, band_h])

@@ -1,0 +1,162 @@
+"""The Section 7.3 simulation generator, reimplemented as specified.
+
+The paper: items carry eight binary features; targets are produced by a
+random decision tree over those features, each leaf owning a randomly chosen
+bellwether region and a linear model over that region's four regional
+features; ``y = Σ β_k X_k + ε``.  Regional features for *all* regions are
+randomly generated, so only the leaf's own region is informative.
+
+Varying the tree's node count sweeps the complexity of the bellwether
+distribution (Figure 10(b)); varying ε's standard deviation sweeps the noise
+(Figure 10(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import DirectTask
+from repro.dimensions import (
+    HierarchicalDimension,
+    ItemHierarchies,
+    Region,
+)
+from repro.ml import CrossValidationEstimator, ErrorEstimator
+from repro.storage import MemoryStore, RegionBlock
+from repro.table import Table
+
+N_BINARY_FEATURES = 8
+
+
+@dataclass
+class _PlantedLeaf:
+    """One leaf of the generating tree: a feature-value path, region, model."""
+
+    path: dict[int, str]  # feature index -> required value ("0"/"1")
+    region: Region
+    beta: np.ndarray
+
+
+@dataclass
+class SimulationDataset:
+    """A generated simulation instance."""
+
+    task: DirectTask
+    store: MemoryStore
+    hierarchies: ItemHierarchies
+    leaves: list[_PlantedLeaf] = field(default_factory=list)
+    regions: list[Region] = field(default_factory=list)
+
+
+def _random_tree_leaves(
+    rng: np.random.Generator, n_nodes: int
+) -> list[dict[int, str]]:
+    """Leaf paths of a random binary tree with ~n_nodes nodes.
+
+    Grown by repeatedly splitting a random leaf on a feature unused along
+    its path; each split adds two nodes.
+    """
+    leaves: list[dict[int, str]] = [{}]
+    total_nodes = 1
+    while total_nodes < n_nodes:
+        splittable = [
+            leaf for leaf in leaves if len(leaf) < N_BINARY_FEATURES
+        ]
+        if not splittable:
+            break
+        leaf = splittable[rng.integers(len(splittable))]
+        unused = [j for j in range(N_BINARY_FEATURES) if j not in leaf]
+        feature = int(rng.choice(unused))
+        leaves.remove(leaf)
+        leaves.append({**leaf, feature: "0"})
+        leaves.append({**leaf, feature: "1"})
+        total_nodes += 2
+    return leaves
+
+
+def make_simulation(
+    n_items: int = 500,
+    n_tree_nodes: int = 15,
+    noise: float = 0.5,
+    n_regions: int = 24,
+    n_regional_features: int = 4,
+    seed: int = 0,
+    error_estimator: ErrorEstimator | None = None,
+) -> SimulationDataset:
+    """Generate one simulation dataset (one point of Figure 10's averages)."""
+    rng = np.random.default_rng(seed)
+    # ---------------------------------------------------------------- items
+    bits = rng.integers(0, 2, size=(n_items, N_BINARY_FEATURES)).astype(str)
+    columns = {"item": np.arange(1, n_items + 1)}
+    feature_names = [f"b{j}" for j in range(N_BINARY_FEATURES)]
+    for j, name in enumerate(feature_names):
+        columns[name] = bits[:, j].astype(object)
+    item_table = Table(columns)
+    # --------------------------------------------------------------- regions
+    regions = [Region((f"r{k:02d}",)) for k in range(n_regions)]
+    # ------------------------------------------------------------- generator
+    leaf_paths = _random_tree_leaves(rng, n_tree_nodes)
+    leaves = [
+        _PlantedLeaf(
+            path=path,
+            region=regions[int(rng.integers(n_regions))],
+            beta=rng.uniform(-2.0, 2.0, n_regional_features),
+        )
+        for path in leaf_paths
+    ]
+    leaf_of_item = np.empty(n_items, dtype=np.int64)
+    for i in range(n_items):
+        for L, leaf in enumerate(leaves):
+            if all(bits[i, j] == v for j, v in leaf.path.items()):
+                leaf_of_item[i] = L
+                break
+    # Regional features: iid standard normals per (region, item, feature).
+    region_x = {
+        r: rng.normal(size=(n_items, n_regional_features)) for r in regions
+    }
+    y = np.empty(n_items)
+    for i in range(n_items):
+        leaf = leaves[leaf_of_item[i]]
+        y[i] = float(region_x[leaf.region][i] @ leaf.beta)
+    y += rng.normal(0.0, noise, n_items)
+    # ----------------------------------------------------------------- store
+    task = DirectTask(
+        item_table,
+        "item",
+        targets=y,
+        item_feature_attrs=tuple(feature_names),
+        error_estimator=error_estimator or CrossValidationEstimator(n_folds=10),
+    )
+    item_x = task.item_encoder.matrix(item_table["item"])
+    blocks = {
+        r: RegionBlock(
+            item_ids=np.asarray(item_table["item"]),
+            x=np.column_stack([item_x, region_x[r]]),
+            y=y,
+        )
+        for r in regions
+    }
+    store_names = task.item_encoder.feature_names + tuple(
+        f"x{k}" for k in range(n_regional_features)
+    )
+    store = MemoryStore(blocks, store_names)
+    # Item hierarchies over the first four binary features (for the cube):
+    # flat Any -> {0, 1} trees, giving the cube 2^4 lattice levels to adapt on.
+    hierarchies = ItemHierarchies(
+        [
+            HierarchicalDimension.from_spec(
+                name, ["0", "1"],
+                level_names=("Any", "Bit"), root_name="Any",
+            )
+            for name in feature_names[:4]
+        ]
+    )
+    return SimulationDataset(
+        task=task,
+        store=store,
+        hierarchies=hierarchies,
+        leaves=leaves,
+        regions=regions,
+    )

@@ -1,0 +1,139 @@
+"""Cost queries κ_r: the price of collecting data from a region.
+
+Section 4.1 assumes a user-provided cost table ``C(Z, Cost)`` over the
+finest-grained regions, with the cost of a larger region being an aggregate
+(e.g. sum) over the finest cells it contains.  Section 7.1's mail-order
+experiment instead uses a *product* form: ``m * n`` where ``m`` is the number
+of months in the interval and ``n`` a per-location weight.  Both appear here,
+plus an escape hatch for arbitrary callables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from .errors import CostError
+from .hierarchy import HierarchicalDimension
+from .interval import Interval, IntervalDimension
+from .region import Region, RegionSpace
+
+
+class CostModel:
+    """Interface: price one region."""
+
+    def cost(self, region: Region) -> float:
+        raise NotImplementedError
+
+
+class CellCostModel(CostModel):
+    """κ_r = aggregate of per-finest-cell costs over the cells in r.
+
+    Parameters
+    ----------
+    space:
+        The region space defining dimensions and finest cells.
+    cell_costs:
+        Mapping from finest cell (tuple of time point / leaf name) to cost.
+        Cells absent from the mapping cost 0.
+    agg:
+        ``"sum"`` (default), ``"max"`` or ``"avg"`` over member cells.
+    """
+
+    def __init__(
+        self,
+        space: RegionSpace,
+        cell_costs: Mapping[tuple, float],
+        agg: str = "sum",
+    ):
+        if agg not in ("sum", "max", "avg"):
+            raise CostError(f"unsupported cost aggregate {agg!r}")
+        self.space = space
+        self.agg = agg
+        self._cells = list(cell_costs.keys())
+        self._costs = np.array([cell_costs[c] for c in self._cells], dtype=np.float64)
+        self._cache: dict[Region, float] = {}
+
+    def cost(self, region: Region) -> float:
+        if region in self._cache:
+            return self._cache[region]
+        member = np.array(
+            [self.space.contains_cell(region, cell) for cell in self._cells],
+            dtype=bool,
+        )
+        values = self._costs[member]
+        if len(values) == 0:
+            result = 0.0
+        elif self.agg == "sum":
+            result = float(values.sum())
+        elif self.agg == "max":
+            result = float(values.max())
+        else:
+            result = float(values.mean())
+        self._cache[region] = result
+        return result
+
+
+class ProductCostModel(CostModel):
+    """κ_r = interval length x location weight (the mail-order form m*n).
+
+    ``location_weights`` maps hierarchy *leaf* names to weights (e.g. number
+    of zip code areas / 100); a node's weight is the sum over its leaves.
+    """
+
+    def __init__(
+        self,
+        space: RegionSpace,
+        location_weights: Mapping[str, float],
+        interval_dim: str | None = None,
+        hierarchy_dim: str | None = None,
+    ):
+        self.space = space
+        self._interval_idx: int | None = None
+        self._hierarchy_idx: int | None = None
+        for i, dim in enumerate(space.dimensions):
+            if isinstance(dim, IntervalDimension) and (
+                interval_dim is None or dim.attribute == interval_dim
+            ):
+                if self._interval_idx is None:
+                    self._interval_idx = i
+            elif isinstance(dim, HierarchicalDimension) and (
+                hierarchy_dim is None or dim.attribute == hierarchy_dim
+            ):
+                if self._hierarchy_idx is None:
+                    self._hierarchy_idx = i
+        if self._interval_idx is None or self._hierarchy_idx is None:
+            raise CostError(
+                "ProductCostModel needs one interval and one hierarchical dimension"
+            )
+        hierarchy = space.dimensions[self._hierarchy_idx]
+        missing = set(hierarchy.leaf_names) - set(location_weights)
+        if missing:
+            raise CostError(f"missing location weights for leaves: {sorted(missing)}")
+        self._weights = dict(location_weights)
+        self._hierarchy = hierarchy
+
+    def cost(self, region: Region) -> float:
+        interval = region.values[self._interval_idx]
+        node = region.values[self._hierarchy_idx]
+        assert isinstance(interval, Interval)
+        weight = sum(self._weights[leaf] for leaf in self._hierarchy.leaves_under(str(node)))
+        return float(interval.length) * weight
+
+
+class CallableCostModel(CostModel):
+    """κ_r computed by an arbitrary user function."""
+
+    def __init__(self, fn: Callable[[Region], float]):
+        self._fn = fn
+
+    def cost(self, region: Region) -> float:
+        return float(self._fn(region))
+
+
+class ZeroCostModel(CostModel):
+    """Every region is free — useful for tests and unconstrained searches."""
+
+    def cost(self, region: Region) -> float:
+        return 0.0

@@ -1,0 +1,17 @@
+"""Exceptions for the cube-space dimension substrate."""
+
+
+class DimensionError(Exception):
+    """Base class for dimension/region/cost errors."""
+
+
+class HierarchyError(DimensionError):
+    """A hierarchy is malformed (ragged leaves, duplicate names, ...)."""
+
+
+class RegionError(DimensionError):
+    """A region value does not belong to its dimension."""
+
+
+class CostError(DimensionError):
+    """A cost model could not price a region."""

@@ -1,0 +1,165 @@
+"""Interval dimensions: prefix time windows (Section 4.1).
+
+The values of an interval dimension are *incremental intervals* ``[1, t]``
+(e.g. "the first t weeks"); the fact table records plain time points.  The
+paper notes more general windows are possible; we implement the incremental
+case it evaluates, parameterized by the number of time points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import RegionError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """The incremental interval ``[start, end]`` (inclusive, 1-based)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.end < self.start:
+            raise RegionError(f"invalid interval [{self.start}, {self.end}]")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+    def contains_point(self, t: int) -> bool:
+        return self.start <= t <= self.end
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end}"
+
+
+class IntervalDimension:
+    """Prefix-interval dimension over an integer fact-table attribute.
+
+    Parameters
+    ----------
+    attribute:
+        Fact-table column holding time points (integers ``1..n_points``).
+    n_points:
+        Number of finest time points (e.g. 52 weeks, 10 months).
+    unit:
+        Display label only (e.g. ``"week"``, ``"month"``).
+    """
+
+    def __init__(self, attribute: str, n_points: int, unit: str = "t"):
+        if n_points < 1:
+            raise RegionError(f"n_points must be >= 1, got {n_points}")
+        self.attribute = attribute
+        self.n_points = n_points
+        self.unit = unit
+
+    def intervals(self) -> list[Interval]:
+        """All candidate values ``[1,1], [1,2], ..., [1,n_points]``."""
+        return [Interval(1, t) for t in range(1, self.n_points + 1)]
+
+    def interval(self, end: int) -> Interval:
+        """The prefix interval ending at ``end``."""
+        if not 1 <= end <= self.n_points:
+            raise RegionError(
+                f"dimension {self.attribute!r}: prefix end {end} out of 1..{self.n_points}"
+            )
+        return Interval(1, end)
+
+    def validate_points(self, values: np.ndarray) -> None:
+        """Check all recorded time points are within ``1..n_points``."""
+        values = np.asarray(values)
+        if len(values) and (values.min() < 1 or values.max() > self.n_points):
+            raise RegionError(
+                f"dimension {self.attribute!r}: time points outside 1..{self.n_points}"
+            )
+
+    def validate_value(self, interval: Interval) -> None:
+        """Raise unless the interval is a candidate value of this dimension."""
+        if interval.start != 1 or interval.end > self.n_points:
+            raise RegionError(
+                f"dimension {self.attribute!r}: {interval} is not a valid prefix"
+            )
+
+    def membership_mask(self, values: np.ndarray, interval: Interval) -> np.ndarray:
+        """Boolean mask: which recorded time points fall in the interval."""
+        values = np.asarray(values)
+        return (values >= interval.start) & (values <= interval.end)
+
+    def __repr__(self) -> str:
+        return f"IntervalDimension({self.attribute!r}, 1..{self.n_points} {self.unit}s)"
+
+
+class WindowedIntervalDimension(IntervalDimension):
+    """An interval dimension with an explicit candidate window list.
+
+    Section 4.1 considers incremental intervals ``[1, t]`` but notes that
+    "in general they can be defined by different kinds of windows".  This
+    dimension accepts any list of ``(start, end)`` windows — e.g. sliding
+    windows of a fixed width, or quarter boundaries.
+
+    Example
+    -------
+    >>> dim = WindowedIntervalDimension.sliding("week", n_points=8, width=4)
+    >>> [str(w) for w in dim.intervals()]
+    ['1-4', '2-5', '3-6', '4-7', '5-8']
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        n_points: int,
+        windows: list[tuple[int, int]],
+        unit: str = "t",
+    ):
+        super().__init__(attribute, n_points, unit)
+        if not windows:
+            raise RegionError("windows must be non-empty")
+        self._windows: list[Interval] = []
+        for start, end in windows:
+            interval = Interval(start, end)  # validates start >= 1, end >= start
+            if end > n_points:
+                raise RegionError(
+                    f"window {interval} exceeds n_points={n_points}"
+                )
+            self._windows.append(interval)
+
+    @classmethod
+    def sliding(
+        cls, attribute: str, n_points: int, width: int, step: int = 1, unit: str = "t"
+    ) -> "WindowedIntervalDimension":
+        """All width-``width`` windows advanced by ``step``."""
+        if width < 1 or step < 1:
+            raise RegionError("width and step must be >= 1")
+        windows = [
+            (s, s + width - 1)
+            for s in range(1, n_points - width + 2, step)
+        ]
+        return cls(attribute, n_points, windows, unit=unit)
+
+    def intervals(self) -> list[Interval]:
+        return list(self._windows)
+
+    def interval(self, end: int) -> Interval:
+        """The first candidate window ending at ``end``."""
+        for w in self._windows:
+            if w.end == end:
+                return w
+        raise RegionError(
+            f"dimension {self.attribute!r}: no candidate window ends at {end}"
+        )
+
+    def validate_value(self, interval: Interval) -> None:
+        if interval not in self._windows:
+            raise RegionError(
+                f"dimension {self.attribute!r}: {interval} is not a candidate window"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedIntervalDimension({self.attribute!r}, "
+            f"{len(self._windows)} windows over 1..{self.n_points})"
+        )

@@ -1,0 +1,188 @@
+"""Item hierarchies and the level lattice of cube subsets (Section 6.1).
+
+The item table's attributes each carry an *item hierarchy* (Figure 5); a
+combination of one node per hierarchy defines a *cube subset* of items (e.g.
+``[Hardware, Low]``), and the combinations of per-hierarchy depths form the
+level lattice of Figure 6.
+
+:class:`ItemHierarchies` encodes items into *base cells* (their leaf-level
+combination) and provides rollup maps from base cells to the subsets at any
+level — the machinery both the single-scan and the optimized bellwether-cube
+algorithms are built on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import HierarchyError
+from .hierarchy import HierarchicalDimension
+
+
+@dataclass(frozen=True)
+class CubeSubset:
+    """A cube subset of items: one hierarchy node per item attribute."""
+
+    nodes: tuple[str, ...]
+    level: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"[{', '.join(self.nodes)}]"
+
+    def __repr__(self) -> str:
+        return f"CubeSubset({self})"
+
+
+@dataclass(frozen=True)
+class RollupMap:
+    """Base cell -> subset assignment at one lattice level.
+
+    ``subset_of_base[b]`` is the index into ``subsets`` of the subset
+    containing base cell ``b``.
+    """
+
+    level: tuple[int, ...]
+    subsets: tuple[CubeSubset, ...]
+    subset_of_base: np.ndarray
+
+
+class ItemHierarchies:
+    """The item hierarchies attached to an item table.
+
+    Parameters
+    ----------
+    hierarchies:
+        One :class:`HierarchicalDimension` per item-table attribute, whose
+        leaves are the values recorded in that attribute.
+    """
+
+    def __init__(self, hierarchies: Sequence[HierarchicalDimension]):
+        if not hierarchies:
+            raise HierarchyError("ItemHierarchies needs at least one hierarchy")
+        attrs = [h.attribute for h in hierarchies]
+        if len(set(attrs)) != len(attrs):
+            raise HierarchyError(f"duplicate item attributes: {attrs}")
+        self.hierarchies: tuple[HierarchicalDimension, ...] = tuple(hierarchies)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(h.attribute for h in self.hierarchies)
+
+    # ---------------------------------------------------------------- lattice
+
+    def levels(self) -> list[tuple[int, ...]]:
+        """All lattice levels as per-hierarchy depth tuples.
+
+        Depth ``h.leaf_depth`` is the finest level of hierarchy ``h``;
+        depth 0 is its ``All`` node.  The finest combination comes first,
+        ``(0, ..., 0)`` (i.e. ``[All, ..., All]``) last.
+        """
+        ranges = [range(h.leaf_depth, -1, -1) for h in self.hierarchies]
+        return [tuple(combo) for combo in itertools.product(*ranges)]
+
+    @property
+    def base_level(self) -> tuple[int, ...]:
+        return tuple(h.leaf_depth for h in self.hierarchies)
+
+    # ------------------------------------------------------------- base cells
+
+    def encode_items(self, item_table) -> tuple[np.ndarray, np.ndarray]:
+        """Assign each item to its base cell.
+
+        Returns ``(cell_of_item, base_cell_leaf_codes)`` where
+        ``cell_of_item[i]`` is a dense base-cell id per item row and
+        ``base_cell_leaf_codes`` is an ``(n_cells, n_hierarchies)`` array of
+        per-hierarchy leaf codes describing each base cell.
+        """
+        per_attr_codes = []
+        for h in self.hierarchies:
+            values = item_table.column(h.attribute)
+            per_attr_codes.append(h.encode_leaves(values))
+        combined = per_attr_codes[0].astype(np.int64)
+        for h, codes in zip(self.hierarchies[1:], per_attr_codes[1:]):
+            combined = combined * h.n_leaves + codes
+        unique_combined, cell_of_item = np.unique(combined, return_inverse=True)
+        n_cells = len(unique_combined)
+        base_cell_leaf_codes = np.empty((n_cells, len(self.hierarchies)), dtype=np.int64)
+        remaining = unique_combined.copy()
+        for j in range(len(self.hierarchies) - 1, -1, -1):
+            base = self.hierarchies[j].n_leaves
+            base_cell_leaf_codes[:, j] = remaining % base
+            remaining = remaining // base
+        return cell_of_item.astype(np.int64), base_cell_leaf_codes
+
+    # ----------------------------------------------------------------- rollup
+
+    def rollup_map(
+        self, level: tuple[int, ...], base_cell_leaf_codes: np.ndarray
+    ) -> RollupMap:
+        """Map every base cell to its subset at the given level."""
+        if len(level) != len(self.hierarchies):
+            raise HierarchyError(
+                f"level {level} has {len(level)} entries, "
+                f"expected {len(self.hierarchies)}"
+            )
+        n_cells = len(base_cell_leaf_codes)
+        ancestor_idx = np.zeros(n_cells, dtype=np.int64)
+        per_hier_names: list[list[str]] = []
+        radix = 1
+        for j, (h, depth) in enumerate(zip(self.hierarchies, level)):
+            codes, names = h.ancestor_codes_at_depth(depth)
+            per_hier_names.append(names)
+            ancestor_idx = ancestor_idx * len(names) + codes[base_cell_leaf_codes[:, j]]
+        unique_idx, subset_of_base = np.unique(ancestor_idx, return_inverse=True)
+        subsets: list[CubeSubset] = []
+        for combined in unique_idx:
+            nodes: list[str] = []
+            remaining = int(combined)
+            for names in reversed(per_hier_names):
+                nodes.append(names[remaining % len(names)])
+                remaining //= len(names)
+            subsets.append(CubeSubset(tuple(reversed(nodes)), level))
+        return RollupMap(level, tuple(subsets), subset_of_base.astype(np.int64))
+
+    # ------------------------------------------------------------- membership
+
+    def member_mask(self, item_table, subset: CubeSubset) -> np.ndarray:
+        """Boolean mask over item rows: who belongs to the subset."""
+        mask = np.ones(item_table.n_rows, dtype=bool)
+        for h, node in zip(self.hierarchies, subset.nodes):
+            mask &= h.membership_mask(item_table.column(h.attribute), node)
+        return mask
+
+    def subsets_containing(self, item_values: Mapping[str, str]) -> list[CubeSubset]:
+        """Every cube subset that contains an item with the given leaf values.
+
+        Mirrors Section 6.2's prediction step: for a Desktop/100K item the
+        enclosing subsets run from ``[Desktop, 100K]`` up to ``[Any, Any]``.
+        """
+        per_hier_chains: list[list[tuple[str, int]]] = []
+        for h in self.hierarchies:
+            try:
+                leaf = item_values[h.attribute]
+            except KeyError:
+                raise HierarchyError(
+                    f"item_values missing attribute {h.attribute!r}"
+                ) from None
+            chain = h.ancestors_of(leaf)  # leaf ... root
+            per_hier_chains.append(
+                [(name, h.leaf_depth - i) for i, name in enumerate(chain)]
+            )
+        result = []
+        for combo in itertools.product(*per_hier_chains):
+            nodes = tuple(name for name, __ in combo)
+            level = tuple(depth for __, depth in combo)
+            result.append(CubeSubset(nodes, level))
+        return result
+
+    def iter_all_subsets(self, base_cell_leaf_codes: np.ndarray) -> Iterator[RollupMap]:
+        """Rollup maps for every lattice level (finest first)."""
+        for level in self.levels():
+            yield self.rollup_map(level, base_cell_leaf_codes)
+
+    def __repr__(self) -> str:
+        return f"ItemHierarchies({', '.join(self.attributes)})"

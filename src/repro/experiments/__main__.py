@@ -1,0 +1,137 @@
+"""Command-line runner for the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig7           # one figure
+    python -m repro.experiments fig10a fig10b  # several
+    python -m repro.experiments all            # everything
+    python -m repro.experiments all --fast     # small sizes, quick sanity
+
+Each figure prints the same series the benches record under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10a,
+    run_fig10b,
+    run_fig11a,
+    run_fig11b,
+    run_fig11c,
+    run_fig12a,
+    run_fig12b,
+)
+
+
+def _fig7(fast: bool):
+    kwargs = dict(n_items=60, budgets=(5.0, 25.0, 45.0, 65.0, 85.0)) if fast else {}
+    return run_fig7(**kwargs).render()
+
+
+def _fig8(fast: bool):
+    kwargs = dict(n_items=60, budgets=(10.0, 30.0), n_folds=3) if fast else {}
+    return run_fig8(**kwargs).render()
+
+
+def _fig9(fast: bool):
+    kwargs = (
+        dict(n_items=60, budgets=(10.0, 40.0, 80.0),
+             prediction_budgets=(20.0, 80.0), n_folds=3)
+        if fast
+        else dict(n_folds=3)
+    )
+    return run_fig9(**kwargs).render()
+
+
+def _fig10a(fast: bool):
+    kwargs = (
+        dict(n_datasets=1, n_items=150, n_folds=3, noises=(0.05, 0.5, 2.0))
+        if fast
+        else dict(n_datasets=3, n_folds=3)
+    )
+    return run_fig10a(**kwargs).render()
+
+
+def _fig10b(fast: bool):
+    kwargs = (
+        dict(n_datasets=1, n_items=150, n_folds=3, node_counts=(3, 15, 63))
+        if fast
+        else dict(n_datasets=3, n_folds=3)
+    )
+    return run_fig10b(**kwargs).render()
+
+
+def _fig11a(fast: bool):
+    kwargs = dict(region_counts=(4, 8), n_items=200) if fast else {}
+    return run_fig11a(**kwargs).render()
+
+
+def _fig11b(fast: bool):
+    kwargs = dict(region_counts=(8, 16), n_items=400) if fast else {}
+    return run_fig11b(**kwargs).render()
+
+
+def _fig11c(fast: bool):
+    kwargs = dict(region_counts=(8, 16), n_items=400) if fast else {}
+    return run_fig11c(**kwargs).render()
+
+
+def _fig12a(fast: bool):
+    kwargs = dict(leaf_counts=(2, 4), n_items=300) if fast else {}
+    return run_fig12a(**kwargs).render()
+
+
+def _fig12b(fast: bool):
+    kwargs = dict(feature_counts=(2, 6), n_items=300) if fast else {}
+    return run_fig12b(**kwargs).render()
+
+
+FIGURES = {
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10a": _fig10a,
+    "fig10b": _fig10b,
+    "fig11a": _fig11a,
+    "fig11b": _fig11b,
+    "fig11c": _fig11c,
+    "fig12a": _fig12a,
+    "fig12b": _fig12b,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=[*FIGURES, "all"],
+        help="which figures to run",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="small problem sizes (sanity runs, not the recorded series)",
+    )
+    args = parser.parse_args(argv)
+    names = list(FIGURES) if "all" in args.figures else args.figures
+    for name in names:
+        start = time.perf_counter()
+        print(FIGURES[name](args.fast))
+        print(f"[{name} in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

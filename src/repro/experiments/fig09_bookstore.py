@@ -1,0 +1,103 @@
+"""Figure 9: bellwether analysis of the book store dataset.
+
+The negative result: (a) the bellwether error flattens with budget, but
+(b) a large fraction of regions stays indistinguishable from the returned
+one — no unique bellwether — and (c) basic/tree/cube show no clear winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BudgetPoint,
+    RandomSamplingBaseline,
+    TrainingDataGenerator,
+    budget_sweep,
+    build_store,
+    compare_methods,
+)
+from repro.datasets import RetailDataset, make_bookstore
+from repro.ml import CrossValidationEstimator, TrainingSetEstimator
+from repro.storage import FilteredStore
+
+from .tables import render_series
+
+DEFAULT_BUDGETS = (10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+PREDICTION_BUDGETS = (20.0, 50.0, 80.0)
+
+
+@dataclass
+class Fig9Result:
+    budgets: tuple[float, ...]
+    sweep_points: list[BudgetPoint]  # panels (a) and (b)
+    prediction_budgets: tuple[float, ...]
+    basic: list[float]
+    tree: list[float]
+    cube: list[float]
+
+    def render(self) -> str:
+        from repro.core import render_table
+
+        parts = [
+            "Figure 9(a,b) — book store, 10-fold CV error",
+            render_table(self.sweep_points),
+            "",
+            render_series(
+                "Figure 9(c) — prediction methods on book store (RMSE)",
+                "budget",
+                self.prediction_budgets,
+                {"basic": self.basic, "tree": self.tree, "cube": self.cube},
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def run_fig9(
+    n_items: int = 150,
+    seed: int = 7,
+    budgets: tuple[float, ...] = DEFAULT_BUDGETS,
+    prediction_budgets: tuple[float, ...] = PREDICTION_BUDGETS,
+    n_folds: int = 5,
+    sampling_trials: int = 3,
+    dataset: RetailDataset | None = None,
+) -> Fig9Result:
+    ds = dataset or make_bookstore(
+        n_items=n_items,
+        seed=seed,
+        error_estimator=CrossValidationEstimator(n_folds=10, seed=seed),
+    )
+    gen = TrainingDataGenerator(ds.task)
+    store, costs, coverage = build_store(ds.task)
+    sampling = RandomSamplingBaseline(
+        ds.task, ds.cell_costs, generator=gen, seed=seed
+    )
+    search = BasicBellwetherSearch(ds.task, store, costs=costs)
+    points = budget_sweep(
+        search, budgets, sampling=sampling, sampling_trials=sampling_trials
+    )
+    # (c) prediction comparison with a cheap estimator (method ranking only)
+    fast_task = ds.task.with_criterion(ds.task.criterion)
+    fast_task.error_estimator = TrainingSetEstimator()
+    basic, tree, cube = [], [], []
+    for budget in prediction_budgets:
+        feasible = [r for r in store.regions() if costs[r] <= budget]
+        view = FilteredStore(store, feasible)
+        out = compare_methods(
+            fast_task,
+            view,
+            hierarchies=ds.hierarchies,
+            split_attrs=("category", "rdexpense"),
+            n_folds=n_folds,
+            seed=seed,
+            tree_kwargs=dict(min_items=25, max_depth=1, max_numeric_splits=4,
+                             min_relative_goodness=0.35),
+            cube_kwargs=dict(min_subset_size=30),
+        )
+        basic.append(out["basic"])
+        tree.append(out["tree"])
+        cube.append(out["cube"])
+    return Fig9Result(
+        tuple(budgets), points, tuple(prediction_budgets), basic, tree, cube
+    )

@@ -1,0 +1,114 @@
+"""Figure 10: cube/basic/tree errors on the Section 7.3 simulation.
+
+(a) RMSE vs noise level at fixed generator complexity (15 tree nodes):
+cube and tree beat basic consistently; the gap shrinks as noise grows.
+(b) RMSE vs generator complexity (tree node count) at noise 0.5: same
+ordering; the improvement shrinks as the bellwether distribution gets
+complex.  Each point averages several generated datasets, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import compare_methods
+from repro.datasets import make_simulation
+from repro.ml import TrainingSetEstimator
+
+from .tables import render_series
+
+DEFAULT_NOISES = (0.05, 0.5, 1.0, 2.0)
+DEFAULT_NODE_COUNTS = (3, 7, 15, 31, 63)
+
+
+@dataclass
+class Fig10Result:
+    xs: tuple
+    x_name: str
+    basic: list[float]
+    tree: list[float]
+    cube: list[float]
+    title: str
+
+    def render(self) -> str:
+        return render_series(
+            self.title,
+            self.x_name,
+            self.xs,
+            {"cube": self.cube, "basic": self.basic, "tree": self.tree},
+        )
+
+
+def _average_over_datasets(
+    n_datasets: int,
+    n_items: int,
+    n_tree_nodes: int,
+    noise: float,
+    n_folds: int,
+    seed: int,
+) -> dict[str, float]:
+    sums = {"basic": 0.0, "tree": 0.0, "cube": 0.0}
+    for d in range(n_datasets):
+        ds = make_simulation(
+            n_items=n_items,
+            n_tree_nodes=n_tree_nodes,
+            noise=noise,
+            seed=seed + 97 * d,
+            error_estimator=TrainingSetEstimator(),
+        )
+        out = compare_methods(
+            ds.task,
+            ds.store,
+            hierarchies=ds.hierarchies,
+            n_folds=n_folds,
+            seed=seed,
+            tree_kwargs=dict(min_items=25, max_depth=4),
+            cube_kwargs=dict(min_subset_size=15),
+        )
+        for k in sums:
+            sums[k] += out[k]
+    return {k: v / n_datasets for k, v in sums.items()}
+
+
+def run_fig10a(
+    noises: tuple[float, ...] = DEFAULT_NOISES,
+    n_tree_nodes: int = 15,
+    n_datasets: int = 3,
+    n_items: int = 400,
+    n_folds: int = 5,
+    seed: int = 0,
+) -> Fig10Result:
+    basic, tree, cube = [], [], []
+    for noise in noises:
+        out = _average_over_datasets(
+            n_datasets, n_items, n_tree_nodes, noise, n_folds, seed
+        )
+        basic.append(out["basic"])
+        tree.append(out["tree"])
+        cube.append(out["cube"])
+    return Fig10Result(
+        tuple(noises), "noise", basic, tree, cube,
+        title="Figure 10(a) — simulation: RMSE vs noise (15-node generator)",
+    )
+
+
+def run_fig10b(
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    noise: float = 0.5,
+    n_datasets: int = 3,
+    n_items: int = 400,
+    n_folds: int = 5,
+    seed: int = 0,
+) -> Fig10Result:
+    basic, tree, cube = [], [], []
+    for nodes in node_counts:
+        out = _average_over_datasets(
+            n_datasets, n_items, nodes, noise, n_folds, seed
+        )
+        basic.append(out["basic"])
+        tree.append(out["tree"])
+        cube.append(out["cube"])
+    return Fig10Result(
+        tuple(node_counts), "n_nodes", basic, tree, cube,
+        title="Figure 10(b) — simulation: RMSE vs generator complexity (noise 0.5)",
+    )

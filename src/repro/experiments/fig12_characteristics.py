@@ -1,0 +1,94 @@
+"""Figure 12: cost drivers of the optimized cube and the RF tree.
+
+(a) Optimized-cube runtime is linear in the number of *significant cube
+subsets* (swept via item-hierarchy fanout).
+(b) RF-tree runtime is linear in the number of *item-table features* (each
+numeric feature contributes split candidates evaluated per region block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import BellwetherCubeBuilder, BellwetherTreeBuilder
+from repro.datasets import make_scalability
+
+from .tables import render_grid
+
+
+@dataclass
+class CharacteristicResult:
+    rows: list[tuple]  # (swept value, measured x, seconds)
+    header: tuple[str, str, str]
+    title: str
+
+    def render(self) -> str:
+        return render_grid(self.title, self.header, self.rows)
+
+    @property
+    def xs(self) -> list:
+        return [r[1] for r in self.rows]
+
+    @property
+    def seconds(self) -> list[float]:
+        return [r[2] for r in self.rows]
+
+
+def run_fig12a(
+    leaf_counts: tuple[int, ...] = (2, 4, 6, 8),
+    n_items: int = 1_200,
+    n_regions: int = 24,
+    seed: int = 0,
+) -> CharacteristicResult:
+    rows = []
+    for leaves in leaf_counts:
+        ds = make_scalability(
+            n_items=n_items,
+            n_regions=n_regions,
+            hierarchy_leaves=leaves,
+            seed=seed,
+        )
+        builder = BellwetherCubeBuilder(
+            ds.task, ds.store, ds.hierarchies, min_subset_size=1
+        )
+        n_subsets = len(builder.significant_subsets)
+        from .fig11_scalability import _best_of
+
+        rows.append((leaves, n_subsets, _best_of(lambda: builder.build(method="optimized"))))
+    return CharacteristicResult(
+        rows,
+        ("hierarchy_leaves", "n_significant_subsets", "seconds"),
+        title="Figure 12(a) — optimized cube vs number of significant subsets",
+    )
+
+
+def run_fig12b(
+    feature_counts: tuple[int, ...] = (2, 4, 8, 12),
+    n_items: int = 1_200,
+    n_regions: int = 16,
+    seed: int = 0,
+) -> CharacteristicResult:
+    rows = []
+    for n_features in feature_counts:
+        ds = make_scalability(
+            n_items=n_items,
+            n_regions=n_regions,
+            n_numeric_features=n_features,
+            seed=seed,
+        )
+        builder = BellwetherTreeBuilder(
+            ds.task,
+            ds.store,
+            split_attrs=ds.task.item_feature_attrs,
+            min_items=150,
+            max_depth=2,
+            max_numeric_splits=4,
+        )
+        from .fig11_scalability import _best_of
+
+        rows.append((n_features, n_features, _best_of(lambda: builder.build(method="rf"))))
+    return CharacteristicResult(
+        rows,
+        ("n_item_features", "n_item_features", "seconds"),
+        title="Figure 12(b) — RF tree vs number of item-table features",
+    )

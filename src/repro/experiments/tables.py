@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment series (the repo's "figures")."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def render_grid(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """A fixed-width grid with a title line, matching the bench output style."""
+    text_rows = [[_fmt(c) for c in row] for row in rows]
+    all_rows = [list(header)] + text_rows
+    widths = [max(len(r[j]) for r in all_rows) for j in range(len(header))]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-" * len(lines[-1]))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_name: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence],
+) -> str:
+    """Columns: x plus one column per named series."""
+    header = [x_name, *series.keys()]
+    rows = [
+        [x, *[values[i] for values in series.values()]]
+        for i, x in enumerate(xs)
+    ]
+    return render_grid(title, header, rows)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,45 @@
+"""ML substrate: WLS/OLS regression, sufficient statistics, error estimation."""
+
+from .classify import (
+    ClassificationCVEstimator,
+    GaussianNB,
+    GaussianNBStats,
+    TrainingSetClassificationEstimator,
+    misclassification_rate,
+)
+from .exceptions import FitError, ModelError, NotFittedError
+from .linear import LinearRegression
+from .metrics import (
+    CrossValidationEstimator,
+    ErrorEstimate,
+    ErrorEstimator,
+    TrainingSetEstimator,
+    default_model_factory,
+    mse,
+    rmse,
+)
+from .regression_tree import RegressionTree
+from .suffstats import LinearSuffStats, add_intercept, prefix_stats
+
+__all__ = [
+    "ClassificationCVEstimator",
+    "CrossValidationEstimator",
+    "GaussianNB",
+    "GaussianNBStats",
+    "TrainingSetClassificationEstimator",
+    "misclassification_rate",
+    "ErrorEstimate",
+    "ErrorEstimator",
+    "FitError",
+    "LinearRegression",
+    "LinearSuffStats",
+    "ModelError",
+    "NotFittedError",
+    "RegressionTree",
+    "TrainingSetEstimator",
+    "add_intercept",
+    "default_model_factory",
+    "mse",
+    "prefix_stats",
+    "rmse",
+]

@@ -1,0 +1,13 @@
+"""Exceptions for the ML substrate."""
+
+
+class ModelError(Exception):
+    """Base class for modeling errors."""
+
+
+class FitError(ModelError):
+    """A model could not be fit (too few examples, shape mismatch, ...)."""
+
+
+class NotFittedError(ModelError):
+    """predict() was called before fit()."""

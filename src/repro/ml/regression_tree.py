@@ -1,0 +1,141 @@
+"""A compact CART-style regression tree.
+
+Two roles in this reproduction:
+
+* a conventional predictive model to contrast with bellwether trees (which
+  store a *bellwether region* per leaf rather than a constant prediction);
+* the machinery behind the Section 7.3 synthetic generator, which labels
+  items with a random decision tree.
+
+Numeric features only; splits minimize the weighted child variance
+(equivalently, maximize variance reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import FitError, NotFittedError
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """Binary regression tree minimizing squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_leaf:
+        Minimum examples per leaf.
+    """
+
+    def __init__(self, max_depth: int = 6, min_leaf: int = 5):
+        if max_depth < 0 or min_leaf < 1:
+            raise FitError("max_depth must be >= 0 and min_leaf >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _Node | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray, w: np.ndarray | None = None) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise FitError(f"bad shapes x={x.shape} y={y.shape}")
+        if x.shape[0] == 0:
+            raise FitError("cannot fit on zero examples")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple[int, float, float] | None:
+        """(feature, threshold, sse_after) of the best split, or None."""
+        n, p = x.shape
+        total_sse = float(((y - y.mean()) ** 2).sum())
+        best: tuple[int, float, float] | None = None
+        for j in range(p):
+            order = np.argsort(x[:, j], kind="stable")
+            xs = x[order, j]
+            ys = y[order]
+            # prefix sums for O(1) per-split SSE
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            for k in range(self.min_leaf, n - self.min_leaf + 1):
+                if k < n and xs[k - 1] == xs[k]:
+                    continue  # not a valid cut point
+                left_sse = csq[k - 1] - csum[k - 1] ** 2 / k
+                right_n = n - k
+                right_sum = total_sum - csum[k - 1]
+                right_sse = (total_sq - csq[k - 1]) - right_sum**2 / right_n
+                sse_after = float(left_sse + right_sse)
+                if best is None or sse_after < best[2]:
+                    threshold = (xs[k - 1] + xs[k]) / 2.0 if k < n else xs[k - 1]
+                    best = (j, float(threshold), sse_after)
+        if best is None or best[2] >= total_sse - 1e-12:
+            return None
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_leaf:
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        j, threshold, __ = split
+        mask = x[:, j] < threshold
+        if not mask.any() or mask.all():
+            return node
+        node.feature = j
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] < node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    @property
+    def n_leaves(self) -> int:
+        if self._root is None:
+            raise NotFittedError("tree is not fitted")
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+        return count(self._root)
+
+    @property
+    def depth(self) -> int:
+        if self._root is None:
+            raise NotFittedError("tree is not fitted")
+        def d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+        return d(self._root)

@@ -1,0 +1,221 @@
+"""Sufficient statistics for weighted least squares — Theorem 1.
+
+The paper's key efficiency result (Section 6.4, Theorem 1): the weighted sum
+of squared errors of a WLS linear model is an *algebraic* aggregate of the
+item set ``S``:
+
+    g(S)  = <Y'WY, X'WX, X'WY>           (plus n and Σw for bookkeeping)
+    q({g(S_k)}) = ΣY'WY − (ΣX'WY)'(ΣX'WX)^{-1}(ΣX'WY)
+
+so statistics computed on disjoint partitions merge by component-wise
+addition.  :class:`LinearSuffStats` implements ``g`` (:meth:`from_data`), the
+merge (``+``), the model solve (:meth:`solve`) and ``q`` (:meth:`sse`).
+
+This is what lets the optimized bellwether cube fit one model per cube subset
+of items without ever revisiting the raw rows: base-cell statistics roll up
+the item-hierarchy lattice exactly like SUM/COUNT roll up a data cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import FitError
+
+
+@dataclass(frozen=True)
+class LinearSuffStats:
+    """Sufficient statistics of a weighted linear regression problem.
+
+    Attributes
+    ----------
+    ytwy:
+        The scalar ``Y'WY``.
+    xtwx:
+        The ``(p, p)`` matrix ``X'WX``.
+    xtwy:
+        The ``(p,)`` vector ``X'WY``.
+    n:
+        Number of examples aggregated.
+    sum_w:
+        Total example weight.
+    """
+
+    ytwy: float
+    xtwx: np.ndarray
+    xtwy: np.ndarray
+    n: int
+    sum_w: float
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_data(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray | None = None,
+    ) -> "LinearSuffStats":
+        """Compute ``g(S)`` for a block of examples.
+
+        ``x`` is ``(n, p)``; callers wanting an intercept must include a
+        constant column (see :func:`add_intercept`).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2:
+            raise FitError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise FitError(f"y has shape {y.shape}, expected ({x.shape[0]},)")
+        if w is None:
+            xw = x
+            yw = y
+            sum_w = float(x.shape[0])
+        else:
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != y.shape:
+                raise FitError(f"w has shape {w.shape}, expected {y.shape}")
+            if (w <= 0).any():
+                raise FitError("weights must be strictly positive")
+            xw = x * w[:, None]
+            yw = y * w
+            sum_w = float(w.sum())
+        return cls(
+            ytwy=float(yw @ y),
+            xtwx=x.T @ xw,
+            xtwy=x.T @ yw,
+            n=x.shape[0],
+            sum_w=sum_w,
+        )
+
+    @classmethod
+    def zeros(cls, p: int) -> "LinearSuffStats":
+        """The identity element for merging (an empty example set)."""
+        return cls(0.0, np.zeros((p, p)), np.zeros(p), 0, 0.0)
+
+    @property
+    def p(self) -> int:
+        return self.xtwx.shape[0]
+
+    # ------------------------------------------------------------------ merge
+
+    def __add__(self, other: "LinearSuffStats") -> "LinearSuffStats":
+        if self.p != other.p:
+            raise FitError(f"cannot merge stats with p={self.p} and p={other.p}")
+        return LinearSuffStats(
+            ytwy=self.ytwy + other.ytwy,
+            xtwx=self.xtwx + other.xtwx,
+            xtwy=self.xtwy + other.xtwy,
+            n=self.n + other.n,
+            sum_w=self.sum_w + other.sum_w,
+        )
+
+    def __sub__(self, other: "LinearSuffStats") -> "LinearSuffStats":
+        """Remove a disjoint block (used by leave-one-fold-out training)."""
+        if self.p != other.p:
+            raise FitError(f"cannot subtract stats with p={self.p} and p={other.p}")
+        return LinearSuffStats(
+            ytwy=self.ytwy - other.ytwy,
+            xtwx=self.xtwx - other.xtwx,
+            xtwy=self.xtwy - other.xtwy,
+            n=self.n - other.n,
+            sum_w=self.sum_w - other.sum_w,
+        )
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(self, ridge: float = 0.0) -> np.ndarray:
+        """β_WLS = (X'WX)^{-1} X'WY, via pseudo-inverse when singular.
+
+        ``ridge`` adds ``ridge * I`` to the normal matrix, which both
+        regularizes and guards against exact singularity when requested.
+        """
+        if self.n == 0:
+            raise FitError("cannot solve with zero examples")
+        a = self.xtwx
+        if ridge > 0.0:
+            a = a + ridge * np.eye(self.p)
+        try:
+            beta = np.linalg.solve(a, self.xtwy)
+            # Reject solutions from numerically singular systems.
+            if not np.all(np.isfinite(beta)):
+                raise np.linalg.LinAlgError
+        except np.linalg.LinAlgError:
+            beta = np.linalg.pinv(a) @ self.xtwy
+        return beta
+
+    def sse(self, ridge: float = 0.0) -> float:
+        """Weighted sum of squared errors ``q`` of the fitted model.
+
+        ``Y'WY − (X'WY)' β``, clamped at zero against round-off.
+        """
+        beta = self.solve(ridge=ridge)
+        return max(float(self.ytwy - self.xtwy @ beta), 0.0)
+
+    def mse(self, ridge: float = 0.0) -> float:
+        """Weighted mean squared error with ``n − p`` degrees of freedom.
+
+        Follows the paper: the weighted SSE divided by the residual degrees
+        of freedom.  Falls back to ``n`` when ``n <= p`` (the model
+        interpolates; error is reported against the sample size to stay
+        finite rather than raising).
+        """
+        dof = self.n - self.p
+        if dof <= 0:
+            dof = self.n
+        return self.sse(ridge=ridge) / dof
+
+    def rmse(self, ridge: float = 0.0) -> float:
+        return float(np.sqrt(self.mse(ridge=ridge)))
+
+    @property
+    def dof(self) -> int:
+        """Residual degrees of freedom (clamped to at least 1)."""
+        return max(self.n - self.p, 1)
+
+
+def add_intercept(x: np.ndarray) -> np.ndarray:
+    """Prepend the constant-1 column (footnote 1 of the paper)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise FitError(f"x must be 2-D, got shape {x.shape}")
+    return np.hstack([np.ones((x.shape[0], 1)), x])
+
+
+def prefix_stats(
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray | None = None,
+) -> list[LinearSuffStats]:
+    """Cumulative statistics ``stats[k] = g(rows 0..k-1)`` for k = 0..n.
+
+    Used by the RF bellwether tree's numeric-split search: after sorting
+    items by a feature, the statistics of every ``(left, right)`` partition
+    at every split point come from ``stats[k]`` and ``stats[n] - stats[k]``
+    in O(p^2) each instead of refitting from raw rows.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n, p = x.shape
+    if w is None:
+        w = np.ones(n)
+    out = [LinearSuffStats.zeros(p)]
+    xw = x * w[:, None]
+    # Cumulative outer products; p is small so this stays cheap.
+    cum_xtwx = np.cumsum(np.einsum("ij,ik->ijk", x, xw), axis=0)
+    cum_xtwy = np.cumsum(xw * y[:, None], axis=0)
+    cum_ytwy = np.cumsum(w * y * y)
+    cum_w = np.cumsum(w)
+    for k in range(1, n + 1):
+        out.append(
+            LinearSuffStats(
+                ytwy=float(cum_ytwy[k - 1]),
+                xtwx=cum_xtwx[k - 1],
+                xtwy=cum_xtwy[k - 1],
+                n=k,
+                sum_w=float(cum_w[k - 1]),
+            )
+        )
+    return out

@@ -1,0 +1,21 @@
+"""Training-data storage: in-memory and disk-resident region blocks."""
+
+from .block_store import (
+    DiskStore,
+    FilteredStore,
+    MemoryStore,
+    RegionBlock,
+    StorageError,
+    TrainingDataStore,
+)
+from .stats import IOStats
+
+__all__ = [
+    "DiskStore",
+    "FilteredStore",
+    "IOStats",
+    "MemoryStore",
+    "RegionBlock",
+    "StorageError",
+    "TrainingDataStore",
+]

@@ -1,0 +1,251 @@
+"""Training-data stores: per-region training sets, in memory or on disk.
+
+The *entire training data* (Section 5.2) is the collection of training sets
+for all feasible regions.  Bellwether algorithms access it through one of two
+patterns:
+
+* ``read(region)`` — fetch one region's block (what the naive algorithms do
+  per node/split/subset), and
+* ``scan()`` — stream every region's block once (what the RF tree does per
+  level and the cube algorithms do once).
+
+Both stores count these accesses via :class:`~repro.storage.stats.IOStats`.
+:class:`DiskStore` spills blocks to ``.npz`` files, giving the "every request
+is a disk read" regime of Section 7.4.1 for the Figure 11(a) comparison.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.dimensions import Region
+
+from .stats import IOStats
+
+
+class StorageError(Exception):
+    """A store was used inconsistently (unknown region, bad directory, ...)."""
+
+
+@dataclass(frozen=True)
+class RegionBlock:
+    """The training set generated from one region.
+
+    Attributes
+    ----------
+    item_ids:
+        Item ID per training example (one example per item in the region).
+    x:
+        ``(n, p)`` regional feature matrix (item-table features included).
+    y:
+        ``(n,)`` target values.
+    weights:
+        Optional per-example weights for weighted least squares
+        (Section 6.4's WLS extension); ``None`` means unit weights.
+    """
+
+    item_ids: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.item_ids)
+        if self.x.shape[0] != n or self.y.shape != (n,):
+            raise StorageError(
+                f"inconsistent block: ids={n}, x={self.x.shape}, y={self.y.shape}"
+            )
+        if self.weights is not None and self.weights.shape != (n,):
+            raise StorageError(
+                f"inconsistent block weights: {self.weights.shape} for {n} rows"
+            )
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.item_ids)
+
+    @property
+    def n_features(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        extra = self.weights.nbytes if self.weights is not None else 0
+        return self.item_ids.nbytes + self.x.nbytes + self.y.nbytes + extra
+
+    def restrict_to(self, item_ids: np.ndarray) -> "RegionBlock":
+        """The sub-block for a subset of items (S_r in the paper)."""
+        mask = np.isin(self.item_ids, item_ids)
+        return RegionBlock(
+            self.item_ids[mask],
+            self.x[mask],
+            self.y[mask],
+            None if self.weights is None else self.weights[mask],
+        )
+
+
+class TrainingDataStore:
+    """Interface shared by the in-memory and on-disk stores."""
+
+    feature_names: tuple[str, ...]
+    stats: IOStats
+
+    def regions(self) -> list[Region]:
+        raise NotImplementedError
+
+    def read(self, region: Region) -> RegionBlock:
+        raise NotImplementedError
+
+    def scan(self) -> Iterator[tuple[Region, RegionBlock]]:
+        """One pass over every region's block (counted as one full scan)."""
+        self.stats.record_full_scan()
+        for region in self.regions():
+            yield region, self._fetch(region)
+
+    def _fetch(self, region: Region) -> RegionBlock:
+        raise NotImplementedError
+
+    @property
+    def n_examples_total(self) -> int:
+        return sum(self._fetch(r).n_examples for r in self.regions())
+
+
+class MemoryStore(TrainingDataStore):
+    """All region blocks held in RAM (counts logical reads all the same)."""
+
+    def __init__(
+        self,
+        blocks: Mapping[Region, RegionBlock],
+        feature_names: Sequence[str],
+    ):
+        self._blocks = dict(blocks)
+        self.feature_names = tuple(feature_names)
+        self.stats = IOStats()
+        for block in self._blocks.values():
+            if block.n_features != len(self.feature_names):
+                raise StorageError(
+                    f"block has {block.n_features} features, "
+                    f"store declares {len(self.feature_names)}"
+                )
+
+    def regions(self) -> list[Region]:
+        return list(self._blocks)
+
+    def _fetch(self, region: Region) -> RegionBlock:
+        try:
+            return self._blocks[region]
+        except KeyError:
+            raise StorageError(f"unknown region {region}") from None
+
+    def read(self, region: Region) -> RegionBlock:
+        block = self._fetch(region)
+        self.stats.record_region_read(block.nbytes)
+        return block
+
+
+class FilteredStore(TrainingDataStore):
+    """A view of another store restricted to a subset of regions.
+
+    Used for budget sweeps: one materialized store serves every budget, with
+    a cheap per-budget view of the feasible regions.  I/O counts accrue to
+    this view's own stats.
+    """
+
+    def __init__(self, inner: TrainingDataStore, regions: Sequence[Region]):
+        known = set(inner.regions())
+        missing = [r for r in regions if r not in known]
+        if missing:
+            raise StorageError(f"regions not in the underlying store: {missing[:3]}")
+        self._inner = inner
+        self._regions = list(regions)
+        self.feature_names = inner.feature_names
+        self.stats = IOStats()
+
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def _fetch(self, region: Region) -> RegionBlock:
+        if region not in set(self._regions):
+            raise StorageError(f"region {region} filtered out of this view")
+        return self._inner._fetch(region)
+
+    def read(self, region: Region) -> RegionBlock:
+        block = self._fetch(region)
+        self.stats.record_region_read(block.nbytes)
+        return block
+
+
+class DiskStore(TrainingDataStore):
+    """Region blocks spilled to ``.npz`` files under a directory.
+
+    A pickle manifest maps regions to file names.  Every ``read``/``scan``
+    genuinely hits the filesystem — nothing is cached — so I/O counts match
+    physical behaviour.
+    """
+
+    _MANIFEST = "manifest.pkl"
+
+    def __init__(self, directory: str | Path):
+        self._dir = Path(directory)
+        manifest_path = self._dir / self._MANIFEST
+        if not manifest_path.exists():
+            raise StorageError(f"{self._dir} has no manifest; use DiskStore.create")
+        with manifest_path.open("rb") as f:
+            manifest = pickle.load(f)
+        self._files: dict[Region, str] = manifest["files"]
+        self.feature_names = tuple(manifest["feature_names"])
+        self.stats = IOStats()
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        blocks: Mapping[Region, RegionBlock],
+        feature_names: Sequence[str],
+    ) -> "DiskStore":
+        """Write all blocks and the manifest, then open the store."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        files: dict[Region, str] = {}
+        for i, (region, block) in enumerate(blocks.items()):
+            name = f"region_{i:06d}.npz"
+            arrays = {"item_ids": block.item_ids, "x": block.x, "y": block.y}
+            if block.weights is not None:
+                arrays["weights"] = block.weights
+            np.savez(directory / name, **arrays)
+            files[region] = name
+        with (directory / cls._MANIFEST).open("wb") as f:
+            pickle.dump(
+                {"files": files, "feature_names": tuple(feature_names)}, f
+            )
+        return cls(directory)
+
+    @classmethod
+    def from_memory(cls, directory: str | Path, store: MemoryStore) -> "DiskStore":
+        return cls.create(
+            directory,
+            {r: store._fetch(r) for r in store.regions()},
+            store.feature_names,
+        )
+
+    def regions(self) -> list[Region]:
+        return list(self._files)
+
+    def _fetch(self, region: Region) -> RegionBlock:
+        try:
+            name = self._files[region]
+        except KeyError:
+            raise StorageError(f"unknown region {region}") from None
+        with np.load(self._dir / name) as data:
+            weights = data["weights"] if "weights" in data.files else None
+            return RegionBlock(data["item_ids"], data["x"], data["y"], weights)
+
+    def read(self, region: Region) -> RegionBlock:
+        block = self._fetch(region)
+        self.stats.record_region_read(block.nbytes)
+        return block

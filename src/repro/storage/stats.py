@@ -1,0 +1,42 @@
+"""I/O accounting for training-data stores.
+
+The paper's efficiency claims are phrased in scans of the "entire training
+data" (the union of all feasible regions' training sets): the naive tree
+re-reads it per (node, split), the RF tree once per level, the cube
+algorithms once in total.  :class:`IOStats` makes those counts observable so
+the Lemma 1 / Lemma 2 scan bounds are tested, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Counters accumulated by a training-data store."""
+
+    region_reads: int = 0
+    full_scans: int = 0
+    bytes_read: int = 0
+
+    def record_region_read(self, n_bytes: int) -> None:
+        self.region_reads += 1
+        self.bytes_read += n_bytes
+
+    def record_full_scan(self) -> None:
+        self.full_scans += 1
+
+    def reset(self) -> None:
+        self.region_reads = 0
+        self.full_scans = 0
+        self.bytes_read = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.region_reads, self.full_scans, self.bytes_read)
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStats(region_reads={self.region_reads}, "
+            f"full_scans={self.full_scans}, bytes_read={self.bytes_read})"
+        )

@@ -1,0 +1,107 @@
+"""CSV load/save for tables and star schemas (round-trip safe)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .errors import SchemaError
+from .schema import ColumnType, Schema
+from .table import Table
+
+_TYPE_TAGS = {ColumnType.INT: "int", ColumnType.FLOAT: "float", ColumnType.STR: "str"}
+_TAG_TYPES = {v: k for k, v in _TYPE_TAGS.items()}
+
+
+def save_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a typed two-line header.
+
+    Line 1 holds column names, line 2 holds their types, so the file loads
+    back with the exact same schema.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.column_names)
+        writer.writerow(_TYPE_TAGS[table.schema.type_of(c)] for c in table.column_names)
+        columns = [table.column(c) for c in table.column_names]
+        for i in range(table.n_rows):
+            writer.writerow(col[i] for col in columns)
+
+
+def load_csv(path: str | Path) -> Table:
+    """Load a table previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            names = next(reader)
+            tags = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: missing typed CSV header") from None
+        if len(tags) != len(names):
+            raise SchemaError(f"{path}: header/type line length mismatch")
+        try:
+            types = [_TAG_TYPES[t] for t in tags]
+        except KeyError as exc:
+            raise SchemaError(f"{path}: unknown column type tag {exc}") from None
+        rows = list(reader)
+    schema = Schema(list(zip(names, types)))
+    columns: dict[str, np.ndarray] = {}
+    for j, (name, col_type) in enumerate(zip(names, types)):
+        raw = [row[j] for row in rows]
+        if col_type is ColumnType.INT:
+            columns[name] = np.array([int(v) for v in raw], dtype=np.int64)
+        elif col_type is ColumnType.FLOAT:
+            columns[name] = np.array([float(v) for v in raw], dtype=np.float64)
+        else:
+            columns[name] = np.array(raw, dtype=object)
+    if not rows:
+        return Table.empty(schema)
+    return Table(columns, schema=schema)
+
+
+def save_database(db, directory: str | Path) -> None:
+    """Persist a star schema: one CSV per table plus a JSON manifest.
+
+    The manifest records each reference table's key so :func:`load_database`
+    restores the exact :class:`~repro.table.Database` structure.
+    """
+    from .database import Database  # local import avoids a cycle
+
+    if not isinstance(db, Database):
+        raise SchemaError(f"expected a Database, got {type(db).__name__}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_csv(db.fact, directory / "fact.csv")
+    references = []
+    for name in db.reference_names:
+        ref = db.reference(name)
+        save_csv(ref.table, directory / f"ref_{name}.csv")
+        references.append({"name": name, "key": ref.key})
+    manifest = {"fact": "fact.csv", "references": references}
+    (directory / "database.json").write_text(json.dumps(manifest, indent=2))
+
+
+def load_database(directory: str | Path):
+    """Load a star schema previously written by :func:`save_database`."""
+    from .database import Database, Reference
+
+    directory = Path(directory)
+    manifest_path = directory / "database.json"
+    if not manifest_path.exists():
+        raise SchemaError(f"{directory}: no database.json manifest")
+    manifest = json.loads(manifest_path.read_text())
+    fact = load_csv(directory / manifest["fact"])
+    references = [
+        Reference(
+            entry["name"],
+            load_csv(directory / f"ref_{entry['name']}.csv"),
+            entry["key"],
+        )
+        for entry in manifest["references"]
+    ]
+    return Database(fact, references)

@@ -1,0 +1,140 @@
+"""The CUBE operator (Gray et al.) over flat grouping attributes.
+
+``cube(table, dims, aggs)`` computes one group-by per subset of ``dims``;
+rows belonging to a coarser grouping carry the placeholder :data:`ALL` in the
+rolled-up columns.  For distributive aggregates the coarser groupings are
+computed by *merging base cells* rather than rescanning the input, which is
+the standard data-cube optimization the paper leans on in Sections 4 and 6.
+
+Hierarchy- and interval-aware rollups (where a dimension value is a tree node
+or a prefix window rather than a plain attribute value) live in
+``repro.core.training_data``; this module is the flat-attribute substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from .aggregates import MERGE, AggregateSpec
+from .errors import AggregateError
+from .groupby import group_by
+from .table import Table
+
+#: Placeholder stored in a dimension column when that dimension is rolled up.
+ALL = "*"
+
+
+def _base_cells(table: Table, dims: Sequence[str], aggs: Sequence[AggregateSpec]) -> Table:
+    """Finest-grained group-by, with a helper row count for AVG rollup."""
+    specs = list(aggs)
+    helper_needed = any(a.func == "avg" for a in aggs)
+    if helper_needed:
+        specs = specs + [AggregateSpec("count", dims[0], alias="__cell_count__")]
+        specs = specs + [
+            AggregateSpec("sum", a.column, alias=f"__cell_sum__{a.alias}")
+            for a in aggs
+            if a.func == "avg"
+        ]
+    return group_by(table, dims, specs)
+
+
+def _rollup_from_base(
+    base: Table,
+    dims: Sequence[str],
+    keep: Sequence[str],
+    aggs: Sequence[AggregateSpec],
+) -> Table:
+    """Aggregate base cells up to the grouping ``keep`` ⊆ ``dims``."""
+    merge_specs: list[AggregateSpec] = []
+    for a in aggs:
+        if a.func == "count":
+            # Merging counts across base cells means summing them.
+            merge_specs.append(AggregateSpec("sum", a.alias, alias=a.alias))
+        elif a.func in MERGE:
+            merge_specs.append(AggregateSpec(a.func, a.alias, alias=a.alias))
+        elif a.func == "avg":
+            merge_specs.append(
+                AggregateSpec("sum", f"__cell_sum__{a.alias}", alias=f"__sum__{a.alias}")
+            )
+        else:
+            raise AggregateError(
+                f"aggregate {a.func!r} is not distributive/algebraic; "
+                "cube cannot roll it up from base cells"
+            )
+    if any(a.func == "avg" for a in aggs):
+        merge_specs.append(AggregateSpec("sum", "__cell_count__", alias="__count__"))
+    grouped = group_by(base, list(keep), merge_specs)
+    out: dict[str, np.ndarray] = {k: grouped.column(k) for k in keep}
+    for a in aggs:
+        if a.func == "avg":
+            out[a.alias] = grouped.column(f"__sum__{a.alias}") / grouped.column("__count__")
+        else:
+            out[a.alias] = grouped.column(a.alias)
+    return Table(out)
+
+
+def cube(
+    table: Table,
+    dims: Sequence[str],
+    aggs: Sequence[AggregateSpec],
+    include_dims: Sequence[Sequence[str]] | None = None,
+) -> Table:
+    """Compute CUBE(dims) with the given aggregates.
+
+    Parameters
+    ----------
+    include_dims:
+        Optional explicit list of groupings (each a subset of ``dims``) to
+        compute; defaults to all ``2^len(dims)`` subsets.
+
+    Returns a table with every column of ``dims`` (placeholder :data:`ALL`
+    where rolled up, so dimension columns come back as strings) plus one
+    column per aggregate alias.
+    """
+    dims = list(dims)
+    table.schema.require(*dims)
+    if include_dims is None:
+        groupings: list[tuple[str, ...]] = []
+        for k in range(len(dims), -1, -1):
+            groupings.extend(itertools.combinations(dims, k))
+    else:
+        groupings = [tuple(g) for g in include_dims]
+        for g in groupings:
+            unknown = set(g) - set(dims)
+            if unknown:
+                raise AggregateError(f"grouping {g} uses non-cube dims {unknown}")
+    mergeable = all(a.func in MERGE or a.func == "avg" for a in aggs)
+    base = _base_cells(table, dims, aggs) if mergeable and dims else None
+    pieces: list[Table] = []
+    for keep in groupings:
+        if base is not None:
+            grouped = _rollup_from_base(base, dims, list(keep), aggs)
+        else:
+            grouped = group_by(table, list(keep), list(aggs))
+        cols: dict[str, np.ndarray] = {}
+        for d in dims:
+            if d in keep:
+                cols[d] = grouped.column(d).astype(object).astype(str).astype(object)
+            else:
+                cols[d] = np.full(grouped.n_rows, ALL, dtype=object)
+        for a in aggs:
+            cols[a.alias] = grouped.column(a.alias)
+        pieces.append(Table(cols))
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.concat(piece)
+    return result
+
+
+def rollup(
+    table: Table,
+    dims: Sequence[str],
+    aggs: Sequence[AggregateSpec],
+) -> Table:
+    """SQL ROLLUP: only the prefix groupings (d1..dk for k = n..0)."""
+    dims = list(dims)
+    prefixes = [tuple(dims[:k]) for k in range(len(dims), -1, -1)]
+    return cube(table, dims, aggs, include_dims=prefixes)

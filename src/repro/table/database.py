@@ -1,0 +1,103 @@
+"""Star-schema database: one fact table plus key--foreign-key reference tables.
+
+Mirrors Section 4.1 of the paper: ``DB = {F, T1, ..., Tn}`` where ``F`` is
+the fact table (e.g. OrderTable) and each ``Ti`` is a reference table
+(e.g. ItemTable, AdTable) linked through a natural key--foreign-key join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import JoinError, SchemaError
+from .joins import natural_join
+from .table import Table
+
+
+@dataclass(frozen=True)
+class Reference:
+    """A reference (dimension-side) table and the key linking it to the fact."""
+
+    name: str
+    table: Table
+    key: str
+
+    def __post_init__(self) -> None:
+        self.table.schema.require(self.key)
+        keys = self.table.column(self.key)
+        if len(np.unique(keys.astype(str) if keys.dtype == object else keys)) != len(keys):
+            raise SchemaError(
+                f"reference table {self.name!r}: key {self.key!r} is not unique"
+            )
+
+
+class Database:
+    """A star schema: fact table + named reference tables.
+
+    Parameters
+    ----------
+    fact:
+        The fact table ``F`` (one row per transaction).
+    references:
+        Reference tables; each must expose its primary key, which must also
+        be a column of the fact table.
+    """
+
+    def __init__(self, fact: Table, references: list[Reference] | None = None):
+        self._fact = fact
+        self._references: dict[str, Reference] = {}
+        for ref in references or []:
+            self.add_reference(ref)
+
+    @property
+    def fact(self) -> Table:
+        return self._fact
+
+    @property
+    def reference_names(self) -> tuple[str, ...]:
+        return tuple(self._references)
+
+    def add_reference(self, ref: Reference) -> None:
+        if ref.name in self._references:
+            raise SchemaError(f"reference {ref.name!r} already registered")
+        self._fact.schema.require(ref.key)
+        self._references[ref.name] = ref
+
+    def reference(self, name: str) -> Reference:
+        try:
+            return self._references[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown reference table {name!r}; known: {self.reference_names}"
+            ) from None
+
+    def join_fact(self, *reference_names: str) -> Table:
+        """Fact table denormalized with the named reference tables."""
+        result = self._fact
+        for name in reference_names:
+            ref = self.reference(name)
+            result = natural_join(result, ref.table, on=[ref.key])
+        return result
+
+    def check_integrity(self) -> None:
+        """Raise :class:`JoinError` if any fact row dangles (FK without PK)."""
+        for name, ref in self._references.items():
+            fact_keys = self._fact.column(ref.key)
+            ref_keys = ref.table.column(ref.key)
+            if fact_keys.dtype == object:
+                missing = set(map(str, fact_keys)) - set(map(str, ref_keys))
+            else:
+                missing = set(np.setdiff1d(fact_keys, ref_keys).tolist())
+            if missing:
+                sample = sorted(missing)[:5]
+                raise JoinError(
+                    f"fact rows reference missing {name!r} keys, e.g. {sample}"
+                )
+
+    def __repr__(self) -> str:
+        refs = ", ".join(
+            f"{name}({ref.table.n_rows})" for name, ref in self._references.items()
+        )
+        return f"Database(fact={self._fact.n_rows} rows; refs: {refs})"

@@ -1,0 +1,28 @@
+"""Exceptions raised by the relational engine."""
+
+
+class TableError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SchemaError(TableError):
+    """A table was constructed or used with an inconsistent schema."""
+
+
+class ColumnNotFoundError(TableError, KeyError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, column: str, available: tuple[str, ...]):
+        self.column = column
+        self.available = available
+        super().__init__(
+            f"column {column!r} not found; available columns: {list(available)}"
+        )
+
+
+class JoinError(TableError):
+    """A join could not be performed (no common key, key not unique, ...)."""
+
+
+class AggregateError(TableError):
+    """An aggregate function was misused (unknown name, non-numeric input, ...)."""

@@ -1,0 +1,115 @@
+"""Group-by aggregation over columnar tables.
+
+The central primitive is :func:`group_codes`, which maps each row to a dense
+integer group id by factorizing the key columns.  Everything else — group-by,
+distinct, the CUBE operator — is built on top of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .aggregates import AggregateSpec, reducer
+from .errors import AggregateError
+from .schema import ColumnType, Schema
+from .table import Table
+
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode values as dense integer codes.
+
+    Returns ``(codes, uniques)`` where ``uniques[codes] == values``.
+    Object (string) columns are compared as strings.
+    """
+    if values.dtype == object:
+        uniques, codes = np.unique(values.astype(str), return_inverse=True)
+        return codes, uniques.astype(object)
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes, uniques
+
+
+def group_codes(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, Table]:
+    """Assign a dense group id to every row.
+
+    Returns ``(gids, groups)`` where ``gids`` has one entry per row of
+    ``table`` and ``groups`` is a table with one row per distinct key
+    combination, ordered by group id.
+    """
+    table.schema.require(*keys)
+    if not keys:
+        gids = np.zeros(table.n_rows, dtype=np.int64)
+        return gids, Table({}, schema=Schema([]))
+    per_key_codes = []
+    per_key_uniques = []
+    for key in keys:
+        codes, uniques = factorize(table.column(key))
+        per_key_codes.append(codes)
+        per_key_uniques.append(uniques)
+    combined = per_key_codes[0].astype(np.int64)
+    for codes, uniques in zip(per_key_codes[1:], per_key_uniques[1:]):
+        combined = combined * len(uniques) + codes
+    unique_combined, gids = np.unique(combined, return_inverse=True)
+    # Decode the combined radix code back into one representative per key.
+    group_cols: dict[str, np.ndarray] = {}
+    remaining = unique_combined.copy()
+    for key, uniques in zip(reversed(keys), reversed(per_key_uniques)):
+        base = len(uniques)
+        group_cols[key] = uniques[remaining % base]
+        remaining = remaining // base
+    groups = Table({key: group_cols[key] for key in keys})
+    return gids.astype(np.int64), groups
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggs: Sequence[AggregateSpec],
+) -> Table:
+    """SQL ``GROUP BY keys`` computing every aggregate in ``aggs``.
+
+    With an empty ``keys`` the whole table is a single group and the result
+    has exactly one row.
+    """
+    if not aggs:
+        raise AggregateError("group_by requires at least one aggregate")
+    for spec in aggs:
+        table.schema.require(spec.column)
+    gids, groups = group_codes(table, keys)
+    n_groups = max(groups.n_rows, 1) if not keys else groups.n_rows
+    if table.n_rows == 0:
+        schema = groups.schema
+        out = {k: groups.column(k) for k in groups.column_names}
+        for spec in aggs:
+            out[spec.alias] = np.empty(0, dtype=np.float64)
+            schema = schema.extended(spec.alias, ColumnType.FLOAT)
+        return Table(out, schema=schema)
+    order = np.argsort(gids, kind="stable")
+    sorted_gids = gids[order]
+    starts = np.flatnonzero(np.diff(sorted_gids, prepend=-1))
+    out: dict[str, np.ndarray] = {k: groups.column(k) for k in groups.column_names}
+    for spec in aggs:
+        values = table.column(spec.column)[order]
+        if values.dtype == object and spec.func not in ("count", "count_distinct"):
+            raise AggregateError(
+                f"aggregate {spec.func!r} needs a numeric column, "
+                f"{spec.column!r} is a string column"
+            )
+        out[spec.alias] = reducer(spec.func)(values, starts, n_groups)
+    return Table(out)
+
+
+def distinct_rows(table: Table) -> Table:
+    """Remove duplicate rows (considering all columns)."""
+    if table.n_rows == 0:
+        return table
+    gids, groups = group_codes(table, list(table.column_names))
+    return groups
+
+
+def count_rows_per_group(table: Table, keys: Sequence[str]) -> Table:
+    """Convenience: ``SELECT keys, COUNT(*) AS n FROM table GROUP BY keys``."""
+    first_col = table.column_names[0]
+    result = group_by(table, keys, [AggregateSpec("count", first_col, alias="n")])
+    return result

@@ -1,0 +1,84 @@
+"""Iceberg cube computation (Beyer & Ramakrishnan style, simplified).
+
+An *iceberg cube* keeps only the cube cells whose support (row count) reaches
+a threshold.  Because COUNT is anti-monotone along the grouping lattice —
+a coarser cell's count is the sum of its children's — we prune bottom-up:
+base cells below the threshold can still contribute to coarser cells, so
+pruning happens per grouping *after* merge, but the merge itself runs over
+base cells only (never rescanning the input), mirroring BUC's shared pass.
+
+The bellwether algorithms use this twice:
+
+* feasibility pruning of candidate regions (cost ≤ B, coverage ≥ C) in the
+  basic search (Section 4.2), and
+* selecting *significant* cube subsets of items (|S| ≥ K) for the bellwether
+  cube (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from .aggregates import AggregateSpec
+from .cube import ALL, cube
+from .groupby import group_by
+from .table import Table
+
+
+def iceberg_cube(
+    table: Table,
+    dims: Sequence[str],
+    min_count: int,
+    aggs: Sequence[AggregateSpec] = (),
+    count_alias: str = "support",
+) -> Table:
+    """All cube cells with at least ``min_count`` supporting rows.
+
+    The result always contains a ``count_alias`` column with the cell
+    support, plus any extra requested aggregates.
+    """
+    dims = list(dims)
+    all_aggs = [AggregateSpec("count", dims[0], alias=count_alias), *aggs]
+    full = cube(table, dims, all_aggs)
+    mask = full.column(count_alias) >= min_count
+    return full.select(mask)
+
+
+def iceberg_distinct_count(
+    table: Table,
+    dims: Sequence[str],
+    id_column: str,
+    min_distinct: int,
+    alias: str = "n_distinct",
+) -> Table:
+    """Cube cells whose *distinct* ``id_column`` count reaches a threshold.
+
+    COUNT DISTINCT is holistic, so each grouping is computed from the
+    deduplicated (dims, id) base relation rather than merged from base cells.
+    This evaluates the paper's coverage constraint
+    ``π_Z σ_{count(ID) ≥ C*} α_{Z, count(ID)} (F ⋈ I)``.
+    """
+    dims = list(dims)
+    table.schema.require(id_column, *dims)
+    dedup = table.project([*dims, id_column], distinct=True)
+    pieces: list[Table] = []
+    for k in range(len(dims), -1, -1):
+        for keep in itertools.combinations(dims, k):
+            grouped = group_by(
+                dedup, list(keep), [AggregateSpec("count_distinct", id_column, alias=alias)]
+            )
+            cols: dict[str, np.ndarray] = {}
+            for d in dims:
+                if d in keep:
+                    cols[d] = grouped.column(d).astype(object).astype(str).astype(object)
+                else:
+                    cols[d] = np.full(grouped.n_rows, ALL, dtype=object)
+            cols[alias] = grouped.column(alias)
+            pieces.append(Table(cols))
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.concat(piece)
+    return result.select(result.column(alias) >= min_distinct)

@@ -1,0 +1,184 @@
+"""Natural (key--foreign-key) joins, as used by the stylized feature queries.
+
+The paper's queries only join the fact table to reference tables through a
+foreign key that is the reference table's primary key (``F ⋈ T`` in its
+extended relational algebra).  :func:`natural_join` implements exactly that:
+an inner hash join where the join key must be unique on the *right* side.
+A general many-to-many :func:`inner_join` is also provided for completeness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .errors import JoinError
+from .groupby import factorize
+from .table import Table
+
+
+def _join_keys(left: Table, right: Table, on: Sequence[str] | None) -> list[str]:
+    if on is not None:
+        keys = list(on)
+    else:
+        keys = [c for c in left.column_names if c in right.schema]
+    if not keys:
+        raise JoinError(
+            f"no common columns between {left.column_names} and {right.column_names}"
+        )
+    left.schema.require(*keys)
+    right.schema.require(*keys)
+    return keys
+
+
+def _encode_rows(table: Table, keys: Sequence[str], dictionaries: list[np.ndarray] | None = None):
+    """Encode each row's key tuple as one integer.
+
+    When ``dictionaries`` is given (from the other side of the join), values
+    outside the dictionary get code -1 so they never match.
+    """
+    codes = np.zeros(table.n_rows, dtype=np.int64)
+    dicts_out: list[np.ndarray] = []
+    valid = np.ones(table.n_rows, dtype=bool)
+    for j, key in enumerate(keys):
+        values = table.column(key)
+        if dictionaries is None:
+            col_codes, uniques = factorize(values)
+        else:
+            uniques = dictionaries[j]
+            lookup = values.astype(str) if values.dtype == object else values
+            reference = uniques.astype(str) if uniques.dtype == object else uniques
+            positions = np.searchsorted(reference, lookup)
+            positions = np.clip(positions, 0, len(reference) - 1)
+            found = reference[positions] == lookup if len(reference) else np.zeros(len(lookup), dtype=bool)
+            col_codes = np.where(found, positions, 0)
+            valid &= np.asarray(found, dtype=bool)
+        dicts_out.append(uniques)
+        codes = codes * max(len(uniques), 1) + col_codes
+    return codes, valid, dicts_out
+
+
+def natural_join(left: Table, right: Table, on: Sequence[str] | None = None) -> Table:
+    """Key--foreign-key natural join.
+
+    Every row of ``left`` is matched to *at most one* row of ``right``; rows
+    without a match are dropped (inner join).  Raises :class:`JoinError` if
+    the key is not unique in ``right``.  Non-key columns of ``right`` are
+    appended to the result; name clashes outside the key are an error.
+    """
+    keys = _join_keys(left, right, on)
+    clash = [
+        c for c in right.column_names
+        if c not in keys and c in left.schema
+    ]
+    if clash:
+        raise JoinError(f"non-key columns appear on both sides: {clash}")
+    right_codes, __, dictionaries = _encode_rows(right, keys)
+    if len(np.unique(right_codes)) != right.n_rows:
+        raise JoinError(f"join key {keys} is not unique in the right table")
+    left_codes, valid, __ = _encode_rows(left, keys, dictionaries)
+    # Map each left code to the matching right row (or drop it).
+    order = np.argsort(right_codes)
+    sorted_codes = right_codes[order]
+    positions = np.searchsorted(sorted_codes, left_codes)
+    positions = np.clip(positions, 0, max(len(sorted_codes) - 1, 0))
+    if len(sorted_codes):
+        matched = valid & (sorted_codes[positions] == left_codes)
+    else:
+        matched = np.zeros(left.n_rows, dtype=bool)
+    left_rows = np.flatnonzero(matched)
+    right_rows = order[positions[matched]]
+    result = left.take(left_rows)
+    for name in right.column_names:
+        if name in keys:
+            continue
+        result = result.with_column(name, right.column(name)[right_rows])
+    return result
+
+
+def inner_join(left: Table, right: Table, on: Sequence[str] | None = None) -> Table:
+    """General inner equi-join (right key may repeat)."""
+    keys = _join_keys(left, right, on)
+    clash = [c for c in right.column_names if c not in keys and c in left.schema]
+    if clash:
+        raise JoinError(f"non-key columns appear on both sides: {clash}")
+    right_codes, __, dictionaries = _encode_rows(right, keys)
+    left_codes, valid, __ = _encode_rows(left, keys, dictionaries)
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    lo = np.searchsorted(sorted_codes, left_codes, side="left")
+    hi = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = np.where(valid, hi - lo, 0)
+    left_rows = np.repeat(np.arange(left.n_rows), counts)
+    right_rows = np.concatenate(
+        [order[lo[i]:hi[i]] for i in np.flatnonzero(counts)]
+    ) if counts.sum() else np.empty(0, dtype=np.int64)
+    result = left.take(left_rows)
+    for name in right.column_names:
+        if name in keys:
+            continue
+        result = result.with_column(name, right.column(name)[right_rows])
+    return result
+
+
+def left_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None = None,
+    fill: float = np.nan,
+) -> Table:
+    """Left outer key--foreign-key join.
+
+    Like :func:`natural_join` but unmatched left rows are kept; their
+    right-side numeric columns take ``fill`` and string columns take ``""``.
+    """
+    keys = _join_keys(left, right, on)
+    clash = [c for c in right.column_names if c not in keys and c in left.schema]
+    if clash:
+        raise JoinError(f"non-key columns appear on both sides: {clash}")
+    right_codes, __, dictionaries = _encode_rows(right, keys)
+    if len(np.unique(right_codes)) != right.n_rows:
+        raise JoinError(f"join key {keys} is not unique in the right table")
+    left_codes, valid, __ = _encode_rows(left, keys, dictionaries)
+    order = np.argsort(right_codes)
+    sorted_codes = right_codes[order]
+    positions = np.searchsorted(sorted_codes, left_codes)
+    positions = np.clip(positions, 0, max(len(sorted_codes) - 1, 0))
+    if len(sorted_codes):
+        matched = valid & (sorted_codes[positions] == left_codes)
+        right_rows = order[positions]
+    else:
+        matched = np.zeros(left.n_rows, dtype=bool)
+        right_rows = np.zeros(left.n_rows, dtype=np.int64)
+    result = left
+    from .schema import ColumnType
+
+    for name in right.column_names:
+        if name in keys:
+            continue
+        source = right.column(name)
+        is_str = right.schema.type_of(name) is ColumnType.STR
+        if right.n_rows == 0:
+            values = (
+                np.full(left.n_rows, "", dtype=object)
+                if is_str
+                else np.full(left.n_rows, fill)
+            )
+        elif is_str:
+            values = np.where(matched, source[right_rows], "").astype(object)
+        else:
+            values = np.where(
+                matched, source[right_rows].astype(np.float64), fill
+            )
+        result = result.with_column(name, values)
+    return result
+
+
+def semi_join(left: Table, right: Table, on: Sequence[str] | None = None) -> Table:
+    """Rows of ``left`` that have at least one match in ``right``."""
+    keys = _join_keys(left, right, on)
+    right_codes, __, dictionaries = _encode_rows(right, keys)
+    left_codes, valid, __ = _encode_rows(left, keys, dictionaries)
+    matched = valid & np.isin(left_codes, right_codes)
+    return left.take(np.flatnonzero(matched))

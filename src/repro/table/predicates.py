@@ -1,0 +1,160 @@
+"""Row predicates for relational selection.
+
+Predicates are small composable objects producing a boolean mask over a
+table.  The paper's stylized queries only need equality, membership and range
+tests combined with conjunction, which is what we provide — plus an escape
+hatch (:class:`Where`) for arbitrary vectorized conditions.
+
+Example
+-------
+>>> from repro.table import Table
+>>> t = Table({"item": [1, 2, 3], "profit": [10.0, 20.0, 30.0]})
+>>> t.select(Eq("item", 2) | Eq("item", 3)).n_rows
+2
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .table import Table
+
+
+class Predicate:
+    """Base class: a boolean condition over the rows of a table."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        """Boolean array with one entry per row of ``table``."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Eq(Predicate):
+    """``column == value``."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.column) == self.value
+
+    def __repr__(self) -> str:
+        return f"Eq({self.column!r}, {self.value!r})"
+
+
+class In(Predicate):
+    """``column IN values``."""
+
+    def __init__(self, column: str, values: Iterable[Any]):
+        self.column = column
+        self.values = frozenset(values)
+
+    def mask(self, table: "Table") -> np.ndarray:
+        col = table.column(self.column)
+        if col.dtype == object:
+            values = self.values
+            return np.fromiter((v in values for v in col), dtype=bool, count=len(col))
+        return np.isin(col, list(self.values))
+
+    def __repr__(self) -> str:
+        return f"In({self.column!r}, {sorted(map(repr, self.values))})"
+
+
+class Between(Predicate):
+    """``lo <= column <= hi`` (inclusive on both ends)."""
+
+    def __init__(self, column: str, lo: Any, hi: Any):
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+
+    def mask(self, table: "Table") -> np.ndarray:
+        col = table.column(self.column)
+        return (col >= self.lo) & (col <= self.hi)
+
+    def __repr__(self) -> str:
+        return f"Between({self.column!r}, {self.lo!r}, {self.hi!r})"
+
+
+class Ge(Predicate):
+    """``column >= value``."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.column) >= self.value
+
+
+class Lt(Predicate):
+    """``column < value``."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.column) < self.value
+
+
+class Where(Predicate):
+    """Arbitrary vectorized condition ``fn(table) -> bool array``."""
+
+    def __init__(self, fn: Callable[["Table"], np.ndarray]):
+        self.fn = fn
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return np.asarray(self.fn(table), dtype=bool)
+
+
+class And(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts = parts
+
+    def mask(self, table: "Table") -> np.ndarray:
+        result = self.parts[0].mask(table)
+        for part in self.parts[1:]:
+            result = result & part.mask(table)
+        return result
+
+    def __repr__(self) -> str:
+        return " & ".join(map(repr, self.parts))
+
+
+class Or(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts = parts
+
+    def mask(self, table: "Table") -> np.ndarray:
+        result = self.parts[0].mask(table)
+        for part in self.parts[1:]:
+            result = result | part.mask(table)
+        return result
+
+    def __repr__(self) -> str:
+        return " | ".join(map(repr, self.parts))
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.inner.mask(table)
+
+    def __repr__(self) -> str:
+        return f"~({self.inner!r})"

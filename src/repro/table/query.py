@@ -1,0 +1,145 @@
+"""A small fluent query builder over tables and star schemas.
+
+The bellwether algorithms use the engine's primitives directly, but a
+downstream user exploring a star schema wants the usual SQL-shaped surface:
+
+>>> from repro.table import Table, Query, Eq
+>>> orders = Table({"item": [1, 1, 2], "state": ["WI", "MD", "WI"],
+...                 "profit": [10.0, 20.0, 30.0]})
+>>> result = (Query(orders)
+...           .where(Eq("state", "WI"))
+...           .group_by("item")
+...           .agg("sum", "profit", alias="total")
+...           .order_by("total", descending=True)
+...           .run())
+>>> [int(i) for i in result["item"]]
+[2, 1]
+>>> [float(t) for t in result["total"]]
+[30.0, 10.0]
+
+Queries are immutable: every clause returns a new query, so partial queries
+can be shared and extended safely.  ``Query.over(db)`` starts from a star
+schema and ``join()`` pulls in reference tables by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .aggregates import AggregateSpec
+from .database import Database
+from .errors import SchemaError
+from .groupby import group_by
+from .joins import natural_join
+from .predicates import Predicate
+from .table import Table
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable, composable query over a :class:`Table`."""
+
+    source: Table
+    _db: Database | None = None
+    _joins: tuple[str, ...] = ()
+    _filters: tuple[Predicate, ...] = ()
+    _group_keys: tuple[str, ...] | None = None
+    _aggs: tuple[AggregateSpec, ...] = ()
+    _projection: tuple[str, ...] | None = None
+    _distinct: bool = False
+    _order: tuple[tuple[str, bool], ...] = ()  # (column, descending)
+    _limit: int | None = None
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def over(cls, db: Database) -> "Query":
+        """Start a query from a star schema's fact table."""
+        return cls(db.fact, _db=db)
+
+    def join(self, reference: str) -> "Query":
+        """Natural-join a named reference table (star schemas only)."""
+        if self._db is None:
+            raise SchemaError("join(name) requires Query.over(database)")
+        self._db.reference(reference)  # validate eagerly
+        return replace(self, _joins=(*self._joins, reference))
+
+    def where(self, predicate: Predicate) -> "Query":
+        return replace(self, _filters=(*self._filters, predicate))
+
+    def group_by(self, *keys: str) -> "Query":
+        return replace(self, _group_keys=tuple(keys))
+
+    def agg(self, func: str, column: str, alias: str = "") -> "Query":
+        spec = AggregateSpec(func, column, alias=alias)
+        return replace(self, _aggs=(*self._aggs, spec))
+
+    def select(self, *columns: str) -> "Query":
+        return replace(self, _projection=tuple(columns))
+
+    def distinct(self) -> "Query":
+        return replace(self, _distinct=True)
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        return replace(self, _order=(*self._order, (column, descending)))
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise SchemaError(f"limit must be >= 0, got {n}")
+        return replace(self, _limit=n)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> Table:
+        """Execute: join -> filter -> aggregate/project -> order -> limit."""
+        table = self.source
+        for name in self._joins:
+            ref = self._db.reference(name)
+            table = natural_join(table, ref.table, on=[ref.key])
+        for predicate in self._filters:
+            table = table.select(predicate)
+        if self._aggs and self._group_keys is None:
+            table = group_by(table, [], list(self._aggs))
+        elif self._group_keys is not None:
+            if not self._aggs:
+                raise SchemaError("group_by() requires at least one agg()")
+            table = group_by(table, list(self._group_keys), list(self._aggs))
+        if self._projection is not None:
+            table = table.project(list(self._projection), distinct=self._distinct)
+        elif self._distinct:
+            table = table.project(list(table.column_names), distinct=True)
+        for column, descending in reversed(self._order):
+            table = table.sort_by(column)
+            if descending:
+                table = table.take(np.arange(table.n_rows - 1, -1, -1))
+        if self._limit is not None:
+            table = table.take(np.arange(min(self._limit, table.n_rows)))
+        return table
+
+    # ------------------------------------------------------------ convenience
+
+    def count(self) -> int:
+        """Number of result rows."""
+        return self.run().n_rows
+
+    def scalar(self):
+        """The single value of a 1x1 result (e.g. one global aggregate)."""
+        result = self.run()
+        if result.n_rows != 1 or len(result.column_names) != 1:
+            raise SchemaError(
+                f"scalar() needs a 1x1 result, got "
+                f"{result.n_rows}x{len(result.column_names)}"
+            )
+        return result.column(result.column_names[0])[0]
+
+    def __repr__(self) -> str:
+        parts = [f"Query({self.source!r}"]
+        if self._joins:
+            parts.append(f"join={list(self._joins)}")
+        if self._filters:
+            parts.append(f"where={len(self._filters)} predicates")
+        if self._group_keys is not None:
+            parts.append(f"group_by={list(self._group_keys)}")
+        return ", ".join(parts) + ")"

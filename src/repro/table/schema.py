@@ -1,0 +1,110 @@
+"""Schema description for columnar tables.
+
+A :class:`Schema` is an ordered mapping from column names to
+:class:`ColumnType`.  The engine stores every column as a numpy array whose
+dtype is derived from the column type:
+
+* ``INT``    -> ``int64``
+* ``FLOAT``  -> ``float64``
+* ``STR``    -> ``object`` (Python strings)
+
+The schema is deliberately tiny: the bellwether workloads only need numeric
+measures, integer keys/time points and string dimension members.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from .errors import ColumnNotFoundError, SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a table column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype used to store columns of this type."""
+        if self is ColumnType.INT:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is not ColumnType.STR
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "ColumnType":
+        """Infer the logical type of an existing numpy array."""
+        if np.issubdtype(values.dtype, np.integer) or values.dtype == np.bool_:
+            return cls.INT
+        if np.issubdtype(values.dtype, np.floating):
+            return cls.FLOAT
+        return cls.STR
+
+
+class Schema:
+    """An ordered set of (column name, column type) pairs."""
+
+    def __init__(self, columns: Mapping[str, ColumnType] | Iterable[tuple[str, ColumnType]]):
+        items = list(columns.items()) if isinstance(columns, Mapping) else list(columns)
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._types: dict[str, ColumnType] = dict(items)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._types == other._types
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}: {t.value}" for n, t in self._types.items())
+        return f"Schema({cols})"
+
+    def type_of(self, name: str) -> ColumnType:
+        """Return the type of a column, raising if it does not exist."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self.names) from None
+
+    def require(self, *names: str) -> None:
+        """Raise :class:`ColumnNotFoundError` unless every name is present."""
+        for name in names:
+            if name not in self._types:
+                raise ColumnNotFoundError(name, self.names)
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """A new schema restricted (and reordered) to ``names``."""
+        names = list(names)
+        self.require(*names)
+        return Schema([(n, self._types[n]) for n in names])
+
+    def extended(self, name: str, column_type: ColumnType) -> "Schema":
+        """A new schema with one extra column appended."""
+        if name in self._types:
+            raise SchemaError(f"column {name!r} already exists")
+        return Schema([*self._types.items(), (name, column_type)])

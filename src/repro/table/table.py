@@ -1,0 +1,234 @@
+"""A minimal columnar, numpy-backed table.
+
+The bellwether algorithms need a relational substrate supporting selection,
+projection, natural key--foreign-key joins, group-by aggregation and CUBE
+computation over a star schema.  :class:`Table` provides the storage layer and
+row-level operations; joins, group-by and cube live in sibling modules.
+
+Columns are immutable by convention: operations return new tables that may
+share column arrays with their inputs, so callers must not mutate the arrays
+they get back from :meth:`Table.column`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from .errors import ColumnNotFoundError, SchemaError
+from .predicates import Predicate
+from .schema import ColumnType, Schema
+
+
+def _coerce(values: Any, column_type: ColumnType | None) -> tuple[np.ndarray, ColumnType]:
+    """Turn an arbitrary sequence into a 1-D numpy column of a known type."""
+    if column_type is not None:
+        arr = np.asarray(values, dtype=column_type.dtype)
+        return arr, column_type
+    arr = np.asarray(values)
+    if arr.dtype == object or arr.dtype.kind in ("U", "S"):
+        arr = np.asarray(values, dtype=object)
+        return arr, ColumnType.STR
+    inferred = ColumnType.from_array(arr)
+    return arr.astype(inferred.dtype, copy=False), inferred
+
+
+class Table:
+    """An immutable columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a 1-D sequence of values.  All columns
+        must have the same length.
+    schema:
+        Optional explicit :class:`Schema`.  When omitted, column types are
+        inferred from the data (integers -> INT, floats -> FLOAT, everything
+        else -> STR).
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, Any],
+        schema: Schema | None = None,
+    ):
+        data: dict[str, np.ndarray] = {}
+        types: list[tuple[str, ColumnType]] = []
+        n_rows: int | None = None
+        for name, values in columns.items():
+            declared = schema.type_of(name) if schema is not None else None
+            arr, col_type = _coerce(values, declared)
+            if arr.ndim != 1:
+                raise SchemaError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            if n_rows is None:
+                n_rows = len(arr)
+            elif len(arr) != n_rows:
+                raise SchemaError(
+                    f"column {name!r} has {len(arr)} rows, expected {n_rows}"
+                )
+            data[name] = arr
+            types.append((name, col_type))
+        if schema is not None and set(schema.names) != set(data):
+            raise SchemaError(
+                f"schema columns {schema.names} do not match data columns {tuple(data)}"
+            )
+        self._data = data
+        self._schema = Schema(types)
+        self._n_rows = n_rows or 0
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schema
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows, {list(self.column_names)})"
+
+    def column(self, name: str) -> np.ndarray:
+        """The backing array of one column (do not mutate)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self.column_names) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        return cls(
+            {name: np.empty(0, dtype=t.dtype) for name, t in schema},
+            schema=schema,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Any]],
+        schema: Schema,
+    ) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        rows = list(rows)
+        names = schema.names
+        if rows and len(rows[0]) != len(names):
+            raise SchemaError(
+                f"rows have {len(rows[0])} fields, schema has {len(names)}"
+            )
+        columns = {
+            name: [row[j] for row in rows] for j, name in enumerate(names)
+        }
+        if not rows:
+            return cls.empty(schema)
+        return cls(columns, schema=schema)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over rows as tuples (column order = schema order)."""
+        arrays = [self._data[name] for name in self.column_names]
+        for i in range(self._n_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """One row as a name -> value dict."""
+        return {name: self._data[name][index] for name in self.column_names}
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Materialize all columns as Python lists (for tests / display)."""
+        return {name: list(self._data[name]) for name in self.column_names}
+
+    # ------------------------------------------------------------- operations
+
+    def select(self, condition: Predicate | np.ndarray) -> "Table":
+        """Relational selection: keep rows where the condition holds."""
+        mask = condition.mask(self) if isinstance(condition, Predicate) else np.asarray(condition)
+        if mask.dtype != np.bool_ or mask.shape != (self._n_rows,):
+            raise SchemaError(
+                f"selection mask must be bool of shape ({self._n_rows},), "
+                f"got {mask.dtype} {mask.shape}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Keep rows at the given positions (in the given order)."""
+        indices = np.asarray(indices)
+        return Table(
+            {name: arr[indices] for name, arr in self._data.items()},
+            schema=self._schema,
+        )
+
+    def project(self, names: Iterable[str], distinct: bool = False) -> "Table":
+        """Relational projection, optionally removing duplicate rows."""
+        names = list(names)
+        self._schema.require(*names)
+        projected = Table(
+            {name: self._data[name] for name in names},
+            schema=self._schema.subset(names),
+        )
+        if not distinct:
+            return projected
+        from .groupby import distinct_rows  # local import avoids a cycle
+
+        return distinct_rows(projected)
+
+    def with_column(self, name: str, values: Any, column_type: ColumnType | None = None) -> "Table":
+        """A new table with one extra column appended."""
+        if name in self._schema:
+            raise SchemaError(f"column {name!r} already exists")
+        arr, inferred = _coerce(values, column_type)
+        if len(arr) != self._n_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(arr)} rows, expected {self._n_rows}"
+            )
+        data = dict(self._data)
+        data[name] = arr
+        return Table(data, schema=self._schema.extended(name, inferred))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A new table with columns renamed according to ``mapping``."""
+        self._schema.require(*mapping)
+        new_names = [mapping.get(n, n) for n in self.column_names]
+        if len(set(new_names)) != len(new_names):
+            raise SchemaError(f"rename produces duplicate columns: {new_names}")
+        data = {mapping.get(n, n): arr for n, arr in self._data.items()}
+        types = [(mapping.get(n, n), self._schema.type_of(n)) for n in self.column_names]
+        return Table(data, schema=Schema(types))
+
+    def sort_by(self, *names: str) -> "Table":
+        """A new table with rows sorted lexicographically by the named columns."""
+        self._schema.require(*names)
+        if not names:
+            return self
+        keys = [self._data[n] for n in reversed(names)]
+        order = np.lexsort(keys)
+        return self.take(order)
+
+    def concat(self, other: "Table") -> "Table":
+        """Union-all of two tables with identical schemas."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"cannot concat tables with schemas {self._schema} and {other._schema}"
+            )
+        return Table(
+            {
+                name: np.concatenate([self._data[name], other._data[name]])
+                for name in self.column_names
+            },
+            schema=self._schema,
+        )

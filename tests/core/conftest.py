@@ -1,0 +1,100 @@
+"""Shared fixtures: a small hand-built star schema and its task/store."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregateTargetQuery,
+    BellwetherTask,
+    Criterion,
+    DistinctJoinAggregate,
+    FactAggregate,
+    JoinAggregate,
+    TrainingDataGenerator,
+    build_store,
+)
+from repro.dimensions import (
+    HierarchicalDimension,
+    IntervalDimension,
+    ProductCostModel,
+    RegionSpace,
+)
+from repro.ml import TrainingSetEstimator
+from repro.table import Database, Reference, Table
+
+N_ITEMS = 30
+N_WEEKS = 4
+STATES = ("WI", "IL", "NY", "MD")
+WEIGHTS = {"WI": 1.0, "IL": 2.0, "NY": 3.0, "MD": 0.5}
+
+
+@pytest.fixture(scope="session")
+def small_db() -> Database:
+    rng = np.random.default_rng(11)
+    n = 1200
+    fact = Table(
+        {
+            "item": rng.integers(1, N_ITEMS + 1, n),
+            "week": rng.integers(1, N_WEEKS + 1, n),
+            "state": rng.choice(STATES, n).astype(object),
+            "ad": rng.integers(0, 5, n),
+            "profit": rng.lognormal(2.0, 0.6, n),
+        }
+    )
+    ads = Table({"ad": np.arange(5), "adsize": [10.0, 25.0, 40.0, 55.0, 70.0]})
+    return Database(fact, [Reference("ads", ads, "ad")])
+
+
+@pytest.fixture(scope="session")
+def small_space() -> RegionSpace:
+    time = IntervalDimension("week", N_WEEKS, unit="week")
+    loc = HierarchicalDimension.from_spec(
+        "state",
+        {"MW": ["WI", "IL"], "NE": ["NY", "MD"]},
+        level_names=("All", "Division", "State"),
+    )
+    return RegionSpace([time, loc])
+
+
+@pytest.fixture(scope="session")
+def small_items() -> Table:
+    rng = np.random.default_rng(5)
+    return Table(
+        {
+            "item": np.arange(1, N_ITEMS + 1),
+            "category": rng.choice(["a", "b"], N_ITEMS).astype(object),
+            "rd": rng.normal(size=N_ITEMS),
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def small_task(small_db, small_space, small_items) -> BellwetherTask:
+    return BellwetherTask(
+        small_db,
+        small_space,
+        small_items,
+        "item",
+        target=AggregateTargetQuery("sum", "profit", "item"),
+        regional_features=[
+            FactAggregate("sum", "profit", "reg_profit"),
+            FactAggregate("count", "profit", "reg_orders"),
+            JoinAggregate("max", "adsize", "reg_max_ad", reference="ads"),
+            DistinctJoinAggregate("sum", "adsize", "reg_ad_total", reference="ads"),
+        ],
+        item_feature_attrs=("category", "rd"),
+        cost_model=ProductCostModel(small_space, WEIGHTS),
+        criterion=Criterion(min_coverage=0.2),
+        error_estimator=TrainingSetEstimator(),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_store(small_task):
+    store, costs, coverage = build_store(small_task)
+    return store, costs, coverage
+
+
+@pytest.fixture(scope="session")
+def small_generator(small_task) -> TrainingDataGenerator:
+    return TrainingDataGenerator(small_task)

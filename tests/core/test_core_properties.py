@@ -1,0 +1,121 @@
+"""Property-based tests over the bellwether core's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BasicBellwetherSearch
+from repro.core.tree import SplitCandidate
+from repro.dimensions import (
+    HierarchicalDimension,
+    Interval,
+    IntervalDimension,
+    RegionSpace,
+)
+from repro.table import Table
+
+
+@st.composite
+def fact_tables(draw):
+    n = draw(st.integers(1, 80))
+    seed = draw(st.integers(0, 5000))
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "item": rng.integers(1, 8, n),
+            "week": rng.integers(1, 5, n),
+            "state": rng.choice(["WI", "IL", "NY", "MD"], n).astype(object),
+            "profit": rng.normal(size=n),
+        }
+    )
+
+
+def _space() -> RegionSpace:
+    time = IntervalDimension("week", 4)
+    loc = HierarchicalDimension.from_spec(
+        "state", {"MW": ["WI", "IL"], "NE": ["NY", "MD"]},
+        level_names=("All", "Division", "State"),
+    )
+    return RegionSpace([time, loc])
+
+
+@given(fact_tables())
+@settings(max_examples=40, deadline=None)
+def test_region_masks_nest_along_prefixes(fact):
+    """[1-t, node] rows ⊆ [1-(t+1), node] rows — windows only grow."""
+    space = _space()
+    for node in ("WI", "MW", "All"):
+        prev = None
+        for t in range(1, 5):
+            mask = space.mask(fact, space.region(t, node))
+            if prev is not None:
+                assert (prev <= mask).all()
+            prev = mask
+
+
+@given(fact_tables())
+@settings(max_examples=40, deadline=None)
+def test_region_masks_nest_up_hierarchy(fact):
+    """[t, state] rows ⊆ [t, division] ⊆ [t, All]."""
+    space = _space()
+    for t in (1, 4):
+        wi = space.mask(fact, space.region(t, "WI"))
+        mw = space.mask(fact, space.region(t, "MW"))
+        top = space.mask(fact, space.region(t, "All"))
+        assert (wi <= mw).all()
+        assert (mw <= top).all()
+
+
+@given(fact_tables())
+@settings(max_examples=40, deadline=None)
+def test_sibling_state_masks_partition_division(fact):
+    space = _space()
+    wi = space.mask(fact, space.region(4, "WI"))
+    il = space.mask(fact, space.region(4, "IL"))
+    mw = space.mask(fact, space.region(4, "MW"))
+    assert not (wi & il).any()
+    assert ((wi | il) == mw).all()
+
+
+@st.composite
+def split_inputs(draw):
+    kind = draw(st.sampled_from(["cat", "num"]))
+    n = draw(st.integers(1, 40))
+    if kind == "cat":
+        cats = tuple(sorted(draw(
+            st.sets(st.sampled_from(list("abcdef")), min_size=2, max_size=4)
+        )))
+        values = np.array(
+            draw(st.lists(st.sampled_from(cats), min_size=n, max_size=n)),
+            dtype=object,
+        )
+        return SplitCandidate("f", "cat", categories=cats), values
+    threshold = draw(st.floats(-2, 2))
+    values = np.array(
+        draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n))
+    )
+    return SplitCandidate("f", "num", threshold=threshold), values
+
+
+@given(split_inputs())
+@settings(max_examples=60, deadline=None)
+def test_split_partition_matches_scalar_route(case):
+    """Vectorized partition() agrees with per-value route()."""
+    split, values = case
+    children = split.partition(values)
+    for value, child in zip(values, children):
+        assert split.route(value) == child
+    assert set(children) <= set(range(split.n_children()))
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_interval_containment_consistent(seed):
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(1, 10))
+    end = int(rng.integers(start, 12))
+    iv = Interval(start, end)
+    for t in range(1, 14):
+        assert iv.contains_point(t) == (start <= t <= end)
+    assert iv.length == end - start + 1

@@ -1,0 +1,148 @@
+"""Tests for bellwether cube construction, crosstab views and prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherCubeBuilder, CubePredictor, SearchError, TaskError
+from repro.dimensions import CubeSubset, HierarchicalDimension, ItemHierarchies
+
+
+@pytest.fixture(scope="module")
+def hierarchies() -> ItemHierarchies:
+    cat = HierarchicalDimension.from_spec(
+        "category", {"Either": ["a", "b"]},
+        level_names=("Any", "Side", "Category"), root_name="Any",
+    )
+    return ItemHierarchies([cat])
+
+
+@pytest.fixture(scope="module")
+def cube_builder(small_task, small_store, hierarchies):
+    store, __, __ = small_store
+    return BellwetherCubeBuilder(
+        small_task, store, hierarchies, min_subset_size=5
+    )
+
+
+@pytest.fixture(scope="module")
+def cube(cube_builder):
+    return cube_builder.build(method="optimized")
+
+
+class TestSignificance:
+    def test_significant_subsets_have_enough_items(self, cube_builder, small_task, hierarchies):
+        for subset in cube_builder.significant_subsets:
+            n = int(hierarchies.member_mask(small_task.item_table, subset).sum())
+            assert n >= cube_builder.min_subset_size
+
+    def test_top_subset_always_significant(self, cube_builder, small_task):
+        top = [s for s in cube_builder.significant_subsets if s.level == (0,)]
+        assert len(top) == 1
+        assert top[0].nodes == ("Any",)
+
+    def test_threshold_excludes_small_subsets(self, small_task, small_store, hierarchies):
+        store, __, __ = small_store
+        big_k = BellwetherCubeBuilder(
+            small_task, store, hierarchies, min_subset_size=10_000
+        )
+        assert big_k.significant_subsets == []
+
+
+class TestBuild:
+    def test_every_entry_resolved(self, cube):
+        assert len(cube) > 0
+        for subset in cube.subsets:
+            entry = cube.entry(subset)
+            assert entry.found
+            assert np.isfinite(entry.error.rmse)
+
+    def test_contains_and_len(self, cube):
+        assert cube.subsets[0] in cube
+        assert len(cube) == len(cube.subsets)
+
+    def test_unknown_subset_rejected(self, cube):
+        with pytest.raises(SearchError):
+            cube.entry(CubeSubset(("Mars",), (0,)))
+
+    def test_unknown_method_rejected(self, cube_builder):
+        with pytest.raises(TaskError):
+            cube_builder.build(method="bogus")
+
+    def test_missing_hierarchy_attr_rejected(self, small_task, small_store):
+        store, __, __ = small_store
+        bad = ItemHierarchies(
+            [
+                HierarchicalDimension.from_spec(
+                    "ghost", {"X": ["p"]}, level_names=("Any", "S", "L"),
+                    root_name="Any",
+                )
+            ]
+        )
+        with pytest.raises(Exception):
+            BellwetherCubeBuilder(small_task, store, bad)
+
+
+class TestViews:
+    def test_crosstab_levels(self, cube):
+        finest = cube.crosstab((2,))
+        coarsest = cube.crosstab((0,))
+        assert len(coarsest) == 1
+        assert all(e.subset.level == (2,) for e in finest)
+
+    def test_drilldown_returns_finer_nested_entries(self, cube):
+        top = cube.entry(CubeSubset(("Any",), (0,)))
+        children = cube.drilldown(top.subset)
+        for e in children:
+            assert sum(e.subset.level) == 1
+
+
+class TestPrediction:
+    def test_choose_subset_prefers_low_upper_bound(self, cube):
+        entry = cube.choose_subset({"category": "a"})
+        candidates = [
+            cube.entry(s)
+            for s in cube.hierarchies.subsets_containing({"category": "a"})
+            if s in cube
+        ]
+        best_upper = min(
+            e.error.upper(cube.confidence) for e in candidates if e.found
+        )
+        assert entry.error.upper(cube.confidence) == pytest.approx(best_upper)
+
+    def test_predictor_outputs_finite(self, cube, small_task, small_store):
+        store, __, __ = small_store
+        predictor = CubePredictor(cube, small_task, store)
+        for item_id in list(small_task.item_ids)[:8]:
+            assert np.isfinite(predictor.predict(item_id))
+
+    def test_region_for(self, cube, small_task, small_store):
+        store, __, __ = small_store
+        predictor = CubePredictor(cube, small_task, store)
+        item = small_task.item_ids[0]
+        assert predictor.region_for(item) in set(store.regions())
+
+    def test_no_candidates_raises(self, cube):
+        with pytest.raises(Exception):
+            cube.choose_subset({"category": "not-a-leaf"})
+
+
+class TestSubsetRestriction:
+    def test_item_ids_subset_changes_significance(
+        self, small_task, small_store, hierarchies
+    ):
+        store, __, __ = small_store
+        subset_ids = list(np.asarray(small_task.item_ids)[:12])
+        builder = BellwetherCubeBuilder(
+            small_task, store, hierarchies, min_subset_size=5,
+            item_ids=subset_ids,
+        )
+        for __, __, keep in builder._levels:
+            for __, ___, n_items in keep:
+                assert n_items <= 12
+
+    def test_unknown_item_ids_rejected(self, small_task, small_store, hierarchies):
+        store, __, __ = small_store
+        with pytest.raises(TaskError):
+            BellwetherCubeBuilder(
+                small_task, store, hierarchies, item_ids=[424242]
+            )

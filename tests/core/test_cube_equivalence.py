@@ -1,0 +1,71 @@
+"""Lemma 2 and Theorem 1 in action: cube algorithm equivalences."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherCubeBuilder
+from repro.dimensions import HierarchicalDimension, ItemHierarchies
+
+
+@pytest.fixture(scope="module")
+def hierarchies() -> ItemHierarchies:
+    cat = HierarchicalDimension.from_spec(
+        "category", {"Either": ["a", "b"]},
+        level_names=("Any", "Side", "Category"), root_name="Any",
+    )
+    return ItemHierarchies([cat])
+
+
+@pytest.fixture(scope="module")
+def builder(small_task, small_store, hierarchies):
+    store, __, __ = small_store
+    # the session task uses TrainingSetEstimator, which all three share
+    return BellwetherCubeBuilder(small_task, store, hierarchies, min_subset_size=5)
+
+
+def _regions(cube):
+    return {str(s): str(cube.entry(s).region) for s in cube.subsets}
+
+
+def _errors(cube):
+    return {str(s): cube.entry(s).error.rmse for s in cube.subsets}
+
+
+class TestLemma2:
+    def test_single_scan_equals_naive(self, builder):
+        naive = builder.build(method="naive")
+        single = builder.build(method="single_scan")
+        assert _regions(naive) == _regions(single)
+        for key, err in _errors(naive).items():
+            assert _errors(single)[key] == pytest.approx(err)
+
+    def test_single_scan_uses_one_scan(self, builder, small_store):
+        store, __, __ = small_store
+        store.stats.reset()
+        builder.build(method="single_scan")
+        assert store.stats.full_scans == 1
+
+    def test_naive_reads_per_subset(self, builder, small_store):
+        store, __, __ = small_store
+        store.stats.reset()
+        builder.build(method="naive")
+        n_regions = len(store.regions())
+        n_subsets = len(builder.significant_subsets)
+        assert store.stats.region_reads == n_regions * n_subsets
+
+
+class TestTheorem1Optimized:
+    def test_optimized_equals_single_scan(self, builder):
+        """Suff-stats rollup computes the same errors as refitting (both use
+        training-set error, the measure Theorem 1 makes algebraic)."""
+        single = builder.build(method="single_scan")
+        optimized = builder.build(method="optimized")
+        assert _regions(single) == _regions(optimized)
+        for key, err in _errors(single).items():
+            assert _errors(optimized)[key] == pytest.approx(err, rel=1e-6)
+
+    def test_optimized_uses_one_scan(self, builder, small_store):
+        store, __, __ = small_store
+        store.stats.reset()
+        builder.build(method="optimized")
+        assert store.stats.full_scans == 1

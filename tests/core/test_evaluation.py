@@ -1,0 +1,119 @@
+"""Tests for item-centric k-fold evaluation and the predictor protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicPredictor,
+    SearchError,
+    basic_factory,
+    compare_methods,
+    cube_factory,
+    kfold_item_rmse,
+    tree_factory,
+)
+from repro.dimensions import HierarchicalDimension, ItemHierarchies
+
+
+@pytest.fixture(scope="module")
+def hierarchies() -> ItemHierarchies:
+    cat = HierarchicalDimension.from_spec(
+        "category", {"Either": ["a", "b"]},
+        level_names=("Any", "Side", "Category"), root_name="Any",
+    )
+    return ItemHierarchies([cat])
+
+
+class TestBasicPredictor:
+    def test_predicts_all_items(self, small_task, small_store):
+        store, __, __ = small_store
+        predictor = BasicPredictor(small_task, store, budget=10.0)
+        for item_id in small_task.item_ids:
+            assert np.isfinite(predictor.predict(item_id))
+
+    def test_region_is_feasible(self, small_task, small_store):
+        store, costs, __ = small_store
+        predictor = BasicPredictor(small_task, store, budget=10.0)
+        assert costs[predictor.region] <= 10.0
+        assert predictor.region_for("anything") == predictor.region
+
+    def test_train_subset_excludes_test_rows(self, small_task, small_store):
+        store, __, __ = small_store
+        train = list(np.asarray(small_task.item_ids)[:20])
+        predictor = BasicPredictor(small_task, store, budget=10.0, item_ids=train)
+        assert predictor.model.stats.n <= 20
+
+    def test_infeasible_budget_raises(self, small_task, small_store):
+        store, __, __ = small_store
+        with pytest.raises(SearchError):
+            BasicPredictor(small_task, store, budget=-1.0)
+
+
+class TestKfold:
+    def test_kfold_rmse_positive(self, small_task, small_store):
+        store, __, __ = small_store
+        rmse = kfold_item_rmse(
+            small_task, basic_factory(small_task, store, budget=10.0),
+            n_folds=3, seed=0,
+        )
+        assert np.isfinite(rmse) and rmse > 0
+
+    def test_deterministic(self, small_task, small_store):
+        store, __, __ = small_store
+        factory = basic_factory(small_task, store, budget=10.0)
+        a = kfold_item_rmse(small_task, factory, n_folds=3, seed=1)
+        b = kfold_item_rmse(small_task, factory, n_folds=3, seed=1)
+        assert a == b
+
+    def test_infeasible_everywhere_gives_nan(self, small_task, small_store):
+        store, __, __ = small_store
+        rmse = kfold_item_rmse(
+            small_task, basic_factory(small_task, store, budget=-1.0),
+            n_folds=3,
+        )
+        assert np.isnan(rmse)
+
+
+class TestCompareMethods:
+    def test_all_methods_reported(self, small_task, small_store, hierarchies):
+        store, __, __ = small_store
+        out = compare_methods(
+            small_task,
+            store,
+            hierarchies=hierarchies,
+            split_attrs=("category", "rd"),
+            n_folds=3,
+            seed=0,
+            tree_kwargs=dict(min_items=10, max_depth=1, max_numeric_splits=2),
+            cube_kwargs=dict(min_subset_size=5),
+        )
+        assert set(out) == {"basic", "tree", "cube"}
+        for v in out.values():
+            assert np.isfinite(v)
+
+    def test_without_hierarchies_skips_cube(self, small_task, small_store):
+        store, __, __ = small_store
+        out = compare_methods(
+            small_task,
+            store,
+            split_attrs=("category",),
+            n_folds=2,
+            tree_kwargs=dict(min_items=10, max_depth=1),
+        )
+        assert set(out) == {"basic", "tree"}
+
+    def test_tree_and_cube_factories_fit_on_train_fold(
+        self, small_task, small_store, hierarchies
+    ):
+        store, __, __ = small_store
+        train = np.asarray(small_task.item_ids)[:20]
+        tree = tree_factory(
+            small_task, store, ("category", "rd"),
+            min_items=10, max_depth=1, max_numeric_splits=2,
+        )(train)
+        assert sorted(i for l in tree.leaves() for i in l.item_ids) == sorted(train)
+        cube_pred = cube_factory(
+            small_task, store, hierarchies, min_subset_size=5
+        )(train)
+        item = small_task.item_ids[-1]  # a held-out item still predicts
+        assert np.isfinite(cube_pred.predict(item))

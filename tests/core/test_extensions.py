@@ -1,0 +1,289 @@
+"""Tests for the Section 3.4 extensions and the linear criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherTask,
+    GreedyCombinationSearch,
+    LinearCriterion,
+    MultiInstanceBellwetherSearch,
+    SearchError,
+    TaskError,
+    TrainingDataGenerator,
+    enumerate_candidate_features,
+    select_features,
+)
+from repro.dimensions import RegionSpace, WindowedIntervalDimension
+from repro.ml import TrainingSetEstimator
+
+from .conftest import N_WEEKS, STATES
+
+
+@pytest.fixture(scope="module")
+def cell_costs():
+    return {(t, s): 1.0 for t in range(1, N_WEEKS + 1) for s in STATES}
+
+
+class TestLinearCriterion:
+    def test_weights_validated(self):
+        with pytest.raises(TaskError):
+            LinearCriterion(w_cost=-1.0)
+
+    def test_admits_everything(self):
+        c = LinearCriterion(w_cost=1.0)
+        assert c.admits(1e12, 0.0)
+
+    def test_objective(self):
+        c = LinearCriterion(w_cost=2.0, w_coverage=3.0)
+        assert c.objective(10.0, 1.0, 0.5) == pytest.approx(10.0 + 2.0 - 1.5)
+
+    def test_budget_override_is_identity(self):
+        c = LinearCriterion(w_cost=1.0)
+        assert c.with_budget(5.0) is c
+
+    def test_search_trades_error_for_cost(self, small_task, small_store):
+        """A huge cost weight pushes the search off the expensive optimum."""
+        store, costs, __ = small_store
+        free = small_task.with_criterion(LinearCriterion(w_cost=0.0))
+        search_free = BasicBellwetherSearch(free, store, costs=costs)
+        unconstrained = search_free.run().bellwether.region
+        priced = small_task.with_criterion(LinearCriterion(w_cost=1e5))
+        search_priced = BasicBellwetherSearch(priced, store, costs=costs)
+        frugal = search_priced.run().bellwether
+        assert costs[frugal.region] <= costs[unconstrained]
+        assert costs[frugal.region] == min(
+            r.cost for r in search_priced.run().feasible
+        )
+
+
+class TestCombinatorial:
+    @pytest.fixture(scope="class")
+    def search(self, small_task, small_generator, cell_costs):
+        return GreedyCombinationSearch(small_task, small_generator, cell_costs)
+
+    def test_single_region_seed_matches_basic_shape(self, search):
+        result = search.run(budget=4.0, max_regions=1)
+        assert len(result.regions) == 1
+        assert result.cost <= 4.0
+
+    def test_combination_never_worse_than_seed(self, search):
+        seed = search.run(budget=8.0, max_regions=1)
+        grown = search.run(budget=8.0, max_regions=3)
+        assert grown.rmse <= seed.rmse + 1e-9
+
+    def test_budget_respected_on_union_cells(self, search):
+        result = search.run(budget=6.0, max_regions=3)
+        assert result.cost <= 6.0
+        # overlap is not double-charged: evaluating the same region twice
+        # costs the same as once
+        single = search.evaluate([result.regions[0]])
+        doubled = search.evaluate([result.regions[0], result.regions[0]])
+        assert doubled.cost == pytest.approx(single.cost)
+
+    def test_unknown_region_rejected(self, search, small_task):
+        from repro.dimensions import Region
+
+        with pytest.raises(SearchError):
+            search.evaluate([Region(("ghost",))])
+
+    def test_impossible_budget(self, search):
+        with pytest.raises(SearchError):
+            search.run(budget=0.0)
+
+    def test_empty_cell_costs_rejected(self, small_task, small_generator):
+        with pytest.raises(SearchError):
+            GreedyCombinationSearch(small_task, small_generator, {})
+
+
+class TestMultiInstance:
+    @pytest.fixture(scope="class")
+    def mi(self, small_task):
+        return MultiInstanceBellwetherSearch(small_task, ["profit"])
+
+    def test_bags_match_fact_rows(self, mi, small_task):
+        region = small_task.space.region(2, "MW")
+        bags = mi.bags_for_region(region)
+        fact = small_task.db.fact
+        mask = small_task.space.mask(fact, region)
+        expected_counts: dict = {}
+        for item in fact["item"][mask]:
+            expected_counts[item] = expected_counts.get(item, 0) + 1
+        assert {i: len(b) for i, b in bags.items()} == expected_counts
+
+    def test_bag_values_are_instance_columns(self, mi, small_task):
+        region = small_task.space.region(1, "WI")
+        bags = mi.bags_for_region(region)
+        fact = small_task.db.fact
+        mask = small_task.space.mask(fact, region)
+        item = next(iter(bags))
+        expected = sorted(
+            p for i, p in zip(fact["item"][mask], fact["profit"][mask]) if i == item
+        )
+        assert sorted(bags[item][:, 0]) == pytest.approx(expected)
+
+    def test_embedding_shape(self, mi, small_task):
+        region = small_task.space.region(4, "All")
+        ids, x, y = mi.embed_region(region)
+        assert x.shape == (len(ids), len(mi.embedded_feature_names))
+        assert y.shape == (len(ids),)
+
+    def test_run_returns_feasible_min(self, mi):
+        best = mi.run(budget=10.0)
+        assert best.cost <= 10.0
+        assert np.isfinite(best.rmse)
+
+    def test_fit_model_predicts(self, mi, small_task):
+        region = small_task.space.region(4, "All")
+        model = mi.fit_model(region)
+        __, x, __ = mi.embed_region(region)
+        assert model.predict(x).shape == (x.shape[0],)
+
+    def test_requires_numeric_columns(self, small_task):
+        with pytest.raises(TaskError):
+            MultiInstanceBellwetherSearch(small_task, ["state"])
+        with pytest.raises(TaskError):
+            MultiInstanceBellwetherSearch(small_task, [])
+
+
+class TestAutoFeatures:
+    def test_enumeration_covers_all_forms(self, small_task):
+        candidates = enumerate_candidate_features(
+            small_task.db,
+            exclude_columns=[d.attribute for d in small_task.space.dimensions],
+            id_column="item",
+        )
+        kinds = {type(f).__name__ for f in candidates}
+        assert kinds == {"FactAggregate", "JoinAggregate", "DistinctJoinAggregate"}
+        aliases = [f.alias for f in candidates]
+        assert len(set(aliases)) == len(aliases)
+        # dimension attrs and keys never become measures
+        assert not any("week" in a or "state" in a for a in aliases)
+
+    def test_selection_improves_probe_error(self, small_task):
+        result = select_features(
+            small_task, max_features=2, n_probe_regions=4, seed=0
+        )
+        assert 1 <= len(result.selected) <= 2
+        assert result.probe_errors == tuple(sorted(result.probe_errors, reverse=True))
+        assert result.task.regional_features == result.selected
+
+    def test_selected_task_is_runnable(self, small_task):
+        result = select_features(
+            small_task, max_features=1, n_probe_regions=3, seed=1
+        )
+        gen = TrainingDataGenerator(result.task)
+        store = gen.generate(regions=gen.all_regions()[:3])
+        assert len(store.regions()) == 3
+
+    def test_no_candidates_rejected(self, small_task):
+        with pytest.raises(TaskError):
+            select_features(small_task, candidates=[], max_features=1)
+
+
+class TestWindowedTraining:
+    def test_cube_equals_naive_with_sliding_windows(self, small_task):
+        windowed = WindowedIntervalDimension.sliding("week", N_WEEKS, width=2)
+        space = RegionSpace([windowed, small_task.space.dimensions[1]])
+        task = BellwetherTask(
+            small_task.db, space, small_task.item_table, "item",
+            target=small_task.target,
+            regional_features=small_task.regional_features,
+            item_feature_attrs=small_task.item_feature_attrs,
+            error_estimator=TrainingSetEstimator(),
+        )
+        gen = TrainingDataGenerator(task)
+        cube = gen.generate(method="cube")
+        naive = gen.generate(method="naive")
+        for region in gen.all_regions():
+            b1, b2 = cube._fetch(region), naive._fetch(region)
+            assert list(b1.item_ids) == list(b2.item_ids), region
+            assert np.allclose(b1.x, b2.x, equal_nan=True), region
+
+    def test_window_regions_enumerated(self, small_task):
+        windowed = WindowedIntervalDimension("week", N_WEEKS, [(2, 3)])
+        space = RegionSpace([windowed, small_task.space.dimensions[1]])
+        task = BellwetherTask(
+            small_task.db, space, small_task.item_table, "item",
+            target=small_task.target,
+            regional_features=small_task.regional_features,
+            error_estimator=TrainingSetEstimator(),
+        )
+        gen = TrainingDataGenerator(task)
+        regions = gen.all_regions()
+        assert len(regions) == 7  # 1 window x 7 location nodes
+        assert all(str(r.values[0]) == "2-3" for r in regions)
+
+    def test_windowed_coverage_matches_blocks(self, small_task):
+        windowed = WindowedIntervalDimension.sliding("week", N_WEEKS, width=3)
+        space = RegionSpace([windowed, small_task.space.dimensions[1]])
+        task = BellwetherTask(
+            small_task.db, space, small_task.item_table, "item",
+            target=small_task.target,
+            regional_features=small_task.regional_features,
+            error_estimator=TrainingSetEstimator(),
+        )
+        gen = TrainingDataGenerator(task)
+        cov = gen.coverage()
+        store = gen.generate()
+        for region, value in cov.items():
+            assert value == pytest.approx(
+                store._fetch(region).n_examples / task.n_items
+            )
+
+
+class TestPruning:
+    def test_pruned_tree_not_larger(self, small_task, small_store):
+        from repro.core import BellwetherTreeBuilder
+
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("category", "rd"),
+            min_items=6, max_depth=3, max_numeric_splits=4,
+            min_relative_goodness=0.0,  # grow eagerly, prune after
+        )
+        grown = builder.build("rf")
+        pruned = builder.build_pruned("rf", validation_fraction=0.3, seed=0)
+        assert len(pruned.leaves()) <= max(len(grown.leaves()), 1)
+
+    def test_pruned_leaves_are_finalized(self, small_task, small_store):
+        from repro.core import BellwetherTreeBuilder
+
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("category", "rd"),
+            min_items=6, max_depth=2, max_numeric_splits=3,
+        )
+        tree = builder.build_pruned("rf", validation_fraction=0.25, seed=1)
+        for leaf in tree.leaves():
+            assert leaf.region is not None
+            assert leaf.model is not None and leaf.model.is_fitted
+
+    def test_bad_validation_fraction(self, small_task, small_store):
+        from repro.core import BellwetherTreeBuilder, TaskError
+
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("category",), min_items=6
+        )
+        with pytest.raises(TaskError):
+            builder.build_pruned(validation_fraction=1.5)
+
+    def test_prune_on_noise_collapses(self, small_task, small_store):
+        """With a pure-noise split feature, pruning should shrink the tree."""
+        from repro.core import BellwetherTreeBuilder
+
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("rd",),  # rd is unrelated noise
+            min_items=6, max_depth=3, max_numeric_splits=6,
+            min_relative_goodness=0.0,
+        )
+        grown = builder.build("rf")
+        if len(grown.leaves()) == 1:
+            pytest.skip("nothing grew to prune")
+        ids = np.asarray(small_task.item_ids)
+        tree = builder.build("rf", item_ids=ids[:22])
+        builder.prune(tree, ids[22:])
+        assert len(tree.leaves()) <= len(grown.leaves())

@@ -1,0 +1,125 @@
+"""Unit tests for target/feature queries and the item-feature encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregateTargetQuery,
+    DistinctJoinAggregate,
+    FactAggregate,
+    ItemFeatureEncoder,
+    JoinAggregate,
+    TableTargetQuery,
+    TaskError,
+)
+from repro.table import Database, Reference, Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    fact = Table(
+        {
+            "item": [1, 1, 2, 2, 2],
+            "ad": [10, 11, 10, 10, 12],
+            "profit": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+    ads = Table({"ad": [10, 11, 12], "adsize": [100.0, 200.0, 300.0]})
+    return Database(fact, [Reference("ads", ads, "ad")])
+
+
+class TestTargets:
+    def test_aggregate_target(self, db):
+        tq = AggregateTargetQuery("sum", "profit", "item")
+        values = tq.values(db, np.array([1, 2]))
+        assert list(values) == [3.0, 12.0]
+
+    def test_aggregate_target_alignment(self, db):
+        tq = AggregateTargetQuery("sum", "profit", "item")
+        assert list(tq.values(db, np.array([2, 1]))) == [12.0, 3.0]
+
+    def test_missing_item_rejected(self, db):
+        tq = AggregateTargetQuery("sum", "profit", "item")
+        with pytest.raises(TaskError):
+            tq.values(db, np.array([1, 99]))
+
+    def test_table_target(self, db):
+        table = Table({"item": [1, 2], "y": [10.0, 20.0]})
+        tq = TableTargetQuery(table, "item", "y")
+        assert list(tq.values(db, np.array([2, 1]))) == [20.0, 10.0]
+
+    def test_table_target_missing(self, db):
+        table = Table({"item": [1], "y": [10.0]})
+        tq = TableTargetQuery(table, "item", "y")
+        with pytest.raises(TaskError):
+            tq.values(db, np.array([2]))
+
+    def test_bad_func_rejected(self):
+        with pytest.raises(TaskError):
+            AggregateTargetQuery("median", "profit", "item")
+
+
+class TestFeatureQueries:
+    def test_fact_aggregate_values(self, db):
+        f = FactAggregate("sum", "profit", "reg_profit")
+        assert list(f.value_column(db)) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_join_aggregate_values(self, db):
+        f = JoinAggregate("max", "adsize", "m", reference="ads")
+        assert list(f.value_column(db)) == [100.0, 200.0, 100.0, 100.0, 300.0]
+
+    def test_distinct_join_key_column(self, db):
+        f = DistinctJoinAggregate("sum", "adsize", "s", reference="ads")
+        assert list(f.key_column(db)) == [10, 11, 10, 10, 12]
+
+    def test_empty_alias_rejected(self):
+        with pytest.raises(TaskError):
+            FactAggregate("sum", "profit", "")
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(TaskError):
+            JoinAggregate("max", "adsize", "m")
+
+    def test_dangling_fk_detected(self):
+        fact = Table({"item": [1], "ad": [99], "profit": [1.0]})
+        ads = Table({"ad": [10], "adsize": [1.0]})
+        db = Database(fact, [Reference("ads", ads, "ad")])
+        f = JoinAggregate("max", "adsize", "m", reference="ads")
+        with pytest.raises(TaskError):
+            f.value_column(db)
+
+
+class TestItemFeatureEncoder:
+    @pytest.fixture()
+    def items(self) -> Table:
+        return Table(
+            {
+                "item": [1, 2, 3],
+                "cat": ["x", "y", "z"],
+                "rd": [1.0, 2.0, 3.0],
+            }
+        )
+
+    def test_one_hot_drops_first_level(self, items):
+        enc = ItemFeatureEncoder(items, "item", ["cat", "rd"])
+        assert enc.feature_names == ("cat=y", "cat=z", "rd")
+
+    def test_matrix_values(self, items):
+        enc = ItemFeatureEncoder(items, "item", ["cat", "rd"])
+        m = enc.matrix(np.array([3, 1]))
+        assert m.tolist() == [[0.0, 1.0, 3.0], [0.0, 0.0, 1.0]]
+
+    def test_no_attributes(self, items):
+        enc = ItemFeatureEncoder(items, "item", [])
+        assert enc.n_features == 0
+        assert enc.matrix(np.array([1, 2])).shape == (2, 0)
+
+    def test_unknown_item_rejected(self, items):
+        enc = ItemFeatureEncoder(items, "item", ["rd"])
+        with pytest.raises(TaskError):
+            enc.matrix(np.array([9]))
+
+    def test_duplicate_ids_rejected(self):
+        items = Table({"item": [1, 1], "rd": [0.0, 1.0]})
+        with pytest.raises(TaskError):
+            ItemFeatureEncoder(items, "item", ["rd"])

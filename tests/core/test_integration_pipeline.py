@@ -1,0 +1,90 @@
+"""End-to-end integration: CSV files -> star schema -> bellwether -> predict.
+
+Exercises the full user journey a downstream adopter would take: persist a
+database to disk, reload it, define a task, materialize training data, find
+the bellwether, fit its model, and predict a held-out item — with the disk
+store in the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregateTargetQuery,
+    BasicBellwetherSearch,
+    BellwetherTask,
+    Criterion,
+    FactAggregate,
+    JoinAggregate,
+    TrainingDataGenerator,
+)
+from repro.datasets import make_mailorder
+from repro.dimensions import IntervalDimension, ProductCostModel, RegionSpace
+from repro.datasets.locations import STATE_WEIGHTS, us_location_dimension
+from repro.ml import TrainingSetEstimator
+from repro.storage import DiskStore
+from repro.table import load_database, save_database
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def roundtripped(self, tmp_path_factory):
+        original = make_mailorder(n_items=50, seed=0)
+        directory = tmp_path_factory.mktemp("db")
+        save_database(original.db, directory)
+        db = load_database(directory)
+        return original, db
+
+    def test_database_roundtrip(self, roundtripped):
+        original, db = roundtripped
+        assert db.fact.n_rows == original.db.fact.n_rows
+        assert set(db.reference_names) == set(original.db.reference_names)
+        assert np.allclose(db.fact["profit"], original.db.fact["profit"])
+        db.check_integrity()
+
+    def test_pipeline_from_files_to_prediction(self, roundtripped, tmp_path):
+        original, db = roundtripped
+        time = IntervalDimension("month", 10, unit="month")
+        loc = us_location_dimension("state")
+        space = RegionSpace([time, loc])
+        task = BellwetherTask(
+            db,
+            space,
+            original.item_table,
+            "item",
+            target=AggregateTargetQuery("sum", "profit", "item"),
+            regional_features=[
+                FactAggregate("sum", "profit", "reg_profit"),
+                JoinAggregate("max", "pages", "reg_max_pages", reference="catalogs"),
+            ],
+            item_feature_attrs=("category", "rdexpense"),
+            cost_model=ProductCostModel(space, STATE_WEIGHTS),
+            criterion=Criterion(min_coverage=0.25),
+            error_estimator=TrainingSetEstimator(),
+        )
+        gen = TrainingDataGenerator(task)
+        memory_store = gen.generate()
+        disk_store = DiskStore.from_memory(tmp_path / "blocks", memory_store)
+        search = BasicBellwetherSearch(task, disk_store)
+        result = search.run(budget=60.0)
+        assert result.found
+        # the planted MD window survives the whole file round trip
+        assert str(result.bellwether.region.values[1]) == "MD"
+        model = search.fit_model(result.bellwether.region)
+        block = disk_store.read(result.bellwether.region)
+        predictions = model.predict(block.x)
+        # a planted bellwether predicts well in-region
+        rel_err = np.abs(predictions - block.y) / np.abs(block.y)
+        assert np.median(rel_err) < 0.25
+
+    def test_manifestless_directory_rejected(self, tmp_path):
+        from repro.table import SchemaError
+
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_save_requires_database(self, tmp_path):
+        from repro.table import SchemaError, Table
+
+        with pytest.raises(SchemaError):
+            save_database(Table({"a": [1]}), tmp_path)

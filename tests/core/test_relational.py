@@ -1,0 +1,118 @@
+"""Tests for the relational bellwether extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregatingRelationalLearner,
+    FactAggregate,
+    JoinAggregate,
+    RelationalBellwetherSearch,
+    SearchError,
+    TaskError,
+)
+
+
+@pytest.fixture(scope="module")
+def learner():
+    return AggregatingRelationalLearner(
+        [
+            FactAggregate("sum", "profit", "p"),
+            FactAggregate("count", "profit", "n"),
+        ],
+        id_column="item",
+    )
+
+
+@pytest.fixture(scope="module")
+def search(small_task, learner):
+    return RelationalBellwetherSearch(small_task, learner)
+
+
+class TestSubdatabase:
+    def test_fact_restricted_to_region(self, search, small_task):
+        region = small_task.space.region(2, "MW")
+        subdb = search.subdatabase(region)
+        mask = small_task.space.mask(small_task.db.fact, region)
+        assert subdb.fact.n_rows == int(mask.sum())
+        assert set(subdb.fact["state"]) <= {"WI", "IL"}
+        assert subdb.fact["week"].max() <= 2
+
+    def test_references_restricted_to_touched_keys(self, search, small_task):
+        region = small_task.space.region(1, "WI")
+        subdb = search.subdatabase(region)
+        used = set(subdb.fact["ad"])
+        assert set(subdb.reference("ads").table["ad"]) == used
+
+    def test_integrity_preserved(self, search, small_task):
+        subdb = search.subdatabase(small_task.space.region(3, "NE"))
+        subdb.check_integrity()  # no dangling FKs
+
+    def test_cached(self, search, small_task):
+        region = small_task.space.region(1, "IL")
+        assert search.subdatabase(region) is search.subdatabase(region)
+
+    def test_items_in(self, search, small_task):
+        region = small_task.space.region(4, "All")
+        items = search.items_in(region)
+        expected = set(small_task.db.fact["item"])
+        assert set(items) == expected
+
+
+class TestLearner:
+    def test_reduction_matches_direct_aggregation(self, search, small_task, learner):
+        region = small_task.space.region(4, "All")
+        subdb = search.subdatabase(region)
+        items = search.items_in(region)
+        x = learner._featurize(subdb, items)
+        fact = subdb.fact
+        for row, item in zip(x, items):
+            mask = fact["item"] == item
+            assert row[0] == pytest.approx(fact["profit"][mask].sum())
+            assert row[1] == pytest.approx(mask.sum())
+
+    def test_distinct_feature_supported(self, small_task):
+        from repro.core import DistinctJoinAggregate
+
+        learner = AggregatingRelationalLearner(
+            [DistinctJoinAggregate("sum", "adsize", "a", reference="ads")],
+            id_column="item",
+        )
+        search = RelationalBellwetherSearch(small_task, learner)
+        region = small_task.space.region(4, "All")
+        subdb = search.subdatabase(region)
+        items = search.items_in(region)[:5]
+        x = learner._featurize(subdb, items)
+        sizes = dict(zip(subdb.reference("ads").table["ad"],
+                         subdb.reference("ads").table["adsize"]))
+        fact = subdb.fact
+        for row, item in zip(x, items):
+            ads = set(fact["ad"][fact["item"] == item])
+            assert row[0] == pytest.approx(sum(sizes[a] for a in ads))
+
+    def test_unfitted_predict_rejected(self, learner, search, small_task):
+        fresh = AggregatingRelationalLearner(
+            [FactAggregate("sum", "profit", "p")], id_column="item"
+        )
+        with pytest.raises(SearchError):
+            fresh.predict(search.subdatabase(small_task.space.region(1, "WI")),
+                          np.array([1]))
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(TaskError):
+            AggregatingRelationalLearner([], id_column="item")
+
+
+class TestSearch:
+    def test_run_respects_budget(self, search, small_task):
+        candidates = [
+            r for r in small_task.space.all_regions()
+            if small_task.cost(r) <= 8.0
+        ][:20]
+        best = search.run(budget=8.0, candidate_regions=candidates, n_folds=3)
+        assert best.cost <= 8.0
+        assert np.isfinite(best.rmse)
+
+    def test_impossible_budget(self, search):
+        with pytest.raises(SearchError):
+            search.run(budget=-1.0, candidate_regions=[], n_folds=3)

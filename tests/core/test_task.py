@@ -1,0 +1,99 @@
+"""Tests for task specification and criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregateTargetQuery,
+    BellwetherTask,
+    Criterion,
+    DirectTask,
+    FactAggregate,
+    TaskError,
+)
+from repro.table import Table
+
+
+class TestCriterion:
+    def test_unconstrained_admits_everything(self):
+        c = Criterion()
+        assert c.admits(1e12, 0.0)
+
+    def test_budget(self):
+        c = Criterion(budget=10.0)
+        assert c.admits(10.0, 0.5)
+        assert not c.admits(10.01, 0.5)
+
+    def test_coverage(self):
+        c = Criterion(min_coverage=0.5)
+        assert c.admits(0.0, 0.5)
+        assert not c.admits(0.0, 0.49)
+
+    def test_with_budget_preserves_coverage(self):
+        c = Criterion(budget=5.0, min_coverage=0.3).with_budget(50.0)
+        assert c.budget == 50.0
+        assert c.min_coverage == 0.3
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(TaskError):
+            Criterion(min_coverage=1.5)
+
+
+class TestBellwetherTask:
+    def test_feature_names_order(self, small_task):
+        names = small_task.feature_names
+        # item features first (one-hot 'b' level + rd), then regional aliases
+        assert names[0] == "category=b"
+        assert names[1] == "rd"
+        assert names[2:] == ("reg_profit", "reg_orders", "reg_max_ad", "reg_ad_total")
+
+    def test_target_values_aligned(self, small_task):
+        y = small_task.target_values()
+        assert y.shape == (small_task.n_items,)
+        assert (y > 0).all()
+
+    def test_requires_features(self, small_db, small_space, small_items):
+        with pytest.raises(TaskError):
+            BellwetherTask(
+                small_db,
+                small_space,
+                small_items,
+                "item",
+                target=AggregateTargetQuery("sum", "profit", "item"),
+                regional_features=[],
+            )
+
+    def test_duplicate_alias_rejected(self, small_db, small_space, small_items):
+        with pytest.raises(TaskError):
+            BellwetherTask(
+                small_db,
+                small_space,
+                small_items,
+                "item",
+                target=AggregateTargetQuery("sum", "profit", "item"),
+                regional_features=[
+                    FactAggregate("sum", "profit", "f"),
+                    FactAggregate("count", "profit", "f"),
+                ],
+            )
+
+    def test_with_criterion_shares_everything_else(self, small_task):
+        clone = small_task.with_criterion(Criterion(budget=1.0))
+        assert clone.criterion.budget == 1.0
+        assert clone.db is small_task.db
+        assert small_task.criterion.budget is None
+
+
+class TestDirectTask:
+    def test_basic_usage(self):
+        items = Table({"item": [1, 2, 3], "f": [0.0, 1.0, 2.0]})
+        task = DirectTask(items, "item", targets=np.array([1.0, 2.0, 3.0]),
+                          item_feature_attrs=("f",))
+        assert task.n_items == 3
+        assert list(task.target_values()) == [1.0, 2.0, 3.0]
+        assert task.item_encoder.feature_names == ("f",)
+
+    def test_target_shape_mismatch(self):
+        items = Table({"item": [1, 2]})
+        with pytest.raises(TaskError):
+            DirectTask(items, "item", targets=np.zeros(3))

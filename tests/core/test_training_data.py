@@ -1,0 +1,135 @@
+"""Tests for training-set generation: the Section 4.2 rewrite vs naive."""
+
+import numpy as np
+import pytest
+
+from repro.core import Criterion, TaskError, TrainingDataGenerator, build_store
+
+
+class TestEquivalence:
+    def test_cube_equals_naive_everywhere(self, small_generator):
+        """The CUBE-style rewrite reproduces the per-region queries exactly."""
+        cube_store = small_generator.generate(method="cube")
+        naive_store = small_generator.generate(method="naive")
+        assert set(cube_store.regions()) == set(naive_store.regions())
+        for region in cube_store.regions():
+            b1 = cube_store._fetch(region)
+            b2 = naive_store._fetch(region)
+            assert list(b1.item_ids) == list(b2.item_ids), region
+            assert np.allclose(b1.x, b2.x, equal_nan=True), region
+            assert np.allclose(b1.y, b2.y), region
+
+    def test_unknown_method_rejected(self, small_generator):
+        with pytest.raises(TaskError):
+            small_generator.generate(method="magic")
+
+
+class TestSemantics:
+    def test_region_count(self, small_generator, small_task):
+        assert len(small_generator.all_regions()) == small_task.space.n_regions
+
+    def test_manual_sum_feature(self, small_generator, small_task):
+        """reg_profit == hand-computed Σ profit per item in the region."""
+        store = small_generator.generate(method="cube")
+        fact = small_task.db.fact
+        region = small_task.space.region(2, "MW")
+        mask = small_task.space.mask(fact, region)
+        expected: dict[int, float] = {}
+        for item, profit in zip(fact["item"][mask], fact["profit"][mask]):
+            expected[item] = expected.get(item, 0.0) + profit
+        block = store._fetch(region)
+        col = list(store.feature_names).index("reg_profit")
+        assert set(block.item_ids) == set(expected)
+        for item_id, row in zip(block.item_ids, block.x):
+            assert row[col] == pytest.approx(expected[item_id])
+
+    def test_manual_distinct_feature(self, small_generator, small_task):
+        """reg_ad_total counts each ad once per item (form 3 semantics)."""
+        store = small_generator.generate(method="cube")
+        fact = small_task.db.fact
+        region = small_task.space.region(3, "NE")
+        mask = small_task.space.mask(fact, region)
+        ads_size = dict(
+            zip(
+                small_task.db.reference("ads").table["ad"],
+                small_task.db.reference("ads").table["adsize"],
+            )
+        )
+        seen: dict[int, set] = {}
+        for item, ad in zip(fact["item"][mask], fact["ad"][mask]):
+            seen.setdefault(item, set()).add(ad)
+        block = store._fetch(region)
+        col = list(store.feature_names).index("reg_ad_total")
+        for item_id, row in zip(block.item_ids, block.x):
+            assert row[col] == pytest.approx(
+                sum(ads_size[a] for a in seen[item_id])
+            )
+
+    def test_presence_matches_fact_rows(self, small_generator, small_task):
+        store = small_generator.generate(method="cube")
+        fact = small_task.db.fact
+        for region in [
+            small_task.space.region(1, "WI"),
+            small_task.space.region(4, "All"),
+        ]:
+            mask = small_task.space.mask(fact, region)
+            expected = set(fact["item"][mask])
+            assert set(store._fetch(region).item_ids) == expected
+
+    def test_coverage_values(self, small_generator, small_task):
+        cov = small_generator.coverage()
+        store = small_generator.generate(method="cube")
+        for region, value in cov.items():
+            block = store._fetch(region)
+            assert value == pytest.approx(block.n_examples / small_task.n_items)
+
+    def test_coverage_monotone_in_time(self, small_generator, small_task):
+        """Growing the prefix window can only add items."""
+        cov = small_generator.coverage()
+        for node in ("WI", "MW", "All"):
+            values = [
+                cov[small_task.space.region(t, node)] for t in range(1, 5)
+            ]
+            assert values == sorted(values)
+
+    def test_targets_constant_across_regions(self, small_generator):
+        """τ_i must not depend on the region (only features do)."""
+        store = small_generator.generate(method="cube")
+        y_of: dict[int, float] = {}
+        for region in store.regions():
+            block = store._fetch(region)
+            for item_id, y in zip(block.item_ids, block.y):
+                assert y_of.setdefault(item_id, y) == y
+
+    def test_block_for_mask_union_of_cells(self, small_generator, small_task):
+        """An arbitrary cell union aggregates like a region when it is one."""
+        region = small_task.space.region(2, "WI")
+        mask = small_generator._region_mask(region)
+        block = small_generator.block_for_mask(mask)
+        expected = small_generator.generate(regions=[region])._fetch(region)
+        assert list(block.item_ids) == list(expected.item_ids)
+        assert np.allclose(block.x, expected.x, equal_nan=True)
+
+    def test_block_for_mask_bad_shape(self, small_generator):
+        with pytest.raises(TaskError):
+            small_generator.block_for_mask(np.ones(3, dtype=bool))
+
+
+class TestBuildStore:
+    def test_coverage_pruning(self, small_task):
+        pruned_task = small_task.with_criterion(Criterion(min_coverage=0.9))
+        store, costs, coverage = build_store(pruned_task)
+        for region in store.regions():
+            assert coverage[region] >= 0.9
+
+    def test_budget_pruning_optional(self, small_task):
+        tight = small_task.with_criterion(Criterion(budget=2.0, min_coverage=0.0))
+        store_all, costs, __ = build_store(tight, enforce_budget=False)
+        store_cut, __, __ = build_store(tight, enforce_budget=True)
+        assert len(store_cut.regions()) < len(store_all.regions())
+        for region in store_cut.regions():
+            assert costs[region] <= 2.0
+
+    def test_costs_cover_all_regions(self, small_task):
+        __, costs, __ = build_store(small_task)
+        assert len(costs) == small_task.space.n_regions

@@ -1,0 +1,175 @@
+"""Tests for bellwether tree construction, routing and prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherTreeBuilder, SearchError, TaskError
+from repro.core.tree import SplitCandidate
+
+
+@pytest.fixture(scope="module")
+def builder(small_task, small_store):
+    store, __, __ = small_store
+    return BellwetherTreeBuilder(
+        small_task,
+        store,
+        split_attrs=("category", "rd"),
+        min_items=8,
+        max_depth=2,
+        max_numeric_splits=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def tree(builder):
+    return builder.build(method="rf")
+
+
+class TestSplitCandidate:
+    def test_categorical_routing(self):
+        c = SplitCandidate("cat", "cat", categories=("a", "b", "c"))
+        assert c.n_children() == 3
+        assert c.route("b") == 1
+        with pytest.raises(SearchError):
+            c.route("zzz")
+
+    def test_numeric_routing(self):
+        c = SplitCandidate("x", "num", threshold=1.5)
+        assert c.route(1.0) == 0
+        assert c.route(1.5) == 1
+
+    def test_partition_vectorized(self):
+        c = SplitCandidate("x", "num", threshold=0.0)
+        out = c.partition(np.array([-1.0, 0.0, 2.0]))
+        assert list(out) == [0, 1, 1]
+
+    def test_str(self):
+        assert str(SplitCandidate("cat", "cat", categories=("a",))) == "<cat>"
+        assert ">=" in str(SplitCandidate("x", "num", threshold=2.0))
+
+
+class TestCandidateEnumeration:
+    def test_candidates_cover_both_kinds(self, builder, small_task):
+        cands = builder._candidate_splits(np.asarray(small_task.item_ids))
+        kinds = {c.kind for c in cands}
+        assert kinds == {"cat", "num"}
+
+    def test_numeric_split_cap(self, builder, small_task):
+        cands = builder._candidate_splits(np.asarray(small_task.item_ids))
+        numeric = [c for c in cands if c.kind == "num"]
+        assert 0 < len(numeric) <= builder.max_numeric_splits
+
+    def test_constant_attribute_produces_no_split(self, builder, small_task):
+        ids = np.asarray(small_task.item_ids)
+        cats = builder._attr_values["category"]
+        same_cat = ids[[k for k, v in enumerate(cats) if v == cats[0]]]
+        cands = builder._candidate_splits(same_cat[:5])
+        assert all(c.attr != "category" for c in cands)
+
+
+class TestConstruction:
+    def test_every_leaf_has_region_and_model(self, tree):
+        for leaf in tree.leaves():
+            assert leaf.region is not None
+            assert leaf.model is not None and leaf.model.is_fitted
+            assert leaf.error is not None
+
+    def test_leaves_partition_items(self, tree, small_task):
+        all_ids = sorted(
+            i for leaf in tree.leaves() for i in leaf.item_ids
+        )
+        assert all_ids == sorted(small_task.item_ids)
+
+    def test_max_depth_respected(self, tree, builder):
+        assert tree.n_levels <= builder.max_depth + 1
+
+    def test_min_items_respected(self, tree, builder):
+        for leaf in tree.leaves():
+            parent_splittable = leaf.depth == 0 or True
+            # every *split* node had >= min_items
+            pass
+        def check(node):
+            if not node.is_leaf:
+                assert node.n_items >= builder.min_items
+                for c in node.children:
+                    check(c)
+        check(tree.root)
+
+    def test_describe_mentions_leaves(self, tree):
+        text = tree.describe()
+        assert "leaf:" in text
+
+    def test_unknown_method_rejected(self, builder):
+        with pytest.raises(TaskError):
+            builder.build(method="bogus")
+
+    def test_empty_split_attrs_fall_back_to_task(self, small_task, small_store):
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(small_task, store, split_attrs=())
+        assert builder.split_attrs == small_task.item_feature_attrs
+
+    def test_subset_build(self, builder, small_task):
+        subset = list(np.asarray(small_task.item_ids)[:20])
+        tree = builder.build(method="rf", item_ids=subset)
+        assert sorted(i for l in tree.leaves() for i in l.item_ids) == sorted(subset)
+
+    def test_unknown_subset_ids_rejected(self, builder):
+        with pytest.raises(TaskError):
+            builder.build(method="rf", item_ids=[999])
+
+
+class TestRoutingAndPrediction:
+    def test_route_every_item(self, tree, small_task):
+        for item_id in small_task.item_ids:
+            leaf = tree.route_item(item_id)
+            assert item_id in leaf.item_ids
+
+    def test_region_for(self, tree, small_task):
+        item = small_task.item_ids[0]
+        assert tree.region_for(item) == tree.route_item(item).region
+
+    def test_predict_finite(self, tree, small_task):
+        for item_id in list(small_task.item_ids)[:10]:
+            assert np.isfinite(tree.predict(item_id))
+
+    def test_missing_attr_rejected(self, tree):
+        if tree.root.is_leaf:
+            pytest.skip("tree degenerated to a single leaf")
+        with pytest.raises(SearchError):
+            tree.route({})
+
+
+class TestScanAccounting:
+    def test_rf_scans_once_per_level(self, small_task, small_store):
+        store, __, __ = small_store
+        store.stats.reset()
+        builder = BellwetherTreeBuilder(
+            small_task,
+            store,
+            split_attrs=("category", "rd"),
+            min_items=8,
+            max_depth=2,
+            max_numeric_splits=4,
+        )
+        tree = builder.build(method="rf")
+        # Lemma 1: one full scan per level of the (constructed) tree; the
+        # last level of leaves still runs one scan to pick their regions.
+        assert store.stats.full_scans == tree.n_levels or (
+            store.stats.full_scans == tree.n_levels + 1
+        )
+
+    def test_naive_reads_many_blocks(self, small_task, small_store):
+        store, __, __ = small_store
+        store.stats.reset()
+        builder = BellwetherTreeBuilder(
+            small_task,
+            store,
+            split_attrs=("category",),
+            min_items=8,
+            max_depth=1,
+            max_numeric_splits=2,
+        )
+        builder.build(method="naive")
+        n_regions = len(store.regions())
+        # naive re-reads every region once per bellwether subproblem
+        assert store.stats.region_reads > n_regions

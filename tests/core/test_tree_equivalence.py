@@ -1,0 +1,67 @@
+"""Lemma 1: the RF bellwether tree equals the naive bellwether tree."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherTreeBuilder
+
+
+def _tree_signature(node):
+    """Structure + split + per-leaf (region, items) as a comparable object."""
+    if node.is_leaf:
+        return ("leaf", str(node.region), tuple(sorted(node.item_ids)))
+    return (
+        "split",
+        str(node.split),
+        tuple(_tree_signature(c) for c in node.children),
+    )
+
+
+@pytest.fixture(scope="module", params=["prefix", "refit"])
+def builders(request, small_task, small_store):
+    store, __, __ = small_store
+    kwargs = dict(
+        split_attrs=("category", "rd"),
+        min_items=8,
+        max_depth=2,
+        max_numeric_splits=3,
+        use_prefix_stats=request.param == "prefix",
+    )
+    return BellwetherTreeBuilder(small_task, store, **kwargs)
+
+
+class TestLemma1:
+    def test_rf_equals_naive(self, builders):
+        rf = builders.build(method="rf")
+        naive = builders.build(method="naive")
+        assert _tree_signature(rf.root) == _tree_signature(naive.root)
+
+    def test_leaf_regions_agree(self, builders):
+        rf = builders.build(method="rf")
+        naive = builders.build(method="naive")
+        rf_leaves = {
+            tuple(sorted(l.item_ids)): l.region for l in rf.leaves()
+        }
+        naive_leaves = {
+            tuple(sorted(l.item_ids)): l.region for l in naive.leaves()
+        }
+        assert rf_leaves == naive_leaves
+
+
+class TestPrefixStatsAblation:
+    def test_fast_numeric_path_matches_refit(self, small_task, small_store):
+        """The prefix-suff-stats numeric evaluation changes nothing."""
+        store, __, __ = small_store
+        kwargs = dict(
+            split_attrs=("category", "rd"),
+            min_items=8,
+            max_depth=2,
+            max_numeric_splits=3,
+        )
+        fast = BellwetherTreeBuilder(
+            small_task, store, use_prefix_stats=True, **kwargs
+        ).build("rf")
+        slow = BellwetherTreeBuilder(
+            small_task, store, use_prefix_stats=False, **kwargs
+        ).build("rf")
+        assert _tree_signature(fast.root) == _tree_signature(slow.root)

@@ -1,0 +1,64 @@
+"""Tests for the RF-hybrid construction (Section 5.2's noted refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherTreeBuilder
+
+
+def _signature(node):
+    if node.is_leaf:
+        return ("leaf", str(node.region), tuple(sorted(node.item_ids)))
+    return ("split", str(node.split), tuple(_signature(c) for c in node.children))
+
+
+@pytest.fixture(scope="module")
+def builder(small_task, small_store):
+    store, __, __ = small_store
+    return BellwetherTreeBuilder(
+        small_task,
+        store,
+        split_attrs=("category", "rd"),
+        min_items=8,
+        max_depth=3,
+        max_numeric_splits=3,
+    )
+
+
+class TestHybridEquivalence:
+    def test_hybrid_equals_rf(self, builder):
+        rf = builder.build(method="rf")
+        hybrid = builder.build(method="hybrid", memory_budget_rows=10_000)
+        assert _signature(rf.root) == _signature(hybrid.root)
+
+    def test_hybrid_with_zero_budget_equals_rf(self, builder):
+        """No node fits in memory: hybrid degenerates to plain RF."""
+        rf = builder.build(method="rf")
+        hybrid = builder.build(method="hybrid", memory_budget_rows=0)
+        assert _signature(rf.root) == _signature(hybrid.root)
+
+
+class TestHybridScans:
+    def test_large_budget_needs_one_scan(self, small_task, small_store):
+        """If the root's data fits in memory, one scan builds the tree."""
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("category", "rd"),
+            min_items=8, max_depth=3, max_numeric_splits=3,
+        )
+        store.stats.reset()
+        builder.build(method="hybrid", memory_budget_rows=10**9)
+        assert store.stats.full_scans == 1
+
+    def test_hybrid_never_scans_more_than_rf(self, small_task, small_store):
+        store, __, __ = small_store
+        builder = BellwetherTreeBuilder(
+            small_task, store, split_attrs=("category", "rd"),
+            min_items=8, max_depth=3, max_numeric_splits=3,
+        )
+        store.stats.reset()
+        builder.build(method="rf")
+        rf_scans = store.stats.full_scans
+        store.stats.reset()
+        builder.build(method="hybrid", memory_budget_rows=10**6)
+        assert store.stats.full_scans <= rf_scans

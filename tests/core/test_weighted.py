@@ -1,0 +1,127 @@
+"""WLS end-to-end: per-item weights flow from task to models (Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregateTargetQuery,
+    BasicBellwetherSearch,
+    BellwetherTask,
+    FactAggregate,
+    TaskError,
+    TrainingDataGenerator,
+)
+from repro.ml import LinearSuffStats, TrainingSetEstimator, add_intercept
+from repro.table import Table
+
+
+@pytest.fixture(scope="module")
+def weighted_task(small_db, small_space):
+    rng = np.random.default_rng(9)
+    items = Table(
+        {
+            "item": np.arange(1, 31),
+            "rd": rng.normal(size=30),
+            "importance": rng.uniform(0.5, 3.0, 30),
+        }
+    )
+    return BellwetherTask(
+        small_db,
+        small_space,
+        items,
+        "item",
+        target=AggregateTargetQuery("sum", "profit", "item"),
+        regional_features=[FactAggregate("sum", "profit", "reg_profit")],
+        item_feature_attrs=("rd",),
+        error_estimator=TrainingSetEstimator(),
+        weight_column="importance",
+    )
+
+
+class TestWeightPlumbing:
+    def test_weights_exposed(self, weighted_task):
+        w = weighted_task.item_weights
+        assert w is not None and (w > 0).all()
+
+    def test_blocks_carry_weights(self, weighted_task):
+        gen = TrainingDataGenerator(weighted_task)
+        store = gen.generate(regions=gen.all_regions()[:3])
+        for region in store.regions():
+            block = store._fetch(region)
+            assert block.weights is not None
+            assert block.weights.shape == (block.n_examples,)
+
+    def test_restrict_keeps_alignment(self, weighted_task):
+        gen = TrainingDataGenerator(weighted_task)
+        region = gen.all_regions()[0]
+        block = gen.generate(regions=[region])._fetch(region)
+        sub = block.restrict_to(block.item_ids[:5])
+        w_of = dict(zip(block.item_ids, block.weights))
+        for item, w in zip(sub.item_ids, sub.weights):
+            assert w == w_of[item]
+
+    def test_search_uses_weighted_errors(self, weighted_task):
+        """Weighted and unweighted searches disagree on region errors."""
+        gen = TrainingDataGenerator(weighted_task)
+        store = gen.generate()
+        weighted = {
+            r.region: r.rmse
+            for r in BasicBellwetherSearch(weighted_task, store).evaluate_all()
+        }
+        # same data, unit weights
+        unweighted_task = BellwetherTask(
+            weighted_task.db,
+            weighted_task.space,
+            weighted_task.item_table,
+            "item",
+            target=weighted_task.target,
+            regional_features=weighted_task.regional_features,
+            item_feature_attrs=weighted_task.item_feature_attrs,
+            error_estimator=TrainingSetEstimator(),
+        )
+        store_u = TrainingDataGenerator(unweighted_task).generate()
+        unweighted = {
+            r.region: r.rmse
+            for r in BasicBellwetherSearch(unweighted_task, store_u).evaluate_all()
+        }
+        diffs = [
+            abs(weighted[r] - unweighted[r])
+            for r in set(weighted) & set(unweighted)
+        ]
+        assert max(diffs) > 1e-9
+
+    def test_weighted_error_matches_manual_wls(self, weighted_task):
+        gen = TrainingDataGenerator(weighted_task)
+        region = weighted_task.space.region(4, "All")
+        block = gen.generate(regions=[region])._fetch(region)
+        stats = LinearSuffStats.from_data(
+            add_intercept(block.x), block.y, block.weights
+        )
+        est = weighted_task.error_estimator.estimate(
+            block.x, block.y, block.weights
+        )
+        assert est.rmse == pytest.approx(stats.rmse())
+
+    def test_nonpositive_weights_rejected(self, small_db, small_space):
+        items = Table({"item": [1, 2], "w": [1.0, 0.0]})
+        with pytest.raises(TaskError):
+            BellwetherTask(
+                small_db,
+                small_space,
+                items,
+                "item",
+                target=AggregateTargetQuery("sum", "profit", "item"),
+                regional_features=[FactAggregate("sum", "profit", "f")],
+                weight_column="w",
+            )
+
+    def test_direct_task_weights_validated(self):
+        from repro.core import DirectTask
+
+        items = Table({"item": [1, 2]})
+        with pytest.raises(TaskError):
+            DirectTask(items, "item", targets=np.ones(2), weights=np.array([1.0, -1.0]))
+        task = DirectTask(
+            items, "item", targets=np.ones(2), weights=np.array([1.0, 2.0])
+        )
+        assert list(task.item_weights) == [1.0, 2.0]

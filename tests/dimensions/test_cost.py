@@ -1,0 +1,86 @@
+"""Unit tests for cost models."""
+
+import pytest
+
+from repro.dimensions import (
+    CallableCostModel,
+    CellCostModel,
+    CostError,
+    HierarchicalDimension,
+    IntervalDimension,
+    ProductCostModel,
+    RegionSpace,
+    ZeroCostModel,
+)
+
+
+@pytest.fixture()
+def space() -> RegionSpace:
+    time = IntervalDimension("month", 3)
+    loc = HierarchicalDimension.from_spec(
+        "state", {"MW": ["WI", "IL"], "NE": ["MD"]},
+        level_names=("All", "Division", "State"),
+    )
+    return RegionSpace([time, loc])
+
+
+class TestCellCostModel:
+    def test_sum(self, space):
+        costs = {(t, s): 1.0 for t in (1, 2, 3) for s in ("WI", "IL", "MD")}
+        cm = CellCostModel(space, costs)
+        assert cm.cost(space.region(2, "MW")) == pytest.approx(4.0)  # 2 months x 2 states
+        assert cm.cost(space.region(3, "All")) == pytest.approx(9.0)
+
+    def test_missing_cells_cost_zero(self, space):
+        cm = CellCostModel(space, {(1, "WI"): 5.0})
+        assert cm.cost(space.region(1, "MD")) == 0.0
+
+    def test_max_aggregate(self, space):
+        cm = CellCostModel(space, {(1, "WI"): 5.0, (2, "WI"): 9.0}, agg="max")
+        assert cm.cost(space.region(2, "WI")) == 9.0
+
+    def test_avg_aggregate(self, space):
+        cm = CellCostModel(space, {(1, "WI"): 4.0, (2, "WI"): 8.0}, agg="avg")
+        assert cm.cost(space.region(2, "WI")) == 6.0
+
+    def test_bad_aggregate(self, space):
+        with pytest.raises(CostError):
+            CellCostModel(space, {}, agg="median")
+
+    def test_caching_consistent(self, space):
+        cm = CellCostModel(space, {(1, "WI"): 5.0})
+        r = space.region(1, "WI")
+        assert cm.cost(r) == cm.cost(r) == 5.0
+
+
+class TestProductCostModel:
+    def test_product_form(self, space):
+        cm = ProductCostModel(space, {"WI": 2.0, "IL": 1.0, "MD": 0.5})
+        assert cm.cost(space.region(4 - 1, "MW")) == pytest.approx(3 * 3.0)
+        assert cm.cost(space.region(1, "MD")) == pytest.approx(0.5)
+        assert cm.cost(space.region(2, "All")) == pytest.approx(2 * 3.5)
+
+    def test_monotone_in_budget_axes(self, space):
+        """Bigger regions never cost less — the pruning precondition."""
+        cm = ProductCostModel(space, {"WI": 2.0, "IL": 1.0, "MD": 0.5})
+        assert cm.cost(space.region(1, "WI")) <= cm.cost(space.region(2, "WI"))
+        assert cm.cost(space.region(1, "WI")) <= cm.cost(space.region(1, "MW"))
+        assert cm.cost(space.region(1, "MW")) <= cm.cost(space.region(1, "All"))
+
+    def test_missing_weight_rejected(self, space):
+        with pytest.raises(CostError):
+            ProductCostModel(space, {"WI": 2.0})
+
+    def test_needs_both_dimension_kinds(self):
+        time_only = RegionSpace([IntervalDimension("t", 2)])
+        with pytest.raises(CostError):
+            ProductCostModel(time_only, {})
+
+
+class TestOtherModels:
+    def test_callable(self, space):
+        cm = CallableCostModel(lambda r: 42.0)
+        assert cm.cost(space.region(1, "WI")) == 42.0
+
+    def test_zero(self, space):
+        assert ZeroCostModel().cost(space.region(1, "WI")) == 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for item hierarchies and the cube-subset level lattice."""
+
+import numpy as np
+import pytest
+
+from repro.dimensions import (
+    CubeSubset,
+    HierarchicalDimension,
+    HierarchyError,
+    ItemHierarchies,
+)
+from repro.table import Table
+
+
+@pytest.fixture()
+def category() -> HierarchicalDimension:
+    # Figure 5's Category hierarchy, with concrete leaf products.
+    return HierarchicalDimension.from_spec(
+        "category",
+        {"Hardware": ["Desktop", "Laptop"], "Software": ["Games"]},
+        level_names=("Any", "Division", "Category"),
+        root_name="Any",
+    )
+
+
+@pytest.fixture()
+def expense() -> HierarchicalDimension:
+    return HierarchicalDimension.from_spec(
+        "expense",
+        {"Low": ["100K"], "High": ["1M"]},
+        level_names=("Any", "Range", "Expense"),
+        root_name="Any",
+    )
+
+
+@pytest.fixture()
+def hierarchies(category, expense) -> ItemHierarchies:
+    return ItemHierarchies([category, expense])
+
+
+@pytest.fixture()
+def items() -> Table:
+    return Table(
+        {
+            "id": [1, 2, 3, 4, 5],
+            "category": ["Desktop", "Laptop", "Games", "Desktop", "Laptop"],
+            "expense": ["100K", "1M", "100K", "1M", "100K"],
+        }
+    )
+
+
+class TestLattice:
+    def test_level_count(self, hierarchies):
+        # 3 depths for category x 3 depths for expense = 9 levels (Figure 6)
+        assert len(hierarchies.levels()) == 9
+
+    def test_base_level_first_all_last(self, hierarchies):
+        levels = hierarchies.levels()
+        assert levels[0] == (2, 2)
+        assert levels[-1] == (0, 0)
+        assert hierarchies.base_level == (2, 2)
+
+    def test_duplicate_attribute_rejected(self, category):
+        with pytest.raises(HierarchyError):
+            ItemHierarchies([category, category])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            ItemHierarchies([])
+
+
+class TestEncoding:
+    def test_base_cells(self, hierarchies, items):
+        cell_of_item, cells = hierarchies.encode_items(items)
+        assert len(cell_of_item) == 5
+        # distinct (category, expense) combos: (D,100K),(L,1M),(G,100K),(D,1M),(L,100K)
+        assert len(cells) == 5
+
+    def test_items_in_same_cell_share_code(self, hierarchies):
+        items = Table(
+            {
+                "id": [1, 2],
+                "category": ["Desktop", "Desktop"],
+                "expense": ["100K", "100K"],
+            }
+        )
+        cell_of_item, cells = hierarchies.encode_items(items)
+        assert cell_of_item[0] == cell_of_item[1]
+        assert len(cells) == 1
+
+
+class TestRollup:
+    def test_rollup_to_divisions(self, hierarchies, items):
+        cell_of_item, cells = hierarchies.encode_items(items)
+        rm = hierarchies.rollup_map((1, 1), cells)
+        names = {str(s) for s in rm.subsets}
+        assert names <= {
+            "[Hardware, Low]", "[Hardware, High]", "[Software, Low]", "[Software, High]",
+        }
+        # every base cell maps to exactly one subset
+        assert rm.subset_of_base.shape == (len(cells),)
+        assert rm.subset_of_base.max() < len(rm.subsets)
+
+    def test_rollup_to_top(self, hierarchies, items):
+        cell_of_item, cells = hierarchies.encode_items(items)
+        rm = hierarchies.rollup_map((0, 0), cells)
+        assert len(rm.subsets) == 1
+        assert str(rm.subsets[0]) == "[Any, Any]"
+        assert (rm.subset_of_base == 0).all()
+
+    def test_rollup_membership_matches_mask(self, hierarchies, items):
+        """Counting members through the rollup map == direct membership mask."""
+        cell_of_item, cells = hierarchies.encode_items(items)
+        for level in hierarchies.levels():
+            rm = hierarchies.rollup_map(level, cells)
+            subset_of_item = rm.subset_of_base[cell_of_item]
+            for s_idx, subset in enumerate(rm.subsets):
+                via_rollup = int((subset_of_item == s_idx).sum())
+                via_mask = int(hierarchies.member_mask(items, subset).sum())
+                assert via_rollup == via_mask, f"{subset} at level {level}"
+
+    def test_bad_level_arity(self, hierarchies, items):
+        __, cells = hierarchies.encode_items(items)
+        with pytest.raises(HierarchyError):
+            hierarchies.rollup_map((1,), cells)
+
+
+class TestPredictionSubsets:
+    def test_subsets_containing(self, hierarchies):
+        subsets = hierarchies.subsets_containing({"category": "Desktop", "expense": "100K"})
+        names = {str(s) for s in subsets}
+        # Section 6.2's example: 3 x 3 = 9 enclosing subsets
+        assert len(subsets) == 9
+        assert "[Desktop, 100K]" in names
+        assert "[Hardware, Low]" in names
+        assert "[Any, Any]" in names
+
+    def test_missing_attribute_rejected(self, hierarchies):
+        with pytest.raises(HierarchyError):
+            hierarchies.subsets_containing({"category": "Desktop"})
+
+    def test_member_mask(self, hierarchies, items):
+        subset = CubeSubset(("Hardware", "Low"), (1, 1))
+        mask = hierarchies.member_mask(items, subset)
+        # Hardware-and-Low items: Desktop/100K (1), Laptop/100K (5)
+        assert list(items["id"][mask]) == [1, 5]

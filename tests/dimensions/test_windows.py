@@ -1,0 +1,86 @@
+"""Tests for generalized window dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.dimensions import (
+    HierarchicalDimension,
+    Interval,
+    IntervalDimension,
+    RegionError,
+    RegionSpace,
+    WindowedIntervalDimension,
+)
+
+
+class TestWindowedDimension:
+    def test_explicit_windows(self):
+        dim = WindowedIntervalDimension("t", 10, [(1, 3), (4, 6), (7, 10)])
+        assert [str(w) for w in dim.intervals()] == ["1-3", "4-6", "7-10"]
+
+    def test_sliding_factory(self):
+        dim = WindowedIntervalDimension.sliding("t", 8, width=4)
+        assert [str(w) for w in dim.intervals()] == [
+            "1-4", "2-5", "3-6", "4-7", "5-8",
+        ]
+
+    def test_sliding_step(self):
+        dim = WindowedIntervalDimension.sliding("t", 9, width=3, step=3)
+        assert [str(w) for w in dim.intervals()] == ["1-3", "4-6", "7-9"]
+
+    def test_window_beyond_points_rejected(self):
+        with pytest.raises(RegionError):
+            WindowedIntervalDimension("t", 5, [(1, 6)])
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(RegionError):
+            WindowedIntervalDimension("t", 5, [])
+
+    def test_bad_sliding_params(self):
+        with pytest.raises(RegionError):
+            WindowedIntervalDimension.sliding("t", 5, width=0)
+
+    def test_interval_lookup_by_end(self):
+        dim = WindowedIntervalDimension("t", 10, [(2, 5), (1, 7)])
+        assert dim.interval(5) == Interval(2, 5)
+        with pytest.raises(RegionError):
+            dim.interval(9)
+
+    def test_validate_value(self):
+        dim = WindowedIntervalDimension("t", 10, [(2, 5)])
+        dim.validate_value(Interval(2, 5))
+        with pytest.raises(RegionError):
+            dim.validate_value(Interval(1, 5))
+
+    def test_prefix_dimension_still_rejects_nonprefix(self):
+        dim = IntervalDimension("t", 10)
+        with pytest.raises(RegionError):
+            dim.validate_value(Interval(2, 5))
+
+
+class TestWindowedRegionSpace:
+    @pytest.fixture()
+    def space(self):
+        time = WindowedIntervalDimension.sliding("week", 6, width=2)
+        loc = HierarchicalDimension.from_spec(
+            "state", {"MW": ["WI"]}, level_names=("All", "Div", "State")
+        )
+        return RegionSpace([time, loc])
+
+    def test_region_count(self, space):
+        assert space.n_regions == 5 * 3  # 5 windows x (WI, MW, All)
+
+    def test_tuple_shortcut(self, space):
+        r = space.region((2, 3), "WI")
+        assert r.values[0] == Interval(2, 3)
+
+    def test_noncandidate_window_rejected(self, space):
+        with pytest.raises(RegionError):
+            space.region((1, 4), "WI")
+
+    def test_mask_respects_window(self, space):
+        from repro.table import Table
+
+        fact = Table({"week": [1, 2, 3, 6], "state": ["WI"] * 4})
+        r = space.region((2, 3), "All")
+        assert list(space.mask(fact, r)) == [False, True, True, False]

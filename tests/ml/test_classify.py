@@ -1,0 +1,167 @@
+"""Tests for Gaussian naive Bayes and classification error estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    ClassificationCVEstimator,
+    FitError,
+    GaussianNB,
+    GaussianNBStats,
+    NotFittedError,
+    TrainingSetClassificationEstimator,
+    misclassification_rate,
+)
+
+
+@pytest.fixture()
+def blobs():
+    rng = np.random.default_rng(1)
+    x = np.vstack([rng.normal(0, 1, (80, 3)), rng.normal(4, 1, (80, 3))])
+    y = np.array([0.0] * 80 + [1.0] * 80)
+    return x, y
+
+
+class TestGaussianNB:
+    def test_separable_blobs(self, blobs):
+        x, y = blobs
+        model = GaussianNB().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_predict_single_row(self, blobs):
+        x, y = blobs
+        model = GaussianNB().fit(x, y)
+        assert model.predict(x[0]).shape == (1,)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            GaussianNB().predict(np.zeros((1, 2)))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack([rng.normal(c * 5, 1, (50, 2)) for c in range(3)])
+        y = np.repeat([0.0, 1.0, 2.0], 50)
+        model = GaussianNB().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_single_class_predicts_it(self):
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.full(10, 7.0)
+        model = GaussianNB().fit(x, y)
+        assert (model.predict(x) == 7.0).all()
+
+    def test_constant_feature_no_crash(self):
+        x = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = (np.arange(20) >= 10).astype(float)
+        model = GaussianNB().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+
+class TestStats:
+    def test_from_data_shapes(self, blobs):
+        x, y = blobs
+        s = GaussianNBStats.from_data(x, y)
+        assert s.classes == (0.0, 1.0)
+        assert s.counts.tolist() == [80.0, 80.0]
+        assert s.sums.shape == (2, 3)
+
+    def test_merge_equals_whole(self, blobs):
+        """The statistic is distributive: partition merge == whole."""
+        x, y = blobs
+        whole = GaussianNBStats.from_data(x, y)
+        merged = (
+            GaussianNBStats.from_data(x[:50], y[:50])
+            + GaussianNBStats.from_data(x[50:], y[50:])
+        )
+        assert merged.classes == whole.classes
+        assert np.allclose(merged.counts, whole.counts)
+        assert np.allclose(merged.sums, whole.sums)
+        assert np.allclose(merged.sumsq, whole.sumsq)
+
+    def test_merge_with_disjoint_classes(self):
+        rng = np.random.default_rng(3)
+        xa, ya = rng.normal(size=(10, 2)), np.zeros(10)
+        xb, yb = rng.normal(5, 1, (10, 2)), np.ones(10)
+        merged = (
+            GaussianNBStats.from_data(xa, ya) + GaussianNBStats.from_data(xb, yb)
+        )
+        assert merged.classes == (0.0, 1.0)
+        assert merged.n == 20
+
+    def test_fit_stats_equals_fit(self, blobs):
+        x, y = blobs
+        direct = GaussianNB().fit(x, y)
+        via_stats = GaussianNB().fit_stats(GaussianNBStats.from_data(x, y))
+        assert (direct.predict(x) == via_stats.predict(x)).all()
+
+    def test_feature_mismatch_rejected(self):
+        a = GaussianNBStats.zeros((0.0,), 2)
+        b = GaussianNBStats.zeros((0.0,), 3)
+        with pytest.raises(FitError):
+            a + b
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(FitError):
+            GaussianNB().fit_stats(GaussianNBStats.zeros((0.0,), 2))
+
+
+class TestErrorEstimators:
+    def test_rate_bounds(self, blobs):
+        x, y = blobs
+        est = ClassificationCVEstimator(n_folds=5, seed=0).estimate(x, y)
+        assert 0.0 <= est.rmse <= 0.2
+        assert est.kind == "cv"
+        assert len(est.fold_rmses) == 5
+
+    def test_training_rate(self, blobs):
+        x, y = blobs
+        est = TrainingSetClassificationEstimator().estimate(x, y)
+        assert 0.0 <= est.rmse <= 0.1
+
+    def test_deterministic(self, blobs):
+        x, y = blobs
+        a = ClassificationCVEstimator(seed=3).estimate(x, y).rmse
+        b = ClassificationCVEstimator(seed=3).estimate(x, y).rmse
+        assert a == b
+
+    def test_rate_helper(self):
+        assert misclassification_rate(
+            np.array([0, 1, 1]), np.array([0, 0, 1])
+        ) == pytest.approx(1 / 3)
+        with pytest.raises(FitError):
+            misclassification_rate(np.zeros(2), np.zeros(3))
+
+    def test_bad_folds(self):
+        with pytest.raises(ValueError):
+            ClassificationCVEstimator(n_folds=1)
+
+
+class TestClassificationBellwether:
+    def test_basic_search_finds_separable_region(self):
+        """A full classification bellwether task through the basic search."""
+        from repro.core import BasicBellwetherSearch, DirectTask
+        from repro.dimensions import Region
+        from repro.storage import MemoryStore, RegionBlock
+        from repro.table import Table
+
+        rng = np.random.default_rng(5)
+        n = 120
+        items = Table({"item": np.arange(1, n + 1)})
+        y = (rng.random(n) > 0.5).astype(float)
+        regions = [Region((f"r{k}",)) for k in range(6)]
+        informative = regions[2]
+        blocks = {}
+        for region in regions:
+            if region == informative:
+                x = y[:, None] * 4.0 + rng.normal(0, 0.5, (n, 1))
+            else:
+                x = rng.normal(0, 1, (n, 1))
+            blocks[region] = RegionBlock(np.arange(1, n + 1), x, y)
+        store = MemoryStore(blocks, ("signal",))
+        task = DirectTask(
+            items, "item", targets=y,
+            error_estimator=ClassificationCVEstimator(n_folds=5, seed=0),
+        )
+        result = BasicBellwetherSearch(task, store, min_examples=10).run()
+        assert result.bellwether.region == informative
+        assert result.bellwether.rmse < 0.1  # misclassification rate

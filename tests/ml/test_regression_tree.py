@@ -1,0 +1,78 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import FitError, NotFittedError, RegressionTree
+
+
+@pytest.fixture()
+def step_data():
+    """A step function: y = 0 for x<0, y = 10 for x>=0."""
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1, 1, size=(300, 1))
+    y = np.where(x[:, 0] < 0, 0.0, 10.0) + rng.normal(scale=0.1, size=300)
+    return x, y
+
+
+class TestFit:
+    def test_learns_step(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=3, min_leaf=5).fit(x, y)
+        pred = tree.predict(np.array([[-0.5], [0.5]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.5)
+        assert pred[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_depth_zero_is_mean(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=0).fit(x, y)
+        assert tree.n_leaves == 1
+        assert tree.predict(x)[0] == pytest.approx(y.mean())
+
+    def test_constant_target_single_leaf(self):
+        x = np.arange(20.0)[:, None]
+        y = np.full(20, 7.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.n_leaves == 1
+        assert tree.predict(x)[0] == 7.0
+
+    def test_respects_max_depth(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=2, min_leaf=2).fit(x, y)
+        assert tree.depth <= 2
+
+    def test_min_leaf_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 1))
+        y = rng.normal(size=10)
+        tree = RegressionTree(max_depth=10, min_leaf=6).fit(x, y)
+        assert tree.n_leaves == 1  # 10 rows can't split into two 6s
+
+    def test_multifeature_picks_informative(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 3))
+        y = np.where(x[:, 2] < 0.2, -5.0, 5.0)
+        tree = RegressionTree(max_depth=1, min_leaf=5).fit(x, y)
+        assert tree._root.feature == 2
+        assert tree._root.threshold == pytest.approx(0.2, abs=0.1)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(FitError):
+            RegressionTree().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(FitError):
+            RegressionTree(max_depth=-1)
+        with pytest.raises(FitError):
+            RegressionTree(min_leaf=0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_reduces_training_error_vs_mean(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=4, min_leaf=5).fit(x, y)
+        sse_tree = float(((y - tree.predict(x)) ** 2).sum())
+        sse_mean = float(((y - y.mean()) ** 2).sum())
+        assert sse_tree < 0.1 * sse_mean

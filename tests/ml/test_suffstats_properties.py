@@ -1,0 +1,94 @@
+"""Property-based tests for Theorem 1: SSE is an algebraic aggregate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import LinearSuffStats, add_intercept
+
+
+@st.composite
+def regression_problems(draw):
+    n = draw(st.integers(6, 40))
+    p = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    x = add_intercept(rng.normal(size=(n, p)))
+    beta = rng.normal(size=p + 1)
+    y = x @ beta + rng.normal(scale=0.5, size=n)
+    w = rng.uniform(0.5, 2.0, size=n)
+    return x, y, w
+
+
+@st.composite
+def partitions(draw, n):
+    """A random partition of range(n) into 1-4 non-empty blocks."""
+    k = draw(st.integers(1, min(4, n)))
+    labels = draw(
+        st.lists(st.integers(0, k - 1), min_size=n, max_size=n).filter(
+            lambda ls: len(set(ls)) == k
+        )
+    )
+    return np.asarray(labels)
+
+
+@given(regression_problems(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_theorem1_sse_is_algebraic(problem, data):
+    """q({g(S_k)}) == SSE(S) for any partition S_1..S_k of S."""
+    x, y, w = problem
+    labels = data.draw(partitions(len(y)))
+    whole = LinearSuffStats.from_data(x, y, w)
+    merged = LinearSuffStats.zeros(x.shape[1])
+    for block in np.unique(labels):
+        mask = labels == block
+        merged = merged + LinearSuffStats.from_data(x[mask], y[mask], w[mask])
+    assert np.allclose(merged.xtwx, whole.xtwx, atol=1e-8)
+    assert np.allclose(merged.xtwy, whole.xtwy, atol=1e-8)
+    assert np.isclose(merged.ytwy, whole.ytwy, atol=1e-8)
+    # The algebraic q: solve + SSE from merged stats equals whole-data SSE.
+    assert np.isclose(merged.sse(), whole.sse(), rtol=1e-6, atol=1e-6)
+
+
+@given(regression_problems())
+@settings(max_examples=60, deadline=None)
+def test_g_has_fixed_size(problem):
+    """g(S) is fixed-size: 1 + p*p + p numbers regardless of |S|."""
+    x, y, w = problem
+    s_small = LinearSuffStats.from_data(x[:3], y[:3], w[:3])
+    s_large = LinearSuffStats.from_data(x, y, w)
+    assert s_small.xtwx.shape == s_large.xtwx.shape
+    assert s_small.xtwy.shape == s_large.xtwy.shape
+
+
+@given(regression_problems())
+@settings(max_examples=60, deadline=None)
+def test_merge_is_commutative_and_associative(problem):
+    x, y, w = problem
+    third = len(y) // 3
+    a = LinearSuffStats.from_data(x[:third], y[:third], w[:third])
+    b = LinearSuffStats.from_data(x[third:2 * third], y[third:2 * third], w[third:2 * third])
+    c = LinearSuffStats.from_data(x[2 * third:], y[2 * third:], w[2 * third:])
+    ab_c = (a + b) + c
+    c_ba = c + (b + a)
+    assert np.allclose(ab_c.xtwx, c_ba.xtwx)
+    assert np.allclose(ab_c.xtwy, c_ba.xtwy)
+    assert np.isclose(ab_c.ytwy, c_ba.ytwy)
+
+
+@given(regression_problems())
+@settings(max_examples=60, deadline=None)
+def test_sse_never_negative(problem):
+    x, y, w = problem
+    assert LinearSuffStats.from_data(x, y, w).sse() >= 0.0
+
+
+@given(regression_problems())
+@settings(max_examples=40, deadline=None)
+def test_adding_examples_never_reduces_sse(problem):
+    """Training SSE is monotone in the example set (same model family)."""
+    x, y, w = problem
+    half = len(y) // 2
+    sse_half = LinearSuffStats.from_data(x[:half], y[:half], w[:half]).sse()
+    sse_full = LinearSuffStats.from_data(x, y, w).sse()
+    assert sse_full >= sse_half - 1e-8

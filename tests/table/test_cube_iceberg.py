@@ -1,0 +1,132 @@
+"""Unit tests for CUBE / ROLLUP / iceberg cube."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    ALL,
+    AggregateSpec,
+    Table,
+    cube,
+    iceberg_cube,
+    iceberg_distinct_count,
+    rollup,
+)
+from repro.table.errors import AggregateError
+
+
+@pytest.fixture()
+def facts() -> Table:
+    return Table(
+        {
+            "time": ["t1", "t1", "t2", "t2"],
+            "loc": ["WI", "MD", "WI", "WI"],
+            "item": [1, 2, 1, 3],
+            "profit": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+def _cell(table, **dims):
+    """Find the single row matching the given dimension values."""
+    mask = np.ones(table.n_rows, dtype=bool)
+    for k, v in dims.items():
+        mask &= table[k] == v
+    idx = np.flatnonzero(mask)
+    assert len(idx) == 1, f"expected one cell for {dims}, got {len(idx)}"
+    return table.row(idx[0])
+
+
+class TestCube:
+    def test_cell_count(self, facts):
+        c = cube(facts, ["time", "loc"], [AggregateSpec("sum", "profit")])
+        # base cells: (t1,WI),(t1,MD),(t2,WI) = 3; time-only: 2; loc-only: 2; all: 1
+        assert c.n_rows == 8
+
+    def test_grand_total(self, facts):
+        c = cube(facts, ["time", "loc"], [AggregateSpec("sum", "profit")])
+        assert _cell(c, time=ALL, loc=ALL)["sum_profit"] == pytest.approx(10.0)
+
+    def test_partial_rollup_values(self, facts):
+        c = cube(facts, ["time", "loc"], [AggregateSpec("sum", "profit")])
+        assert _cell(c, time="t2", loc=ALL)["sum_profit"] == pytest.approx(7.0)
+        assert _cell(c, time=ALL, loc="WI")["sum_profit"] == pytest.approx(8.0)
+
+    def test_avg_rolls_up_correctly(self, facts):
+        c = cube(facts, ["loc"], [AggregateSpec("avg", "profit")])
+        assert _cell(c, loc="WI")["avg_profit"] == pytest.approx(8.0 / 3)
+        assert _cell(c, loc=ALL)["avg_profit"] == pytest.approx(2.5)
+
+    def test_min_max_rollup(self, facts):
+        c = cube(facts, ["time"], [AggregateSpec("min", "profit"), AggregateSpec("max", "profit")])
+        top = _cell(c, time=ALL)
+        assert top["min_profit"] == 1.0
+        assert top["max_profit"] == 4.0
+
+    def test_include_dims_subset(self, facts):
+        c = cube(
+            facts,
+            ["time", "loc"],
+            [AggregateSpec("sum", "profit")],
+            include_dims=[("time",)],
+        )
+        assert set(c["loc"]) == {ALL}
+        assert c.n_rows == 2
+
+    def test_include_dims_unknown_rejected(self, facts):
+        with pytest.raises(AggregateError):
+            cube(facts, ["time"], [AggregateSpec("sum", "profit")], include_dims=[("bogus",)])
+
+    def test_matches_direct_groupby(self, facts):
+        """Rolled-up cells merged from base cells == recomputed from raw rows."""
+        from repro.table import group_by
+
+        c = cube(facts, ["time", "loc"], [AggregateSpec("sum", "profit")])
+        direct = group_by(facts, ["time"], [AggregateSpec("sum", "profit")])
+        for t, s in zip(direct["time"], direct["sum_profit"]):
+            assert _cell(c, time=str(t), loc=ALL)["sum_profit"] == pytest.approx(s)
+
+    def test_holistic_aggregate_falls_back(self, facts):
+        c = cube(facts, ["loc"], [AggregateSpec("count_distinct", "item", alias="n")])
+        assert _cell(c, loc=ALL)["n"] == 3
+        assert _cell(c, loc="WI")["n"] == 2
+
+
+class TestRollup:
+    def test_prefix_groupings_only(self, facts):
+        r = rollup(facts, ["time", "loc"], [AggregateSpec("sum", "profit")])
+        # (time,loc): 3 cells, (time): 2, (): 1 -> 6; never loc without time
+        assert r.n_rows == 6
+        loc_only = (np.asarray([t == ALL for t in r["time"]])
+                    & np.asarray([l != ALL for l in r["loc"]]))
+        assert not loc_only.any()
+
+
+class TestIceberg:
+    def test_support_threshold(self, facts):
+        ice = iceberg_cube(facts, ["time", "loc"], min_count=2)
+        supports = dict()
+        for i in range(ice.n_rows):
+            row = ice.row(i)
+            supports[(row["time"], row["loc"])] = row["support"]
+        assert (ALL, ALL) in supports and supports[(ALL, ALL)] == 4
+        assert ("t2", "WI") in supports
+        assert ("t1", "WI") not in supports  # support 1
+
+    def test_extra_aggregates_carried(self, facts):
+        ice = iceberg_cube(
+            facts, ["loc"], min_count=3, aggs=[AggregateSpec("sum", "profit")]
+        )
+        cells = {row["loc"]: row for row in (ice.row(i) for i in range(ice.n_rows))}
+        assert cells["WI"]["sum_profit"] == pytest.approx(8.0)
+
+    def test_distinct_count_constraint(self, facts):
+        cov = iceberg_distinct_count(facts, ["loc"], "item", min_distinct=2)
+        cells = {row["loc"]: row["n_distinct"] for row in (cov.row(i) for i in range(cov.n_rows))}
+        assert cells[ALL] == 3  # items 1,2,3 — distinct, not row count
+        assert cells["WI"] == 2
+        assert "MD" not in cells  # only item 2
+
+    def test_threshold_filters_everything(self, facts):
+        ice = iceberg_cube(facts, ["time", "loc"], min_count=100)
+        assert ice.n_rows == 0

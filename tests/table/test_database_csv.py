@@ -1,0 +1,101 @@
+"""Unit tests for star-schema Database and CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    ColumnType,
+    Database,
+    JoinError,
+    Reference,
+    Schema,
+    SchemaError,
+    Table,
+    load_csv,
+    save_csv,
+)
+
+
+@pytest.fixture()
+def star() -> Database:
+    fact = Table(
+        {
+            "item": [1, 1, 2],
+            "ad": [10, 11, 10],
+            "profit": [1.0, 2.0, 3.0],
+        }
+    )
+    items = Table({"item": [1, 2], "category": ["a", "b"]})
+    ads = Table({"ad": [10, 11], "size": [1.0, 2.0]})
+    return Database(fact, [Reference("items", items, "item"), Reference("ads", ads, "ad")])
+
+
+class TestDatabase:
+    def test_join_single_reference(self, star):
+        j = star.join_fact("items")
+        assert "category" in j
+        assert j.n_rows == 3
+
+    def test_join_multiple_references(self, star):
+        j = star.join_fact("items", "ads")
+        assert "category" in j and "size" in j
+
+    def test_unknown_reference(self, star):
+        with pytest.raises(SchemaError):
+            star.reference("nope")
+
+    def test_duplicate_reference_rejected(self, star):
+        items = Table({"item": [1], "x": [0]})
+        with pytest.raises(SchemaError):
+            star.add_reference(Reference("items", items, "item"))
+
+    def test_nonunique_reference_key_rejected(self):
+        bad = Table({"item": [1, 1], "c": ["a", "b"]})
+        with pytest.raises(SchemaError):
+            Reference("items", bad, "item")
+
+    def test_integrity_ok(self, star):
+        star.check_integrity()  # should not raise
+
+    def test_integrity_dangling_fk(self):
+        fact = Table({"item": [1, 99], "profit": [1.0, 2.0]})
+        items = Table({"item": [1], "c": ["a"]})
+        db = Database(fact, [Reference("items", items, "item")])
+        with pytest.raises(JoinError):
+            db.check_integrity()
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        t = Table(
+            {
+                "i": [1, 2, 3],
+                "f": [1.5, 2.5, -3.0],
+                "s": ["a", "b c", "d,e"],
+            }
+        )
+        path = tmp_path / "t.csv"
+        save_csv(t, path)
+        back = load_csv(path)
+        assert back.schema == t.schema
+        assert back.to_dict() == t.to_dict()
+
+    def test_roundtrip_empty(self, tmp_path):
+        t = Table.empty(Schema([("a", ColumnType.INT), ("b", ColumnType.STR)]))
+        path = tmp_path / "e.csv"
+        save_csv(t, path)
+        back = load_csv(path)
+        assert back.n_rows == 0
+        assert back.schema == t.schema
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_bad_type_tag_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\ncomplex\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)

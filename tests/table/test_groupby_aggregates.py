@@ -1,0 +1,151 @@
+"""Unit tests for group-by aggregation and the aggregate registry."""
+
+import numpy as np
+import pytest
+
+from repro.table import AggregateError, AggregateSpec, Table, group_by, group_codes
+from repro.table.groupby import count_rows_per_group, distinct_rows
+
+
+@pytest.fixture()
+def sales() -> Table:
+    return Table(
+        {
+            "region": ["e", "e", "w", "w", "w"],
+            "item": [1, 2, 1, 1, 3],
+            "amount": [10.0, 20.0, 5.0, 7.0, 9.0],
+        }
+    )
+
+
+class TestGroupCodes:
+    def test_dense_ids(self, sales):
+        gids, groups = group_codes(sales, ["region"])
+        assert groups.n_rows == 2
+        assert set(gids) == {0, 1}
+
+    def test_multi_key(self, sales):
+        gids, groups = group_codes(sales, ["region", "item"])
+        assert groups.n_rows == 4  # (e,1),(e,2),(w,1),(w,3)
+
+    def test_group_rows_match_members(self, sales):
+        gids, groups = group_codes(sales, ["region", "item"])
+        for row_idx in range(sales.n_rows):
+            g = gids[row_idx]
+            assert groups.column("region")[g] == sales.column("region")[row_idx]
+            assert groups.column("item")[g] == sales.column("item")[row_idx]
+
+    def test_empty_keys(self, sales):
+        gids, groups = group_codes(sales, [])
+        assert set(gids) == {0}
+
+
+class TestGroupBy:
+    def test_sum(self, sales):
+        r = group_by(sales, ["region"], [AggregateSpec("sum", "amount")])
+        d = dict(zip(r["region"], r["sum_amount"]))
+        assert d == {"e": 30.0, "w": 21.0}
+
+    def test_min_max(self, sales):
+        r = group_by(
+            sales,
+            ["region"],
+            [AggregateSpec("min", "amount"), AggregateSpec("max", "amount")],
+        )
+        d = {reg: (lo, hi) for reg, lo, hi in zip(r["region"], r["min_amount"], r["max_amount"])}
+        assert d == {"e": (10.0, 20.0), "w": (5.0, 9.0)}
+
+    def test_count(self, sales):
+        r = group_by(sales, ["region"], [AggregateSpec("count", "item", alias="n")])
+        d = dict(zip(r["region"], r["n"]))
+        assert d == {"e": 2, "w": 3}
+
+    def test_avg(self, sales):
+        r = group_by(sales, ["region"], [AggregateSpec("avg", "amount")])
+        d = dict(zip(r["region"], r["avg_amount"]))
+        assert d["e"] == pytest.approx(15.0)
+        assert d["w"] == pytest.approx(7.0)
+
+    def test_count_distinct(self, sales):
+        r = group_by(sales, ["region"], [AggregateSpec("count_distinct", "item")])
+        d = dict(zip(r["region"], r["count_distinct_item"]))
+        assert d == {"e": 2, "w": 2}
+
+    def test_count_distinct_strings(self):
+        t = Table({"g": [1, 1, 2], "s": ["a", "a", "b"]})
+        r = group_by(t, ["g"], [AggregateSpec("count_distinct", "s", alias="n")])
+        assert dict(zip(r["g"], r["n"])) == {1: 1, 2: 1}
+
+    def test_whole_table_group(self, sales):
+        r = group_by(sales, [], [AggregateSpec("sum", "amount", alias="total")])
+        assert r.n_rows == 1
+        assert r["total"][0] == pytest.approx(51.0)
+
+    def test_no_aggs_rejected(self, sales):
+        with pytest.raises(AggregateError):
+            group_by(sales, ["region"], [])
+
+    def test_string_sum_rejected(self, sales):
+        with pytest.raises(AggregateError):
+            group_by(sales, ["item"], [AggregateSpec("sum", "region")])
+
+    def test_empty_table(self, sales):
+        empty = sales.select(np.zeros(5, dtype=bool))
+        r = group_by(empty, ["region"], [AggregateSpec("sum", "amount")])
+        assert r.n_rows == 0
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(AggregateError):
+            AggregateSpec("median", "amount")
+
+    def test_alias_default(self):
+        assert AggregateSpec("sum", "x").alias == "sum_x"
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(7)
+        n = 500
+        t = Table(
+            {
+                "k1": rng.integers(0, 5, n),
+                "k2": rng.integers(0, 4, n),
+                "v": rng.normal(size=n),
+            }
+        )
+        r = group_by(
+            t,
+            ["k1", "k2"],
+            [
+                AggregateSpec("sum", "v"),
+                AggregateSpec("min", "v"),
+                AggregateSpec("max", "v"),
+                AggregateSpec("count", "v", alias="n"),
+            ],
+        )
+        expected: dict[tuple[int, int], list[float]] = {}
+        for k1, k2, v in zip(t["k1"], t["k2"], t["v"]):
+            expected.setdefault((k1, k2), []).append(v)
+        assert r.n_rows == len(expected)
+        for k1, k2, s, lo, hi, n_rows in zip(
+            r["k1"], r["k2"], r["sum_v"], r["min_v"], r["max_v"], r["n"]
+        ):
+            vals = expected[(k1, k2)]
+            assert s == pytest.approx(sum(vals))
+            assert lo == pytest.approx(min(vals))
+            assert hi == pytest.approx(max(vals))
+            assert n_rows == len(vals)
+
+
+class TestHelpers:
+    def test_distinct_rows(self):
+        t = Table({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        d = distinct_rows(t)
+        assert d.n_rows == 2
+
+    def test_distinct_rows_empty(self):
+        t = Table({"a": np.empty(0, dtype=np.int64)})
+        assert distinct_rows(t).n_rows == 0
+
+    def test_count_rows_per_group(self):
+        t = Table({"a": [1, 1, 2], "b": [0.0, 0.0, 0.0]})
+        r = count_rows_per_group(t, ["a"])
+        assert dict(zip(r["a"], r["n"])) == {1: 2, 2: 1}

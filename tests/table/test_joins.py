@@ -1,0 +1,107 @@
+"""Unit tests for natural / inner / semi joins."""
+
+import numpy as np
+import pytest
+
+from repro.table import JoinError, Table, inner_join, natural_join, semi_join
+
+
+@pytest.fixture()
+def fact() -> Table:
+    return Table(
+        {
+            "item": [1, 1, 2, 3, 9],
+            "ad": [10, 11, 10, 12, 10],
+            "profit": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+
+
+@pytest.fixture()
+def items() -> Table:
+    return Table({"item": [1, 2, 3], "category": ["a", "b", "a"]})
+
+
+@pytest.fixture()
+def ads() -> Table:
+    return Table({"ad": [10, 11, 12], "size": [100.0, 200.0, 300.0]})
+
+
+class TestNaturalJoin:
+    def test_basic(self, fact, items):
+        j = natural_join(fact, items)
+        # item 9 has no match and is dropped (inner join)
+        assert j.n_rows == 4
+        assert list(j["category"]) == ["a", "a", "b", "a"]
+
+    def test_explicit_key(self, fact, ads):
+        j = natural_join(fact, ads, on=["ad"])
+        assert dict(zip(j["profit"], j["size"])) == {
+            1.0: 100.0, 2.0: 200.0, 3.0: 100.0, 4.0: 300.0, 5.0: 100.0,
+        }
+
+    def test_string_keys(self):
+        left = Table({"k": ["x", "y", "z"], "v": [1, 2, 3]})
+        right = Table({"k": ["y", "x"], "w": [20, 10]})
+        j = natural_join(left, right)
+        assert dict(zip(j["v"], j["w"])) == {1: 10, 2: 20}
+
+    def test_nonunique_right_key_rejected(self, fact):
+        dup = Table({"item": [1, 1], "c": ["a", "b"]})
+        with pytest.raises(JoinError):
+            natural_join(fact, dup)
+
+    def test_no_common_columns_rejected(self, fact):
+        other = Table({"zzz": [1]})
+        with pytest.raises(JoinError):
+            natural_join(fact, other)
+
+    def test_non_key_name_clash_rejected(self, fact):
+        other = Table({"item": [1], "profit": [9.0]})
+        with pytest.raises(JoinError):
+            natural_join(fact, other, on=["item"])
+
+    def test_all_common_columns_are_keys_by_default(self, fact):
+        # True natural-join semantics: shared 'profit' joins as a key.
+        other = Table({"item": [1], "profit": [1.0]})
+        j = natural_join(fact, other)
+        assert j.n_rows == 1
+
+    def test_empty_left(self, items):
+        empty = Table({"item": np.empty(0, dtype=np.int64)})
+        assert natural_join(empty, items).n_rows == 0
+
+    def test_preserves_left_order(self, fact, items):
+        j = natural_join(fact, items)
+        assert list(j["profit"]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_multi_column_key(self):
+        left = Table({"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [1, 2, 3]})
+        right = Table({"a": [1, 2], "b": ["x", "x"], "w": [10, 20]})
+        j = natural_join(left, right, on=["a", "b"])
+        assert dict(zip(j["v"], j["w"])) == {1: 10, 3: 20}
+
+
+class TestInnerJoin:
+    def test_many_to_many(self):
+        left = Table({"k": [1, 1, 2], "v": [10, 11, 12]})
+        right = Table({"k": [1, 1, 3], "w": [100, 101, 102]})
+        j = inner_join(left, right)
+        assert j.n_rows == 4  # 2 left rows x 2 right rows for k=1
+        assert set(zip(j["v"], j["w"])) == {(10, 100), (10, 101), (11, 100), (11, 101)}
+
+    def test_no_matches(self):
+        left = Table({"k": [1], "v": [0]})
+        right = Table({"k": [2], "w": [0]})
+        assert inner_join(left, right).n_rows == 0
+
+
+class TestSemiJoin:
+    def test_filters_left(self, fact, items):
+        s = semi_join(fact, items)
+        assert s.n_rows == 4
+        assert 9 not in set(s["item"])
+
+    def test_keeps_schema(self, fact, items):
+        s = semi_join(fact, items)
+        assert s.column_names == fact.column_names

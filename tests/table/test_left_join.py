@@ -1,0 +1,56 @@
+"""Tests for the left outer join."""
+
+import numpy as np
+import pytest
+
+from repro.table import JoinError, Table, left_join
+
+
+@pytest.fixture()
+def tables():
+    left = Table({"k": [1, 2, 9], "v": [1.0, 2.0, 3.0]})
+    right = Table({"k": [1, 2], "w": [10.0, 20.0], "s": ["a", "b"]})
+    return left, right
+
+
+class TestLeftJoin:
+    def test_keeps_unmatched_rows(self, tables):
+        left, right = tables
+        j = left_join(left, right)
+        assert j.n_rows == 3
+        assert list(j["k"]) == [1, 2, 9]
+
+    def test_fill_values(self, tables):
+        left, right = tables
+        j = left_join(left, right)
+        assert np.isnan(j["w"][2])
+        assert j["s"][2] == ""
+
+    def test_custom_fill(self, tables):
+        left, right = tables
+        j = left_join(left, right, fill=-1.0)
+        assert j["w"][2] == -1.0
+
+    def test_matched_rows_agree_with_natural_join(self, tables):
+        from repro.table import natural_join
+
+        left, right = tables
+        inner = natural_join(left, right)
+        outer = left_join(left, right)
+        matched = {k: (w, s) for k, w, s in zip(inner["k"], inner["w"], inner["s"])}
+        for k, w, s in zip(outer["k"], outer["w"], outer["s"]):
+            if k in matched:
+                assert (w, s) == matched[k]
+
+    def test_nonunique_right_rejected(self):
+        left = Table({"k": [1], "v": [0.0]})
+        right = Table({"k": [1, 1], "w": [1.0, 2.0]})
+        with pytest.raises(JoinError):
+            left_join(left, right)
+
+    def test_empty_right(self):
+        left = Table({"k": [1, 2], "v": [0.0, 1.0]})
+        right = Table({"k": np.empty(0, dtype=np.int64), "w": np.empty(0)})
+        j = left_join(left, right)
+        assert j.n_rows == 2
+        assert np.isnan(j["w"]).all()

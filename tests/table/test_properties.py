@@ -1,0 +1,104 @@
+"""Property-based tests on the relational engine's algebraic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import (
+    ALL,
+    AggregateSpec,
+    Table,
+    cube,
+    group_by,
+    natural_join,
+)
+
+# A small random table: two low-cardinality key columns + one measure.
+keys = st.lists(st.integers(0, 4), min_size=1, max_size=60)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(1, 60))
+    k1 = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    k2 = draw(st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n))
+    v = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Table({"k1": k1, "k2": k2, "v": v})
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_groupby_sum_partitions_total(t):
+    """Group sums add up to the grand total (sum is distributive)."""
+    r = group_by(t, ["k1", "k2"], [AggregateSpec("sum", "v")])
+    assert np.isclose(r["sum_v"].sum(), t["v"].sum(), atol=1e-6)
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_groupby_counts_partition_rows(t):
+    r = group_by(t, ["k1", "k2"], [AggregateSpec("count", "v", alias="n")])
+    assert r["n"].sum() == t.n_rows
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_cube_rollup_consistent_with_direct_groupby(t):
+    """Every rolled-up cube cell equals a from-scratch group-by."""
+    c = cube(t, ["k1", "k2"], [AggregateSpec("sum", "v")])
+    direct = group_by(t, ["k1"], [AggregateSpec("sum", "v")])
+    cube_k1 = {
+        str(row["k1"]): row["sum_v"]
+        for row in (c.row(i) for i in range(c.n_rows))
+        if row["k2"] == ALL and row["k1"] != ALL
+    }
+    for k1, s in zip(direct["k1"], direct["sum_v"]):
+        assert np.isclose(cube_k1[str(k1)], s, atol=1e-6)
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_cube_grand_total_cell(t):
+    c = cube(t, ["k1", "k2"], [AggregateSpec("sum", "v")])
+    grand = [
+        row["sum_v"]
+        for row in (c.row(i) for i in range(c.n_rows))
+        if row["k1"] == ALL and row["k2"] == ALL
+    ]
+    assert len(grand) == 1
+    assert np.isclose(grand[0], t["v"].sum(), atol=1e-6)
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_natural_join_is_lookup(t):
+    """Joining on a synthetic unique key reproduces a dictionary lookup."""
+    lookup = Table({"k1": [0, 1, 2, 3], "label": ["w", "x", "y", "z"]})
+    j = natural_join(t, lookup)
+    assert j.n_rows == t.n_rows  # all k1 in 0..3 by construction
+    expected = {0: "w", 1: "x", 2: "y", 3: "z"}
+    for k1, label in zip(j["k1"], j["label"]):
+        assert expected[int(k1)] == label
+
+
+@given(tables(), tables())
+@settings(max_examples=30, deadline=None)
+def test_concat_then_groupby_merges(t1, t2):
+    """group_by(concat) == merge of group_by results (distributivity)."""
+    both = t1.concat(t2)
+    r = group_by(both, ["k1"], [AggregateSpec("sum", "v")])
+    partial: dict[int, float] = {}
+    for part in (t1, t2):
+        rp = group_by(part, ["k1"], [AggregateSpec("sum", "v")])
+        for k, s in zip(rp["k1"], rp["sum_v"]):
+            partial[int(k)] = partial.get(int(k), 0.0) + float(s)
+    merged = dict(zip((int(k) for k in r["k1"]), r["sum_v"]))
+    assert set(merged) == set(partial)
+    for k in merged:
+        assert np.isclose(merged[k], partial[k], atol=1e-6)

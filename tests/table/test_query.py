@@ -1,0 +1,143 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.table import (
+    Between,
+    Database,
+    Eq,
+    Ge,
+    Query,
+    Reference,
+    SchemaError,
+    Table,
+)
+
+
+@pytest.fixture()
+def orders() -> Table:
+    return Table(
+        {
+            "item": [1, 1, 2, 2, 3],
+            "ad": [10, 11, 10, 12, 11],
+            "state": ["WI", "MD", "WI", "NY", "MD"],
+            "profit": [10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    )
+
+
+@pytest.fixture()
+def db(orders) -> Database:
+    ads = Table({"ad": [10, 11, 12], "size": [1.0, 2.0, 3.0]})
+    return Database(orders, [Reference("ads", ads, "ad")])
+
+
+class TestBasics:
+    def test_where(self, orders):
+        assert Query(orders).where(Eq("state", "WI")).count() == 2
+
+    def test_where_chained_is_and(self, orders):
+        q = Query(orders).where(Eq("state", "WI")).where(Ge("profit", 20.0))
+        assert q.count() == 1
+
+    def test_select(self, orders):
+        r = Query(orders).select("state", "profit").run()
+        assert r.column_names == ("state", "profit")
+
+    def test_select_distinct(self, orders):
+        assert Query(orders).select("item").distinct().count() == 3
+
+    def test_distinct_all_columns(self, orders):
+        doubled = orders.concat(orders)
+        assert Query(doubled).distinct().count() == orders.n_rows
+
+    def test_order_by(self, orders):
+        r = Query(orders).order_by("profit", descending=True).run()
+        assert list(r["profit"]) == [50.0, 40.0, 30.0, 20.0, 10.0]
+
+    def test_order_by_multiple(self, orders):
+        # SQL semantics: the first order_by is the primary sort key.
+        r = Query(orders).order_by("state").order_by("profit").run()
+        assert list(r["state"]) == sorted(orders["state"])
+        md_profits = [p for s, p in zip(r["state"], r["profit"]) if s == "MD"]
+        assert md_profits == sorted(md_profits)
+
+    def test_limit(self, orders):
+        assert Query(orders).order_by("profit").limit(2).count() == 2
+        with pytest.raises(SchemaError):
+            Query(orders).limit(-1)
+
+    def test_limit_beyond_rows(self, orders):
+        assert Query(orders).limit(100).count() == 5
+
+
+class TestAggregation:
+    def test_group_agg(self, orders):
+        r = (
+            Query(orders)
+            .group_by("item")
+            .agg("sum", "profit", alias="total")
+            .run()
+        )
+        assert dict(zip(r["item"], r["total"])) == {1: 30.0, 2: 70.0, 3: 50.0}
+
+    def test_global_agg(self, orders):
+        assert Query(orders).agg("sum", "profit", alias="t").scalar() == 150.0
+
+    def test_group_without_agg_rejected(self, orders):
+        with pytest.raises(SchemaError):
+            Query(orders).group_by("item").run()
+
+    def test_filter_before_group(self, orders):
+        r = (
+            Query(orders)
+            .where(Between("profit", 20.0, 40.0))
+            .group_by("state")
+            .agg("count", "profit", alias="n")
+            .run()
+        )
+        assert dict(zip(r["state"], r["n"])) == {"MD": 1, "WI": 1, "NY": 1}
+
+    def test_scalar_requires_1x1(self, orders):
+        with pytest.raises(SchemaError):
+            Query(orders).scalar()
+
+
+class TestStarSchema:
+    def test_join_by_name(self, db):
+        r = Query.over(db).join("ads").run()
+        assert "size" in r
+        assert r.n_rows == 5
+
+    def test_join_then_aggregate(self, db):
+        r = (
+            Query.over(db)
+            .join("ads")
+            .group_by("item")
+            .agg("max", "size", alias="max_size")
+            .run()
+        )
+        assert dict(zip(r["item"], r["max_size"])) == {1: 2.0, 2: 3.0, 3: 2.0}
+
+    def test_join_without_db_rejected(self, orders):
+        with pytest.raises(SchemaError):
+            Query(orders).join("ads")
+
+    def test_unknown_reference_rejected(self, db):
+        with pytest.raises(SchemaError):
+            Query.over(db).join("ghosts")
+
+
+class TestImmutability:
+    def test_clauses_do_not_mutate(self, orders):
+        base = Query(orders)
+        filtered = base.where(Eq("state", "WI"))
+        assert base.count() == 5
+        assert filtered.count() == 2
+
+    def test_shared_prefix_branches(self, orders):
+        base = Query(orders).where(Ge("profit", 20.0))
+        a = base.group_by("state").agg("count", "profit", alias="n")
+        b = base.select("item").distinct()
+        assert a.count() == 3
+        assert b.count() == 3

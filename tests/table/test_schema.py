@@ -1,0 +1,77 @@
+"""Direct unit tests for Schema and ColumnType."""
+
+import numpy as np
+import pytest
+
+from repro.table import ColumnType, Schema, SchemaError
+from repro.table.errors import ColumnNotFoundError
+
+
+class TestColumnType:
+    def test_dtypes(self):
+        assert ColumnType.INT.dtype == np.dtype(np.int64)
+        assert ColumnType.FLOAT.dtype == np.dtype(np.float64)
+        assert ColumnType.STR.dtype == np.dtype(object)
+
+    def test_is_numeric(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.STR.is_numeric
+
+    def test_from_array(self):
+        assert ColumnType.from_array(np.array([1, 2])) is ColumnType.INT
+        assert ColumnType.from_array(np.array([1.5])) is ColumnType.FLOAT
+        assert ColumnType.from_array(np.array(["a"], dtype=object)) is ColumnType.STR
+        assert ColumnType.from_array(np.array([True])) is ColumnType.INT
+
+
+class TestSchema:
+    @pytest.fixture()
+    def schema(self) -> Schema:
+        return Schema([("a", ColumnType.INT), ("b", ColumnType.STR)])
+
+    def test_names_ordered(self, schema):
+        assert schema.names == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", ColumnType.INT), ("a", ColumnType.STR)])
+
+    def test_mapping_constructor(self):
+        schema = Schema({"x": ColumnType.FLOAT})
+        assert schema.type_of("x") is ColumnType.FLOAT
+
+    def test_contains_len_iter(self, schema):
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+        assert dict(schema) == {"a": ColumnType.INT, "b": ColumnType.STR}
+
+    def test_type_of_unknown(self, schema):
+        with pytest.raises(ColumnNotFoundError):
+            schema.type_of("zzz")
+
+    def test_require(self, schema):
+        schema.require("a", "b")
+        with pytest.raises(ColumnNotFoundError):
+            schema.require("a", "zzz")
+
+    def test_subset_reorders(self, schema):
+        sub = schema.subset(["b", "a"])
+        assert sub.names == ("b", "a")
+
+    def test_extended(self, schema):
+        bigger = schema.extended("c", ColumnType.FLOAT)
+        assert bigger.names == ("a", "b", "c")
+        assert schema.names == ("a", "b")  # original untouched
+        with pytest.raises(SchemaError):
+            schema.extended("a", ColumnType.FLOAT)
+
+    def test_equality(self, schema):
+        same = Schema([("a", ColumnType.INT), ("b", ColumnType.STR)])
+        different = Schema([("a", ColumnType.FLOAT), ("b", ColumnType.STR)])
+        assert schema == same
+        assert schema != different
+        assert (schema == 42) is False or schema.__eq__(42) is NotImplemented
+
+    def test_repr(self, schema):
+        assert "a: int" in repr(schema)

@@ -1,0 +1,155 @@
+"""Unit tests for the columnar Table core."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    ColumnNotFoundError,
+    ColumnType,
+    Eq,
+    Schema,
+    SchemaError,
+    Table,
+)
+
+
+@pytest.fixture()
+def orders() -> Table:
+    return Table(
+        {
+            "item": [1, 1, 2, 2, 3],
+            "state": ["WI", "MD", "WI", "WI", "MD"],
+            "profit": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_infers_types(self, orders):
+        assert orders.schema.type_of("item") is ColumnType.INT
+        assert orders.schema.type_of("state") is ColumnType.STR
+        assert orders.schema.type_of("profit") is ColumnType.FLOAT
+
+    def test_row_count(self, orders):
+        assert orders.n_rows == 5
+        assert len(orders) == 5
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_explicit_schema_coerces(self):
+        schema = Schema([("x", ColumnType.FLOAT)])
+        t = Table({"x": [1, 2, 3]}, schema=schema)
+        assert t.column("x").dtype == np.float64
+
+    def test_schema_mismatch_rejected(self):
+        schema = Schema([("x", ColumnType.INT), ("y", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Table({"x": [1]}, schema=schema)
+
+    def test_empty_table(self):
+        schema = Schema([("a", ColumnType.INT), ("b", ColumnType.STR)])
+        t = Table.empty(schema)
+        assert t.n_rows == 0
+        assert t.column_names == ("a", "b")
+
+    def test_from_rows_roundtrip(self):
+        schema = Schema([("a", ColumnType.INT), ("b", ColumnType.STR)])
+        t = Table.from_rows([(1, "x"), (2, "y")], schema)
+        assert list(t.rows()) == [(1, "x"), (2, "y")]
+
+    def test_from_rows_empty(self):
+        schema = Schema([("a", ColumnType.INT)])
+        assert Table.from_rows([], schema).n_rows == 0
+
+    def test_from_rows_width_mismatch(self):
+        schema = Schema([("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Table.from_rows([(1, 2)], schema)
+
+
+class TestAccess:
+    def test_unknown_column(self, orders):
+        with pytest.raises(ColumnNotFoundError):
+            orders.column("nope")
+
+    def test_getitem(self, orders):
+        assert list(orders["item"]) == [1, 1, 2, 2, 3]
+
+    def test_row_dict(self, orders):
+        assert orders.row(0) == {"item": 1, "state": "WI", "profit": 1.0}
+
+    def test_contains(self, orders):
+        assert "item" in orders
+        assert "nope" not in orders
+
+
+class TestOperations:
+    def test_select_predicate(self, orders):
+        wi = orders.select(Eq("state", "WI"))
+        assert wi.n_rows == 3
+        assert set(wi["state"]) == {"WI"}
+
+    def test_select_mask(self, orders):
+        t = orders.select(orders["profit"] > 3.0)
+        assert list(t["profit"]) == [4.0, 5.0]
+
+    def test_select_bad_mask(self, orders):
+        with pytest.raises(SchemaError):
+            orders.select(np.array([True, False]))
+
+    def test_take_preserves_order(self, orders):
+        t = orders.take(np.array([4, 0]))
+        assert list(t["item"]) == [3, 1]
+
+    def test_project(self, orders):
+        p = orders.project(["state", "item"])
+        assert p.column_names == ("state", "item")
+
+    def test_project_distinct(self, orders):
+        p = orders.project(["state"], distinct=True)
+        assert sorted(p["state"]) == ["MD", "WI"]
+
+    def test_with_column(self, orders):
+        t = orders.with_column("double", orders["profit"] * 2)
+        assert list(t["double"]) == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_with_column_duplicate_rejected(self, orders):
+        with pytest.raises(SchemaError):
+            orders.with_column("item", [0] * 5)
+
+    def test_with_column_wrong_length(self, orders):
+        with pytest.raises(SchemaError):
+            orders.with_column("x", [1, 2])
+
+    def test_rename(self, orders):
+        t = orders.rename({"item": "id"})
+        assert "id" in t and "item" not in t
+
+    def test_rename_collision(self, orders):
+        with pytest.raises(SchemaError):
+            orders.rename({"item": "state"})
+
+    def test_sort_by(self, orders):
+        t = orders.sort_by("state", "profit")
+        assert list(t["state"]) == ["MD", "MD", "WI", "WI", "WI"]
+        assert list(t["profit"]) == [2.0, 5.0, 1.0, 3.0, 4.0]
+
+    def test_concat(self, orders):
+        both = orders.concat(orders)
+        assert both.n_rows == 10
+
+    def test_concat_schema_mismatch(self, orders):
+        other = Table({"x": [1]})
+        with pytest.raises(SchemaError):
+            orders.concat(other)
+
+    def test_tables_share_no_visible_state(self, orders):
+        selected = orders.select(Eq("state", "MD"))
+        assert orders.n_rows == 5
+        assert selected.n_rows == 2

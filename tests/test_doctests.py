@@ -1,0 +1,26 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.dimensions.hierarchy
+import repro.dimensions.interval
+import repro.dimensions.region
+import repro.table.predicates
+import repro.table.query
+
+MODULES = [
+    repro.dimensions.hierarchy,
+    repro.dimensions.interval,
+    repro.dimensions.region,
+    repro.table.predicates,
+    repro.table.query,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

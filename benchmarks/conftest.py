@@ -1,10 +1,26 @@
-"""Shared helpers for the figure benchmarks."""
+"""Shared helpers for the figure benchmarks.
 
+Besides the ``publish`` text series, every passing bench test is journaled
+through :class:`repro.obs.BenchJournal` into ``BENCH_figures.json`` at the
+repo root — one JSON line per test per run (elapsed wall-clock plus the
+metric deltas observed: full scans, region reads, model fits), so successive
+PRs accumulate a timing trajectory instead of overwriting a single number.
+"""
+
+import platform
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.obs import BenchJournal, get_registry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+_JOURNAL = BenchJournal(
+    Path(__file__).parent.parent / "BENCH_figures.json",
+    context={"python": platform.python_version()},
+)
 
 
 def publish(name: str, text: str) -> None:
@@ -18,3 +34,29 @@ def publish(name: str, text: str) -> None:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item._obs_call_report = report
+
+
+@pytest.fixture(autouse=True)
+def _journal_bench(request):
+    """Journal each bench test: elapsed time + metric deltas while it ran."""
+    registry = get_registry()
+    before = registry.as_dict()
+    t0 = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - t0
+    report = getattr(request.node, "_obs_call_report", None)
+    if report is None or not report.passed:
+        return
+    _JOURNAL.record(
+        name=request.node.nodeid.split("/")[-1],
+        elapsed_s=elapsed,
+        metrics=registry.diff(before),
+    )

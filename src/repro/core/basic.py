@@ -20,10 +20,15 @@ import numpy as np
 
 from repro.dimensions import Region
 from repro.ml import ErrorEstimate, LinearRegression
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.storage import TrainingDataStore
 
 from .exceptions import SearchError
 from .task import BellwetherTask, Criterion
+
+_TRACER = get_tracer()
+_REGIONS_EVALUATED = get_registry().counter("search.regions_evaluated")
 
 
 @dataclass(frozen=True)
@@ -109,7 +114,9 @@ class BasicBellwetherSearch:
         self.min_examples = min_examples if min_examples is not None else max(5, p + 3)
         self._costs = costs or {r: task.cost(r) for r in store.regions()}
         self._coverage = coverage
-        self._profile: dict[frozenset, list[RegionResult]] = {}
+        # Keyed by frozenset(item_ids), or None for "all items" — None (not
+        # frozenset()) so an explicit empty subset is a distinct cache entry.
+        self._profile: dict[frozenset | None, list[RegionResult]] = {}
 
     # -------------------------------------------------------------- evaluate
 
@@ -119,27 +126,39 @@ class BasicBellwetherSearch:
         ``item_ids`` restricts training to a subset S of items (used by
         trees/cubes); coverage is then measured against |S|.
         """
-        key = frozenset(item_ids) if item_ids is not None else frozenset()
+        key = frozenset(item_ids) if item_ids is not None else None
         if key in self._profile:
             return self._profile[key]
         restrict = np.asarray(list(item_ids)) if item_ids is not None else None
         n_total = len(restrict) if restrict is not None else self.task.n_items
         results: list[RegionResult] = []
-        for region, block in self.store.scan():
-            if restrict is not None:
-                block = block.restrict_to(restrict)
-            if block.n_examples < self.min_examples:
-                continue
-            error = self.task.error_estimator.estimate(block.x, block.y, block.weights)
-            results.append(
-                RegionResult(
-                    region=region,
-                    cost=self._costs[region],
-                    coverage=block.n_examples / n_total,
-                    n_items=block.n_examples,
-                    error=error,
+        before = self.store.stats.snapshot()
+        with _TRACER.span(
+            "search.evaluate_all",
+            restricted=restrict is not None,
+        ) as sp:
+            for region, block in self.store.scan():
+                if restrict is not None:
+                    block = block.restrict_to(restrict)
+                if block.n_examples < self.min_examples:
+                    continue
+                error = self.task.error_estimator.estimate(
+                    block.x, block.y, block.weights
                 )
+                results.append(
+                    RegionResult(
+                        region=region,
+                        cost=self._costs[region],
+                        coverage=block.n_examples / n_total,
+                        n_items=block.n_examples,
+                        error=error,
+                    )
+                )
+            sp.annotate(
+                evaluated=len(results),
+                full_scans=(self.store.stats - before).full_scans,
             )
+        _REGIONS_EVALUATED.inc(len(results))
         self._profile[key] = results
         return results
 
@@ -156,10 +175,11 @@ class BasicBellwetherSearch:
             if budget is None
             else self.task.criterion.with_budget(budget)
         )
-        evaluated = self.evaluate_all(item_ids)
-        feasible = tuple(
-            r for r in evaluated if criterion.admits(r.cost, r.coverage)
-        )
+        with _TRACER.span("search.run", budget=budget):
+            evaluated = self.evaluate_all(item_ids)
+            feasible = tuple(
+                r for r in evaluated if criterion.admits(r.cost, r.coverage)
+            )
         best = (
             min(
                 feasible,

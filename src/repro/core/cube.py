@@ -32,10 +32,15 @@ from repro.ml import (
     TrainingSetEstimator,
     add_intercept,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.storage import TrainingDataStore
 
 from .exceptions import SearchError, TaskError
 from .task import BellwetherTask
+
+_TRACER = get_tracer()
+_SUBSETS_BUILT = get_registry().counter("cube.subsets_built")
 
 
 @dataclass(frozen=True)
@@ -243,14 +248,25 @@ class BellwetherCubeBuilder:
     # ------------------------------------------------------------------ build
 
     def build(self, method: str = "optimized") -> BellwetherCubeResult:
-        if method == "naive":
-            entries = self._build_naive()
-        elif method == "single_scan":
-            entries = self._build_single_scan()
-        elif method == "optimized":
-            entries = self._build_optimized()
-        else:
-            raise TaskError(f"unknown cube method {method!r}")
+        before = self.store.stats.snapshot()
+        with _TRACER.span(
+            "cube.build",
+            method=method,
+            subsets=len(self.significant_subsets),
+        ) as sp:
+            if method == "naive":
+                entries = self._build_naive()
+            elif method == "single_scan":
+                entries = self._build_single_scan()
+            elif method == "optimized":
+                entries = self._build_optimized()
+            else:
+                raise TaskError(f"unknown cube method {method!r}")
+            delta = self.store.stats - before
+            sp.annotate(
+                full_scans=delta.full_scans, region_reads=delta.region_reads
+            )
+        _SUBSETS_BUILT.inc(len(entries))
         return BellwetherCubeResult(entries, self.hierarchies, self.confidence)
 
     # ------------------------------------------------------------------ naive
@@ -351,33 +367,43 @@ class BellwetherCubeBuilder:
                         None if block.weights is None else block.weights[rows],
                     )
                 )
-            for __, rm, keep in self._levels:
-                # Merge base-cell stats into subset stats (the rollup).
-                subset_stats: dict[int, LinearSuffStats] = {}
-                for cell, stats in cell_stats.items():
-                    s_idx = int(rm.subset_of_base[cell])
-                    if s_idx in subset_stats:
-                        subset_stats[s_idx] = subset_stats[s_idx] + stats
-                    else:
-                        subset_stats[s_idx] = stats
-                for s_idx, subset, __n in keep:
-                    stats = subset_stats.get(s_idx)
-                    if stats is None or stats.n < self.min_examples:
-                        continue
-                    est = ErrorEstimate(
-                        rmse=stats.rmse(),
-                        kind="training",
-                        sse=stats.sse(),
-                        dof=stats.dof,
-                    )
-                    if subset not in best or est.rmse < best[subset][1].rmse:
-                        best[subset] = (region, est)
+            with _TRACER.span("cube.rollup", cells=len(cell_stats)):
+                self._rollup_region(region, cell_stats, best)
         entries: dict[CubeSubset, SubsetEntry] = {}
         for __, rm, keep in self._levels:
             for __, subset, n_items in keep:
                 region, est = best.get(subset, (None, None))
                 entries[subset] = SubsetEntry(subset, n_items, region, est)
         return entries
+
+    def _rollup_region(
+        self,
+        region: Region,
+        cell_stats: dict[int, "LinearSuffStats"],
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]],
+    ) -> None:
+        """Theorem 1: merge one region's base-cell stats up every level."""
+        for __, rm, keep in self._levels:
+            # Merge base-cell stats into subset stats (the rollup).
+            subset_stats: dict[int, LinearSuffStats] = {}
+            for cell, stats in cell_stats.items():
+                s_idx = int(rm.subset_of_base[cell])
+                if s_idx in subset_stats:
+                    subset_stats[s_idx] = subset_stats[s_idx] + stats
+                else:
+                    subset_stats[s_idx] = stats
+            for s_idx, subset, __n in keep:
+                stats = subset_stats.get(s_idx)
+                if stats is None or stats.n < self.min_examples:
+                    continue
+                est = ErrorEstimate(
+                    rmse=stats.rmse(),
+                    kind="training",
+                    sse=stats.sse(),
+                    dof=stats.dof,
+                )
+                if subset not in best or est.rmse < best[subset][1].rmse:
+                    best[subset] = (region, est)
 
 
 class CubePredictor:

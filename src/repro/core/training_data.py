@@ -29,10 +29,13 @@ from repro.dimensions import (
     IntervalDimension,
     Region,
 )
+from repro.obs.trace import get_tracer
 from repro.storage import MemoryStore, RegionBlock
 from repro.table import factorize
 
 from .exceptions import TaskError
+
+_TRACER = get_tracer()
 from .features import DistinctJoinAggregate
 from .task import BellwetherTask
 
@@ -217,12 +220,18 @@ class TrainingDataGenerator:
             (one aggregation per region).
         """
         wanted = set(regions) if regions is not None else None
-        if method == "cube":
-            blocks = self._generate_cube(wanted)
-        elif method == "naive":
-            blocks = self._generate_naive(wanted)
-        else:
-            raise TaskError(f"unknown generation method {method!r}")
+        with _TRACER.span(
+            "traindata.generate",
+            method=method,
+            regions=len(wanted) if wanted is not None else len(self.all_regions()),
+        ) as sp:
+            if method == "cube":
+                blocks = self._generate_cube(wanted)
+            elif method == "naive":
+                blocks = self._generate_naive(wanted)
+            else:
+                raise TaskError(f"unknown generation method {method!r}")
+            sp.annotate(blocks=len(blocks))
         feature_names = self.task.feature_names
         return MemoryStore(blocks, feature_names)
 
@@ -522,15 +531,16 @@ def build_store(
     default (it does not change with the budget); budget pruning is off by
     default so one store can serve a whole budget sweep.
     """
-    gen = TrainingDataGenerator(task)
-    coverage = gen.coverage()
-    costs = {r: task.cost(r) for r in gen.all_regions()}
-    regions = []
-    for region in gen.all_regions():
-        if enforce_coverage and coverage[region] < task.criterion.min_coverage:
-            continue
-        if enforce_budget and not task.criterion.admits(costs[region], coverage[region]):
-            continue
-        regions.append(region)
-    store = gen.generate(regions=regions, method=method)
+    with _TRACER.span("traindata.build_store", method=method):
+        gen = TrainingDataGenerator(task)
+        coverage = gen.coverage()
+        costs = {r: task.cost(r) for r in gen.all_regions()}
+        regions = []
+        for region in gen.all_regions():
+            if enforce_coverage and coverage[region] < task.criterion.min_coverage:
+                continue
+            if enforce_budget and not task.criterion.admits(costs[region], coverage[region]):
+                continue
+            regions.append(region)
+        store = gen.generate(regions=regions, method=method)
     return store, costs, coverage

@@ -34,11 +34,17 @@ from repro.ml import (
     LinearSuffStats,
     add_intercept,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.storage import RegionBlock, TrainingDataStore
 from repro.table.schema import ColumnType
 
 from .exceptions import SearchError, TaskError
 from .task import BellwetherTask
+
+_TRACER = get_tracer()
+_SPLIT_EVALS = get_registry().counter("tree.split_evals")
+_NODES_SPLIT = get_registry().counter("tree.nodes_split")
 
 
 # --------------------------------------------------------------------- splits
@@ -303,16 +309,25 @@ class BellwetherTreeBuilder:
         if unknown:
             raise TaskError(f"unknown item ids: {unknown[:5]}")
         root = TreeNode(item_ids=root_ids, depth=0)
-        if method == "rf":
-            self._build_rf(root)
-        elif method == "naive":
-            self._build_naive(root)
-        elif method == "hybrid":
-            self._build_rf(root, memory_budget_rows=memory_budget_rows)
-        else:
-            raise TaskError(f"unknown construction method {method!r}")
-        tree = BellwetherTree(root, self.task, self.store, self.split_attrs)
-        self._finalize_leaves(tree)
+        before = self.store.stats.snapshot()
+        with _TRACER.span(
+            "tree.build", method=method, items=len(root_ids)
+        ) as sp:
+            if method == "rf":
+                self._build_rf(root)
+            elif method == "naive":
+                self._build_naive(root)
+            elif method == "hybrid":
+                self._build_rf(root, memory_budget_rows=memory_budget_rows)
+            else:
+                raise TaskError(f"unknown construction method {method!r}")
+            tree = BellwetherTree(root, self.task, self.store, self.split_attrs)
+            with _TRACER.span("tree.finalize_leaves", leaves=len(tree.leaves())):
+                self._finalize_leaves(tree)
+            sp.annotate(
+                levels=tree.n_levels,
+                full_scans=(self.store.stats - before).full_scans,
+            )
         return tree
 
     # -------------------------------------------------------------- candidates
@@ -378,6 +393,10 @@ class BellwetherTreeBuilder:
 
     def _build_naive(self, node: TreeNode, store: TrainingDataStore | None = None) -> None:
         store = store if store is not None else self.store
+        with _TRACER.span("tree.node", depth=node.depth, items=node.n_items):
+            self._naive_node(node, store)
+
+    def _naive_node(self, node: TreeNode, store: TrainingDataStore) -> None:
         node.region, node._best_rmse = self._node_bellwether(node.item_ids, store)
         if (
             node.n_items < self.min_items
@@ -410,6 +429,7 @@ class BellwetherTreeBuilder:
         if best_split is None:
             return
         node.split = best_split
+        _NODES_SPLIT.inc()
         node.children = [
             TreeNode(item_ids=ids, depth=node.depth + 1) for ids in best_children
         ]
@@ -425,121 +445,134 @@ class BellwetherTreeBuilder:
         active = [root]
         while active:
             # One scan of the entire training data per level (Lemma 1).
-            per_node_splits = {
-                id(node): self._candidate_splits(node.item_ids) for node in active
+            with _TRACER.span(
+                "tree.level", level=active[0].depth, nodes=len(active)
+            ):
+                active = self._rf_level(active, n_regions, memory_budget_rows)
+
+    def _rf_level(
+        self,
+        active: list[TreeNode],
+        n_regions: int,
+        memory_budget_rows: int | None,
+    ) -> list[TreeNode]:
+        """Process one tree level: a single scan decides every active node."""
+        per_node_splits = {
+            id(node): self._candidate_splits(node.item_ids) for node in active
+        }
+        per_node_partition = {
+            id(node): {
+                k: self._partition_rows(split, node.item_ids)
+                for k, split in enumerate(per_node_splits[id(node)])
             }
-            per_node_partition = {
-                id(node): {
-                    k: self._partition_rows(split, node.item_ids)
-                    for k, split in enumerate(per_node_splits[id(node)])
-                }
-                for node in active
-            }
-            min_error: dict[tuple[int, int, int], float] = {}
-            node_best: dict[int, tuple[float, Region | None]] = {
-                id(node): (np.inf, None) for node in active
-            }
-            # RF-hybrid: nodes small enough to hold in memory cache their
-            # restricted blocks during this scan; their subtrees then build
-            # without any further scans of the entire training data.
-            cacheable = {
-                id(node)
-                for node in active
-                if memory_budget_rows is not None
-                and node.n_items * n_regions <= memory_budget_rows
-            }
-            cache: dict[int, dict[Region, RegionBlock]] = {
-                key: {} for key in cacheable
-            }
-            for region, block in self.store.scan():
-                for node in active:
-                    sub = block.restrict_to(node.item_ids)
-                    if id(node) in cacheable:
-                        cache[id(node)][region] = sub
-                    if sub.n_examples >= self.min_examples:
-                        err = self._block_error(sub.x, sub.y, sub.weights)
-                        if err < node_best[id(node)][0]:
-                            node_best[id(node)] = (err, region)
-                    if (
-                        node.n_items < self.min_items
-                        or node.depth >= self.max_depth
-                    ):
-                        continue
-                    id_to_child_cache: dict[int, dict] = {}
-                    for c_idx, split in enumerate(per_node_splits[id(node)]):
-                        child_of_item = per_node_partition[id(node)][c_idx]
-                        key = id(child_of_item)
-                        if key not in id_to_child_cache:
-                            id_to_child_cache[key] = dict(
-                                zip(node.item_ids, child_of_item)
-                            )
-                        errors = self._split_errors_on_block(
-                            split, sub, id_to_child_cache[key]
-                        )
-                        for p, err in enumerate(errors):
-                            if err is None:
-                                continue
-                            slot = (id(node), c_idx, p)
-                            if err < min_error.get(slot, np.inf):
-                                min_error[slot] = err
-            next_active: list[TreeNode] = []
+            for node in active
+        }
+        min_error: dict[tuple[int, int, int], float] = {}
+        node_best: dict[int, tuple[float, Region | None]] = {
+            id(node): (np.inf, None) for node in active
+        }
+        # RF-hybrid: nodes small enough to hold in memory cache their
+        # restricted blocks during this scan; their subtrees then build
+        # without any further scans of the entire training data.
+        cacheable = {
+            id(node)
+            for node in active
+            if memory_budget_rows is not None
+            and node.n_items * n_regions <= memory_budget_rows
+        }
+        cache: dict[int, dict[Region, RegionBlock]] = {
+            key: {} for key in cacheable
+        }
+        for region, block in self.store.scan():
             for node in active:
-                node._best_rmse, node.region = (
-                    node_best[id(node)][0],
-                    node_best[id(node)][1],
-                )
+                sub = block.restrict_to(node.item_ids)
+                if id(node) in cacheable:
+                    cache[id(node)][region] = sub
+                if sub.n_examples >= self.min_examples:
+                    err = self._block_error(sub.x, sub.y, sub.weights)
+                    if err < node_best[id(node)][0]:
+                        node_best[id(node)] = (err, region)
                 if (
                     node.n_items < self.min_items
                     or node.depth >= self.max_depth
-                    or node.region is None
                 ):
                     continue
-                floor = (
-                    self.min_relative_goodness * node.n_items * node._best_rmse
-                )
-                best_split, best_goodness, best_children = None, floor, None
+                id_to_child_cache: dict[int, dict] = {}
                 for c_idx, split in enumerate(per_node_splits[id(node)]):
                     child_of_item = per_node_partition[id(node)][c_idx]
-                    children_ids = [
-                        node.item_ids[child_of_item == p]
-                        for p in range(split.n_children())
-                    ]
-                    if any(len(c) == 0 for c in children_ids):
-                        continue
-                    total = 0.0
-                    feasible = True
-                    for p, ids in enumerate(children_ids):
-                        err = min_error.get((id(node), c_idx, p), np.inf)
-                        if not np.isfinite(err):
-                            feasible = False
-                            break
-                        total += len(ids) * err
-                    if not feasible:
-                        continue
-                    goodness = node.n_items * node._best_rmse - total
-                    if goodness > best_goodness + 1e-12:
-                        best_split, best_goodness, best_children = (
-                            split,
-                            goodness,
-                            children_ids,
+                    key = id(child_of_item)
+                    if key not in id_to_child_cache:
+                        id_to_child_cache[key] = dict(
+                            zip(node.item_ids, child_of_item)
                         )
-                if best_split is None:
-                    continue
-                node.split = best_split
-                node.children = [
-                    TreeNode(item_ids=ids, depth=node.depth + 1)
-                    for ids in best_children
+                    errors = self._split_errors_on_block(
+                        split, sub, id_to_child_cache[key]
+                    )
+                    for p, err in enumerate(errors):
+                        if err is None:
+                            continue
+                        slot = (id(node), c_idx, p)
+                        if err < min_error.get(slot, np.inf):
+                            min_error[slot] = err
+        next_active: list[TreeNode] = []
+        for node in active:
+            node._best_rmse, node.region = (
+                node_best[id(node)][0],
+                node_best[id(node)][1],
+            )
+            if (
+                node.n_items < self.min_items
+                or node.depth >= self.max_depth
+                or node.region is None
+            ):
+                continue
+            floor = (
+                self.min_relative_goodness * node.n_items * node._best_rmse
+            )
+            best_split, best_goodness, best_children = None, floor, None
+            for c_idx, split in enumerate(per_node_splits[id(node)]):
+                child_of_item = per_node_partition[id(node)][c_idx]
+                children_ids = [
+                    node.item_ids[child_of_item == p]
+                    for p in range(split.n_children())
                 ]
-                if id(node) in cacheable:
-                    # finish this subtree entirely in memory
-                    from repro.storage import MemoryStore
+                if any(len(c) == 0 for c in children_ids):
+                    continue
+                total = 0.0
+                feasible = True
+                for p, ids in enumerate(children_ids):
+                    err = min_error.get((id(node), c_idx, p), np.inf)
+                    if not np.isfinite(err):
+                        feasible = False
+                        break
+                    total += len(ids) * err
+                if not feasible:
+                    continue
+                goodness = node.n_items * node._best_rmse - total
+                if goodness > best_goodness + 1e-12:
+                    best_split, best_goodness, best_children = (
+                        split,
+                        goodness,
+                        children_ids,
+                    )
+            if best_split is None:
+                continue
+            node.split = best_split
+            _NODES_SPLIT.inc()
+            node.children = [
+                TreeNode(item_ids=ids, depth=node.depth + 1)
+                for ids in best_children
+            ]
+            if id(node) in cacheable:
+                # finish this subtree entirely in memory
+                from repro.storage import MemoryStore
 
-                    mem = MemoryStore(cache[id(node)], self.store.feature_names)
-                    for child in node.children:
-                        self._build_naive(child, store=mem)
-                else:
-                    next_active.extend(node.children)
-            active = next_active
+                mem = MemoryStore(cache[id(node)], self.store.feature_names)
+                for child in node.children:
+                    self._build_naive(child, store=mem)
+            else:
+                next_active.extend(node.children)
+        return next_active
 
     def _split_errors_on_block(
         self,
@@ -548,6 +581,7 @@ class BellwetherTreeBuilder:
         id_to_child: dict,
     ) -> list[float | None]:
         """Per-partition errors on one region's (already restricted) block."""
+        _SPLIT_EVALS.inc()
         if block.n_examples == 0:
             return [None] * split.n_children()
         child_of_row = np.array(

@@ -7,6 +7,15 @@ Usage::
     python -m repro.experiments all            # everything
     python -m repro.experiments all --fast     # small sizes, quick sanity
 
+Observability (see ``repro.obs``)::
+
+    python -m repro.experiments fig7 --fast --trace
+        # span tree (per-phase wall-clock) + metrics table on stderr
+    python -m repro.experiments all --fast --metrics-out runs.jsonl
+        # one JSON line per figure: elapsed, metric deltas, span tree
+    python -m repro.experiments all --fast --bench
+        # one summary line per figure: elapsed, scan/read/fit counts
+
 Each figure prints the same series the benches record under
 ``benchmarks/results/``.
 """
@@ -16,6 +25,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+from repro.obs import observe
 
 from . import (
     run_fig7,
@@ -124,12 +135,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small problem sizes (sanity runs, not the recorded series)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record tracing spans; print the span tree and metrics to stderr",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="append one JSON line per figure (elapsed, metrics, spans)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="print a one-line summary per figure (elapsed, scans, fits)",
+    )
     args = parser.parse_args(argv)
     names = list(FIGURES) if "all" in args.figures else args.figures
     for name in names:
         start = time.perf_counter()
-        print(FIGURES[name](args.fast))
+        with observe(name, trace=args.trace) as report:
+            rendered = FIGURES[name](args.fast)
+        print(rendered)
         print(f"[{name} in {time.perf_counter() - start:.1f}s]\n")
+        if args.trace:
+            print(report.render(), file=sys.stderr)
+        if args.bench:
+            print(report.summary_line(), file=sys.stderr)
+        if args.metrics_out:
+            report.append_to(args.metrics_out, include_spans=args.trace)
     return 0
 
 

@@ -10,8 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 from .exceptions import FitError, NotFittedError
 from .suffstats import LinearSuffStats, add_intercept
+
+_FITS = get_registry().counter("ml.linear.fits")
 
 
 class LinearRegression:
@@ -46,6 +50,7 @@ class LinearRegression:
         design = add_intercept(x) if self.fit_intercept else x
         self._stats = LinearSuffStats.from_data(design, y, w)
         self._beta = self._stats.solve(ridge=self.ridge)
+        _FITS.inc()
         return self
 
     def fit_stats(self, stats: LinearSuffStats) -> "LinearRegression":
@@ -56,6 +61,7 @@ class LinearRegression:
         """
         self._stats = stats
         self._beta = stats.solve(ridge=self.ridge)
+        _FITS.inc()
         return self
 
     # --------------------------------------------------------------- predict

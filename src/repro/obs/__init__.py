@@ -1,0 +1,55 @@
+"""Observability: metrics, tracing spans, exporters, and bench journaling.
+
+The paper's efficiency claims are phrased in *scans of the entire training
+data* (naive tree per (node, split), RF tree per level, cube once — Lemmas 1
+and 2).  This package turns those claims, plus wall-clock and model-fit
+counts, into measurements:
+
+* :mod:`repro.obs.metrics` — process-wide registry of named counters, gauges
+  and streaming histograms (p50/p95/p99 without raw-sample retention).  The
+  storage layer folds its :class:`~repro.storage.IOStats` counters in as
+  ``store.region_reads`` / ``store.full_scans`` / ``store.bytes_read``.
+* :mod:`repro.obs.trace` — hierarchical wall-clock spans
+  (``with span("tree.level", level=2): ...``).  Disabled by default: the
+  null recorder returns a shared no-op span, so instrumented hot paths cost
+  one call when tracing is off.
+* :mod:`repro.obs.export` — human-readable span-tree / metrics tables for
+  stderr, and JSON-lines records for files.
+* :mod:`repro.obs.bench` — append-only journal of structured benchmark
+  entries (``BENCH_*.json``), giving the repo a timing trajectory across PRs.
+* :mod:`repro.obs.context` — :func:`observe`, the one-stop session used by
+  ``python -m repro.experiments ... --trace --metrics-out``.
+
+Nothing here imports the rest of :mod:`repro`; every other package may
+depend on this one.
+"""
+
+from .bench import BenchJournal
+from .context import ObsReport, observe
+from .export import (
+    append_jsonl,
+    render_metrics_table,
+    render_span_tree,
+    span_to_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .trace import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "BenchJournal",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsReport",
+    "Span",
+    "Tracer",
+    "append_jsonl",
+    "get_registry",
+    "get_tracer",
+    "observe",
+    "render_metrics_table",
+    "render_span_tree",
+    "span",
+    "span_to_dict",
+]

@@ -1,0 +1,52 @@
+"""Append-only journal of structured benchmark entries (``BENCH_*.json``).
+
+Each entry is one JSON line: what ran, how long it took, and the metric
+deltas observed while it ran.  Benchmarks append to the same file across
+PRs, so the repo accumulates a timing trajectory instead of a single
+overwritten number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .export import append_jsonl, timestamp
+
+__all__ = ["BenchJournal"]
+
+
+class BenchJournal:
+    """Writes bench entries to one JSON-lines file.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) on the first record.  The
+        conventional location is a ``BENCH_<suite>.json`` at the repo root.
+    context:
+        Constant key/values merged into every entry (e.g. python version).
+    """
+
+    def __init__(self, path: str | Path, context: dict | None = None):
+        self.path = Path(path)
+        self.context = dict(context or {})
+
+    def record(
+        self,
+        name: str,
+        elapsed_s: float,
+        metrics: dict[str, float] | None = None,
+        **extra,
+    ) -> dict:
+        """Append one entry; returns the record written."""
+        record = {
+            "name": name,
+            "elapsed_s": round(float(elapsed_s), 6),
+            "timestamp": timestamp(),
+            **self.context,
+            **extra,
+        }
+        if metrics:
+            record["metrics"] = {k: metrics[k] for k in sorted(metrics)}
+        append_jsonl(self.path, record)
+        return record

@@ -1,0 +1,101 @@
+"""One-stop observation session: time a block, capture spans and metric deltas.
+
+::
+
+    from repro.obs import observe
+
+    with observe("fig7", trace=True) as report:
+        run_fig7()
+    print(report.render())                 # span tree + metrics table
+    report.append_to("bench.jsonl")        # one structured JSON line
+
+The session snapshots the global registry on entry and diffs on exit, so
+counters accumulated by *other* work don't pollute the report; tracing state
+is restored to whatever it was before the block.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .export import append_jsonl, render_metrics_table, render_span_tree, span_to_dict
+from .metrics import get_registry
+from .trace import Span, get_tracer
+
+__all__ = ["ObsReport", "observe"]
+
+
+class ObsReport:
+    """What one :func:`observe` session saw."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.elapsed_s = 0.0
+        self.spans: list[Span] = []
+        self.metrics: dict[str, float] = {}
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.elapsed_s:.3f}s =="]
+        if self.spans:
+            parts.append(render_span_tree(self.spans))
+        if self.metrics:
+            parts.append(render_metrics_table(self.metrics, title="metrics (delta)"))
+        return "\n".join(parts)
+
+    def to_record(self, include_spans: bool = True) -> dict:
+        record = {
+            "name": self.name,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+        if include_spans and self.spans:
+            record["spans"] = [span_to_dict(s) for s in self.spans]
+        return record
+
+    def append_to(self, path: str | Path, include_spans: bool = True) -> None:
+        append_jsonl(path, self.to_record(include_spans=include_spans))
+
+    def summary_line(self) -> str:
+        """One-line bench summary: elapsed plus the headline counters."""
+        keys = (
+            ("store.full_scans", "full_scans"),
+            ("store.region_reads", "region_reads"),
+            ("ml.linear.fits", "fits"),
+        )
+        stats = "  ".join(
+            f"{label}={int(self.metrics[k])}" for k, label in keys if k in self.metrics
+        )
+        return f"{self.name}: {self.elapsed_s:.2f}s  {stats}".rstrip()
+
+
+class observe:
+    """Context manager producing an :class:`ObsReport` for the block."""
+
+    def __init__(self, name: str, trace: bool = False):
+        self.name = name
+        self.trace = trace
+        self._registry = get_registry()
+        self._tracer = get_tracer()
+        self._was_enabled = False
+        self._before: dict[str, float] = {}
+        self._t0 = 0.0
+        self.report = ObsReport(name)
+
+    def __enter__(self) -> ObsReport:
+        self._was_enabled = self._tracer.enabled
+        if self.trace:
+            self._tracer.take_roots()  # leftovers belong to earlier sessions
+            self._tracer.enable()
+        self._before = self._registry.as_dict()
+        self._t0 = time.perf_counter()
+        return self.report
+
+    def __exit__(self, *exc) -> bool:
+        self.report.elapsed_s = time.perf_counter() - self._t0
+        if self.trace:
+            self.report.spans = self._tracer.take_roots()
+            if not self._was_enabled:
+                self._tracer.disable()
+        self.report.metrics = self._registry.diff(self._before)
+        return False

@@ -1,0 +1,146 @@
+"""Exporters: human-readable span trees / metrics tables, and JSON lines.
+
+The span-tree renderer aggregates sibling spans that share a name — a basic
+search evaluating 50 regions produces one ``store.scan`` line, not 50 —
+while keeping exact counts and total/mean wall-clock, so the output stays
+readable at any fan-out.  The JSON-lines writer appends one self-contained
+object per line, the format the bench trajectory (``BENCH_*.json``) uses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+from .trace import Span
+
+__all__ = [
+    "append_jsonl",
+    "render_metrics_table",
+    "render_span_tree",
+    "span_to_dict",
+]
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f" {{{inner}}}"
+
+
+class _Group:
+    """Siblings sharing a name, merged for rendering."""
+
+    __slots__ = ("name", "count", "total", "attrs", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.attrs: dict = {}
+        self.children: list[Span] = []
+
+
+def _group_siblings(spans: Sequence[Span]) -> list[_Group]:
+    groups: dict[str, _Group] = {}
+    for s in spans:
+        g = groups.get(s.name)
+        if g is None:
+            g = groups[s.name] = _Group(s.name)
+            g.attrs = dict(s.attrs)
+        else:
+            # keep only attributes identical across the whole group
+            g.attrs = {k: v for k, v in g.attrs.items() if s.attrs.get(k) == v}
+        g.count += 1
+        g.total += s.duration
+        g.children.extend(s.children)
+    return list(groups.values())
+
+
+def render_span_tree(roots: Sequence[Span], indent: str = "  ") -> str:
+    """A per-phase wall-clock tree, siblings aggregated by span name."""
+    lines: list[str] = []
+
+    def walk(spans: Sequence[Span], depth: int) -> None:
+        for g in _group_siblings(spans):
+            prefix = indent * depth
+            if g.count == 1:
+                lines.append(
+                    f"{prefix}{g.name}  {_fmt_seconds(g.total)}{_fmt_attrs(g.attrs)}"
+                )
+            else:
+                lines.append(
+                    f"{prefix}{g.name}  x{g.count}  total {_fmt_seconds(g.total)}"
+                    f"  avg {_fmt_seconds(g.total / g.count)}{_fmt_attrs(g.attrs)}"
+                )
+            walk(g.children, depth + 1)
+
+    walk(roots, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def span_to_dict(span: Span) -> dict:
+    """A JSON-serializable view of one span subtree."""
+    return {
+        "name": span.name,
+        "duration_s": span.duration,
+        "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+        "children": [span_to_dict(c) for c in span.children],
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.6g}"
+    return f"{int(v)}"
+
+
+def render_metrics_table(
+    metrics: MetricsRegistry | dict[str, float],
+    title: str = "metrics",
+) -> str:
+    """A two-column name/value table, sorted by metric name."""
+    values = metrics.as_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    if not values:
+        return f"{title}: (empty)"
+    width = max(len(name) for name in values)
+    lines = [f"-- {title} --"]
+    lines.extend(
+        f"{name.ljust(width)}  {_fmt_value(value)}"
+        for name, value in sorted(values.items())
+    )
+    return "\n".join(lines)
+
+
+def append_jsonl(path: str | Path, records: dict | Iterable[dict]) -> None:
+    """Append record(s) as JSON lines, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(records, dict):
+        records = [records]
+    with path.open("a") as f:
+        for record in records:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def timestamp() -> str:
+    """UTC wall-clock timestamp for journal records."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

@@ -1,0 +1,255 @@
+"""A process-wide metrics registry: counters, gauges, streaming histograms.
+
+Instruments are created on demand and live for the life of the process;
+:meth:`MetricsRegistry.reset` zeroes values *in place* so call sites may bind
+an instrument once at import time (the hot-path pattern used by
+:class:`~repro.ml.LinearRegression` and :class:`~repro.storage.IOStats`).
+
+Histograms are streaming: observations land in geometric buckets (8 per
+decade), so quantiles are available at any moment without retaining raw
+samples.  Interpolation error is bounded by the bucket width (~15%), which
+is plenty for p50/p95/p99 latency reporting.
+
+Everything is single-threaded by design, like the rest of the
+reproduction; increments are plain ``+=`` with no locking.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+# Geometric bucket grid shared by every histogram: 8 buckets per decade over
+# [1e-9, 1e9) — fine enough for sub-microsecond spans and hour-long runs.
+_BUCKETS_PER_DECADE = 8
+_MIN_EXP = -9
+_MAX_EXP = 9
+_N_BUCKETS = (_MAX_EXP - _MIN_EXP) * _BUCKETS_PER_DECADE
+
+
+def _bucket_index(value: float) -> int:
+    """Bucket holding ``value``; 0 also holds everything below 1e-9."""
+    if value < 10.0 ** _MIN_EXP:
+        return 0
+    idx = int((math.log10(value) - _MIN_EXP) * _BUCKETS_PER_DECADE)
+    return min(max(idx, 0), _N_BUCKETS - 1)
+
+
+def _bucket_upper(idx: int) -> float:
+    return 10.0 ** (_MIN_EXP + (idx + 1) / _BUCKETS_PER_DECADE)
+
+
+class Histogram:
+    """Streaming histogram over positive values (negatives clamp to 0).
+
+    Tracks exact count/sum/min/max plus geometric bucket counts, from which
+    :meth:`quantile` interpolates without keeping samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = max(float(value), 0.0)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = _bucket_index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * self.count
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                # clamp the bucket's upper edge to the true observed range
+                return min(max(_bucket_upper(idx), self.min), self.max)
+        return self.max
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets.clear()
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and stable thereafter."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ---------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name)
+            return h
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different type"
+                )
+
+    # ---------------------------------------------------------- conveniences
+
+    def inc(self, name: str, n: int | float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -------------------------------------------------------------- snapshot
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat name -> value view (histograms expand to summary stats)."""
+        out: dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            if h.count == 0:
+                continue
+            out[f"{name}.count"] = h.count
+            out[f"{name}.sum"] = h.total
+            out[f"{name}.p50"] = h.quantile(0.50)
+            out[f"{name}.p95"] = h.quantile(0.95)
+            out[f"{name}.p99"] = h.quantile(0.99)
+        return out
+
+    def diff(self, before: dict[str, float]) -> dict[str, float]:
+        """Changed-value view versus an earlier :meth:`as_dict` snapshot.
+
+        Counters report deltas; gauges and histogram summaries report their
+        current value.  Unchanged entries are dropped.
+        """
+        now = self.as_dict()
+        out: dict[str, float] = {}
+        for name, value in now.items():
+            prev = before.get(name, 0.0)
+            if name in self._counters:
+                if value != prev:
+                    out[name] = value - prev
+            elif value != prev:
+                out[name] = value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in place (bound references stay valid)."""
+        for kind in (self._counters, self._gauges, self._histograms):
+            for instrument in kind.values():
+                instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented module binds to."""
+    return _REGISTRY

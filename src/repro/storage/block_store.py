@@ -24,8 +24,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.dimensions import Region
+from repro.obs.trace import get_tracer
 
 from .stats import IOStats
+
+_TRACER = get_tracer()
 
 
 class StorageError(Exception):
@@ -102,10 +105,19 @@ class TrainingDataStore:
         raise NotImplementedError
 
     def scan(self) -> Iterator[tuple[Region, RegionBlock]]:
-        """One pass over every region's block (counted as one full scan)."""
-        self.stats.record_full_scan()
-        for region in self.regions():
-            yield region, self._fetch(region)
+        """One pass over every region's block (counted as one full scan).
+
+        The span covers the whole consumption of the generator: work the
+        caller does between blocks is attributed to the scan, which is the
+        paper's accounting (a scan's cost includes processing its blocks).
+        """
+        regions = self.regions()
+        with _TRACER.span(
+            "store.scan", store=type(self).__name__, regions=len(regions)
+        ):
+            self.stats.record_full_scan()
+            for region in regions:
+                yield region, self._fetch(region)
 
     def _fetch(self, region: Region) -> RegionBlock:
         raise NotImplementedError

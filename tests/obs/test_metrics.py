@@ -1,0 +1,106 @@
+"""Metrics registry: counters, gauges, streaming histograms, snapshots."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry
+from repro.obs.export import render_metrics_table
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2)
+        reg.inc("a")
+        assert reg.counter("a").value == 3
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_reset_keeps_instances(self):
+        """Hot paths bind instruments at import; reset must not orphan them."""
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("a") is c
+        c.inc()
+        assert reg.as_dict()["a"] == 1
+
+    def test_name_collision_across_types(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestGauges:
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistograms:
+    def test_quantiles_bracket_the_data(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in [0.001, 0.002, 0.003, 0.004, 0.005, 0.1]:
+            h.observe(v)
+        assert h.count == 6
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.1)
+        # streaming quantiles are bucket-approximate: p50 must sit in the
+        # body of the data, p99 near the top
+        assert 0.001 <= h.quantile(0.5) <= 0.01
+        assert h.quantile(0.99) <= h.max
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+
+    def test_no_raw_sample_retention(self):
+        """Memory stays bounded: bucket counts only, no sample list."""
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for i in range(10_000):
+            h.observe(1e-6 * (i + 1))
+        assert len(h._buckets) < 150
+        assert h.count == 10_000
+
+    def test_empty_histogram_quantile_is_nan(self):
+        reg = MetricsRegistry()
+        assert math.isnan(reg.histogram("h").quantile(0.5))
+
+
+class TestSnapshots:
+    def test_diff_reports_counter_deltas_only(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 5)
+        reg.inc("b", 1)
+        before = reg.as_dict()
+        reg.inc("a", 2)
+        delta = reg.diff(before)
+        assert delta == {"a": 2}
+
+    def test_histogram_summary_in_as_dict(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.5)
+        d = reg.as_dict()
+        assert d["h.count"] == 1
+        assert "h.p95" in d and "h.sum" in d
+
+    def test_render_table_contains_names(self):
+        reg = MetricsRegistry()
+        reg.inc("store.full_scans", 3)
+        table = render_metrics_table(reg)
+        assert "store.full_scans" in table
+        assert "3" in table
+
+
+def test_global_registry_is_shared():
+    assert get_registry() is get_registry()

@@ -1,0 +1,138 @@
+"""The paper's scan bounds, asserted from metrics instead of assumed.
+
+Lemma 1: the RainForest-style bellwether tree reads the entire training
+data once per level — at most ``depth + 1`` full scans for the construction
+loop.  Lemma 2: the single-scan / optimized bellwether cubes read it exactly
+once.  The counts come from :class:`~repro.storage.IOStats` windows
+(``after - before``), so a store shared between tests never needs a
+``reset()``.
+"""
+
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherCubeBuilder,
+    BellwetherTreeBuilder,
+    build_store,
+)
+from repro.datasets import make_mailorder
+from repro.ml import TrainingSetEstimator
+from repro.obs import get_registry
+
+
+@pytest.fixture(scope="module")
+def mailorder():
+    ds = make_mailorder(
+        n_items=50, n_months=6, seed=3, heterogeneous=True,
+        error_estimator=TrainingSetEstimator(),
+    )
+    store, costs, coverage = build_store(ds.task)
+    return ds, store, costs
+
+
+class TestLemma2CubeScans:
+    """Cube construction: exactly one full scan for both scan algorithms."""
+
+    @pytest.mark.parametrize("method", ["single_scan", "optimized"])
+    def test_cube_single_full_scan(self, mailorder, method):
+        ds, store, __ = mailorder
+        builder = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies, min_subset_size=5
+        )
+        before = store.stats.snapshot()
+        cube = builder.build(method=method)
+        delta = store.stats - before
+        assert delta.full_scans == 1
+        assert delta.region_reads == 0
+        assert len(cube) > 0
+
+    def test_naive_cube_reads_per_subset(self, mailorder):
+        """The contrast: naive pays one pass of region reads per subset."""
+        ds, store, __ = mailorder
+        builder = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies, min_subset_size=5
+        )
+        n_regions = len(store.regions())
+        n_subsets = len(builder.significant_subsets)
+        before = store.stats.snapshot()
+        builder.build(method="naive")
+        delta = store.stats - before
+        assert delta.full_scans == 0
+        assert delta.region_reads == n_regions * n_subsets
+
+
+class TestLemma1TreeScans:
+    """RF tree construction: at most one full scan per level."""
+
+    def test_rf_tree_scans_bounded_by_depth(self, mailorder):
+        ds, store, __ = mailorder
+        max_depth = 2
+        builder = BellwetherTreeBuilder(
+            ds.task, store, min_items=10, max_depth=max_depth
+        )
+        before = store.stats.snapshot()
+        tree = builder.build(method="rf")
+        delta = store.stats - before
+        # exactly one scan per constructed level; never more than max_depth + 1
+        assert delta.full_scans == tree.n_levels
+        assert delta.full_scans <= max_depth + 1
+
+    def test_naive_tree_costs_more_io(self, mailorder):
+        """The same tree built naively touches far more data (per split)."""
+        ds, store, __ = mailorder
+        builder = BellwetherTreeBuilder(
+            ds.task, store, min_items=10, max_depth=1
+        )
+        n_regions = len(store.regions())
+        before = store.stats.snapshot()
+        builder.build(method="naive")
+        naive_delta = store.stats - before
+        # the naive path re-reads every region at least once per node
+        assert naive_delta.region_reads >= n_regions
+
+
+class TestSearchScans:
+    def test_evaluate_all_is_one_scan_and_cached(self, mailorder):
+        ds, store, costs = mailorder
+        search = BasicBellwetherSearch(ds.task, store, costs=costs)
+        before = store.stats.snapshot()
+        search.evaluate_all()
+        assert (store.stats - before).full_scans == 1
+        search.evaluate_all()
+        search.run(budget=40.0)
+        assert (store.stats - before).full_scans == 1  # cached thereafter
+
+    def test_empty_item_subset_not_conflated_with_all_items(self, mailorder):
+        """Regression: frozenset([]) used to collide with the all-items key."""
+        ds, store, costs = mailorder
+        search = BasicBellwetherSearch(ds.task, store, costs=costs)
+        empty = search.evaluate_all(item_ids=[])
+        assert empty == []
+        full = search.evaluate_all()
+        assert len(full) > 0
+        # and the cache still serves both correctly afterwards
+        assert search.evaluate_all(item_ids=[]) == []
+        assert search.evaluate_all() == full
+
+
+class TestIOStatsDiff:
+    def test_diff_and_sub_agree(self, mailorder):
+        __, store, __ = mailorder
+        before = store.stats.snapshot()
+        store.read(store.regions()[0])
+        assert (store.stats - before).region_reads == 1
+        assert store.stats.diff(before) == store.stats - before
+        assert (store.stats - before).bytes_read > 0
+
+    def test_registry_mirrors_store_counters(self, mailorder):
+        """IOStats folds into the global registry as store.* counters."""
+        __, store, __ = mailorder
+        registry = get_registry()
+        before = registry.as_dict()
+        store.read(store.regions()[0])
+        list(store.scan())
+        delta = registry.diff(before)
+        assert delta["store.region_reads"] == 1
+        assert delta["store.full_scans"] == 1
+        assert delta["store.bytes_read"] > 0

@@ -1,0 +1,85 @@
+"""Execution layer: batched solves and worker fan-out vs the serial paths.
+
+The batched optimized cube collects per-cell sufficient statistics and
+issues one ``np.linalg.solve`` over the whole lattice level; the serial
+reference (``method="optimized_serial"``) solves per (subset, region) pair.
+Both produce bit-identical cubes (tested in tier 1); this bench gates the
+speedup the rewrite exists for and journals the trajectory.  A second test
+times the parallel training-data fan-out against serial generation and
+checks the stores match exactly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import BellwetherCubeBuilder, TrainingDataGenerator
+from repro.datasets import make_mailorder, make_scalability
+from repro.exec import ParallelConfig
+from repro.experiments import render_grid
+from repro.obs import get_registry
+
+from .conftest import publish
+
+
+def test_bench_batched_cube_vs_serial(benchmark):
+    """Fig-11 medium config: batched level solves must be >= 3x serial."""
+    ds = make_scalability(n_items=1_500, n_regions=32, hierarchy_leaves=3, seed=0)
+    builder = BellwetherCubeBuilder(
+        ds.task, ds.store, ds.hierarchies, min_subset_size=50
+    )
+    builder.build("optimized")  # warm caches so both timings are steady-state
+    solves = get_registry().counter("ml.linear.batched_solves")
+    before = solves.value
+    start = time.perf_counter()
+    builder.build("optimized")
+    batched_s = time.perf_counter() - start
+    level_solves = solves.value - before
+    start = time.perf_counter()
+    builder.build("optimized_serial")
+    serial_s = time.perf_counter() - start
+    publish(
+        "exec_batched_cube",
+        render_grid(
+            "Execution layer — optimized cube: batched vs per-pair solves",
+            ("n_levels", "level_solves", "batched_s", "serial_s", "speedup"),
+            [(builder.n_levels, level_solves, batched_s, serial_s,
+              serial_s / batched_s)],
+        ),
+    )
+    # one batched solve per lattice level, and the payoff it buys
+    assert level_solves <= builder.n_levels
+    assert serial_s > 3 * batched_s
+
+    benchmark.pedantic(lambda: builder.build("optimized"), rounds=1, iterations=1)
+
+
+def test_bench_parallel_training_data(benchmark):
+    """Worker fan-out of training-data generation: identical blocks, timed."""
+    ds = make_mailorder(n_items=400, n_months=10, seed=0)
+    gen = TrainingDataGenerator(ds.task)
+    start = time.perf_counter()
+    serial = gen.generate(method="cube")
+    serial_s = time.perf_counter() - start
+    cfg = ParallelConfig(workers=2)
+    start = time.perf_counter()
+    fanned = gen.generate(method="cube", parallel=cfg)
+    parallel_s = time.perf_counter() - start
+    regions = list(serial.regions())
+    assert regions == list(fanned.regions())
+    for region in regions:
+        a, b = serial.read(region), fanned.read(region)
+        assert np.array_equal(a.x, b.x, equal_nan=True)
+        assert np.array_equal(a.y, b.y, equal_nan=True)
+    publish(
+        "exec_parallel_traindata",
+        render_grid(
+            "Execution layer — training-data generation: serial vs 2 workers",
+            ("n_regions", "serial_s", "workers2_s", "ratio"),
+            [(len(regions), serial_s, parallel_s, serial_s / parallel_s)],
+        ),
+    )
+
+    benchmark.pedantic(
+        lambda: gen.generate(method="cube", parallel=cfg), rounds=1, iterations=1
+    )

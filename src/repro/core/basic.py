@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dimensions import Region
+from repro.exec import ParallelConfig, ParallelExecutor
 from repro.ml import ErrorEstimate, LinearRegression
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
@@ -120,12 +121,23 @@ class BasicBellwetherSearch:
 
     # -------------------------------------------------------------- evaluate
 
-    def evaluate_all(self, item_ids: Sequence | None = None) -> list[RegionResult]:
+    def evaluate_all(
+        self,
+        item_ids: Sequence | None = None,
+        parallel: ParallelConfig | None = None,
+    ) -> list[RegionResult]:
         """One scan over the store: a RegionResult per region.
 
         ``item_ids`` restricts training to a subset S of items (used by
         trees/cubes); coverage is then measured against |S|.
+
+        ``parallel`` (default: the process-wide :mod:`repro.exec` config)
+        fans the per-region error estimation out over workers.  The scan
+        itself stays in this process — ``store.full_scans`` counts exactly
+        one — and worker fit counters merge back, so results and metrics
+        are identical to a serial run.
         """
+        executor = ParallelExecutor(parallel)
         key = frozenset(item_ids) if item_ids is not None else None
         if key in self._profile:
             return self._profile[key]
@@ -137,14 +149,21 @@ class BasicBellwetherSearch:
             "search.evaluate_all",
             restricted=restrict is not None,
         ) as sp:
+            pending = []
             for region, block in self.store.scan():
                 if restrict is not None:
                     block = block.restrict_to(restrict)
                 if block.n_examples < self.min_examples:
                     continue
-                error = self.task.error_estimator.estimate(
-                    block.x, block.y, block.weights
-                )
+                pending.append((region, block))
+            estimator = self.task.error_estimator
+            errors = executor.map(
+                lambda pair: estimator.estimate(
+                    pair[1].x, pair[1].y, pair[1].weights
+                ),
+                pending,
+            )
+            for (region, block), error in zip(pending, errors):
                 results.append(
                     RegionResult(
                         region=region,

@@ -11,6 +11,9 @@ A bellwether cube is ``{<S, r_S>}`` for every *significant* cube subset ``S``
   statistics are computed once per *base cell* and then merged up the item
   hierarchy lattice, so each subset's model error costs O(p³) instead of a
   refit over its rows.  Implies training-set error (the algebraic measure).
+  The default path batches the algebra (``StackedSuffStats``): every level's
+  (subset, region) models are fit by one stacked LAPACK solve;
+  ``optimized_serial`` keeps the per-pair solve as the reference baseline.
 
 Prediction for a new item (Section 6.2): among the significant subsets
 containing the item, pick the one whose bellwether model has the lowest
@@ -29,18 +32,34 @@ from repro.ml import (
     ErrorEstimate,
     LinearRegression,
     LinearSuffStats,
+    RowProducts,
+    StackedSuffStats,
     TrainingSetEstimator,
     add_intercept,
+    default_model_factory,
 )
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage import TrainingDataStore
 
 from .exceptions import SearchError, TaskError
+from .rowindex import RowIndex
 from .task import BellwetherTask
 
 _TRACER = get_tracer()
 _SUBSETS_BUILT = get_registry().counter("cube.subsets_built")
+
+
+def _first_strict_min(values: np.ndarray) -> int:
+    """Index chosen by the sequential rule ``if v < best: best = v``.
+
+    The first value seeds ``best`` unconditionally — even a NaN seed, which
+    then never loses a comparison.  Replicating that exactly keeps the
+    batched paths' winners identical to the serial loops'.
+    """
+    if np.isnan(values[0]):
+        return 0
+    return int(np.flatnonzero(values == np.nanmin(values))[0])
 
 
 @dataclass(frozen=True)
@@ -122,18 +141,22 @@ class BellwetherCubeResult:
             raise SearchError("row and column hierarchies must differ")
         rows = sorted({e.subset.nodes[row_hierarchy] for e in entries})
         cols = sorted({e.subset.nodes[col_hierarchy] for e in entries})
+        # Index entries by (row node, col node) once; first entry wins when
+        # collapsed hierarchies make several subsets share a cell.
+        by_cell: dict[tuple, SubsetEntry] = {}
+        for e in entries:
+            by_cell.setdefault(
+                (e.subset.nodes[row_hierarchy], e.subset.nodes[col_hierarchy]), e
+            )
         def cell(r, c):
-            for e in entries:
-                if (
-                    e.subset.nodes[row_hierarchy] == r
-                    and e.subset.nodes[col_hierarchy] == c
-                ):
-                    if not e.found:
-                        return "-"
-                    if show == "region":
-                        return str(e.region)
-                    return f"{e.error.rmse:.4g}"
-            return ""
+            e = by_cell.get((r, c))
+            if e is None:
+                return ""
+            if not e.found:
+                return "-"
+            if show == "region":
+                return str(e.region)
+            return f"{e.error.rmse:.4g}"
         grid = [["", *cols]] + [[r, *[cell(r, c) for c in cols]] for r in rows]
         widths = [max(len(row[j]) for row in grid) for j in range(len(cols) + 1)]
         lines = [
@@ -217,15 +240,13 @@ class BellwetherCubeBuilder:
         if item_ids is None:
             keep_rows = np.arange(len(all_ids))
         else:
-            wanted = set(item_ids)
-            keep_rows = np.array(
-                [k for k, i in enumerate(all_ids) if i in wanted], dtype=np.int64
-            )
-            if len(keep_rows) != len(wanted):
+            wanted = np.asarray(list(item_ids))
+            keep_rows = np.flatnonzero(np.isin(all_ids, wanted))
+            if len(keep_rows) != len(np.unique(wanted)):
                 raise TaskError("item_ids contains ids not in the item table")
         self._ids = all_ids[keep_rows]
         self._cell_of_item = cell_of_all[keep_rows]
-        self._row_of = {i: k for k, i in enumerate(self._ids)}
+        self._index = RowIndex(self._ids)
         # Significant subsets per level (the iceberg step of Section 6.3).
         self._levels: list = []
         for level in hierarchies.levels():
@@ -245,6 +266,15 @@ class BellwetherCubeBuilder:
     def significant_subsets(self) -> list[CubeSubset]:
         return [s for __, __, keep in self._levels for __, s, __ in keep]
 
+    @property
+    def n_levels(self) -> int:
+        """Lattice levels holding at least one significant subset.
+
+        The batched optimized build issues at most one batched solve per
+        level (the ``ml.linear.batched_solves`` counter is bounded by this).
+        """
+        return len(self._levels)
+
     # ------------------------------------------------------------------ build
 
     def build(self, method: str = "optimized") -> BellwetherCubeResult:
@@ -260,6 +290,8 @@ class BellwetherCubeBuilder:
                 entries = self._build_single_scan()
             elif method == "optimized":
                 entries = self._build_optimized()
+            elif method == "optimized_serial":
+                entries = self._build_optimized_serial()
             else:
                 raise TaskError(f"unknown cube method {method!r}")
             delta = self.store.stats - before
@@ -293,26 +325,84 @@ class BellwetherCubeBuilder:
 
     # ------------------------------------------------------------ single scan
 
+    def _batchable(self) -> bool:
+        """Is the task's error estimator the one Theorem 1 makes algebraic?
+
+        Only the plain training-set estimator (default OLS factory) reduces
+        to sufficient statistics; anything else (cross-validation, custom
+        model factories) keeps the per-subset estimate path.
+        """
+        est = self.task.error_estimator
+        return (
+            isinstance(est, TrainingSetEstimator)
+            and est.model_factory is default_model_factory
+        )
+
+    @staticmethod
+    def _training_errors(
+        stats: StackedSuffStats,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched (rmse, sse, dof) triplets — one solve for the whole stack."""
+        sse = stats.sse()
+        denom = stats.n - stats.p
+        denom = np.where(denom <= 0, stats.n, denom)
+        rmse = np.sqrt(sse / denom)
+        return rmse, sse, stats.dof
+
     def _build_single_scan(self) -> dict[CubeSubset, SubsetEntry]:
         best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
-        sizes: dict[CubeSubset, int] = {}
-        for __, rm, keep in self._levels:
-            for __, subset, n_items in keep:
-                sizes[subset] = n_items
+        batchable = self._batchable()
         for region, block in self.store.scan():
             block = block.restrict_to(self._ids)
             if block.n_examples == 0:
                 continue
-            rows_item = np.array(
-                [self._row_of[i] for i in block.item_ids], dtype=np.int64
-            )
+            rows_item = self._index.rows_of(block.item_ids)
             cell_of_row = self._cell_of_item[rows_item]
+            design = add_intercept(block.x) if batchable else None
             for __, rm, keep in self._levels:
                 subset_of_row = rm.subset_of_base[cell_of_row]
-                for s_idx, subset, __n in keep:
-                    mask = subset_of_row == s_idx
-                    if mask.sum() < self.min_examples:
+                counts = np.bincount(subset_of_row, minlength=len(rm.subsets))
+                if batchable:
+                    # Collect the qualifying subsets' sufficient statistics
+                    # first, then fit them all with one batched solve per
+                    # (region, level) instead of a Python-level fit each.
+                    # Statistics come from the same rows in the same order
+                    # as the per-subset estimator, so results are identical.
+                    pending: list[LinearSuffStats] = []
+                    pending_subsets: list[CubeSubset] = []
+                    for s_idx, subset, __n in keep:
+                        if counts[s_idx] < self.min_examples:
+                            continue
+                        mask = subset_of_row == s_idx
+                        pending.append(
+                            LinearSuffStats.from_data(
+                                design[mask],
+                                block.y[mask],
+                                None
+                                if block.weights is None
+                                else block.weights[mask],
+                            )
+                        )
+                        pending_subsets.append(subset)
+                    if not pending:
                         continue
+                    rmse, sse, dof = self._training_errors(
+                        StackedSuffStats.from_stats(pending)
+                    )
+                    for j, subset in enumerate(pending_subsets):
+                        if subset not in best or rmse[j] < best[subset][1].rmse:
+                            est = ErrorEstimate(
+                                rmse=float(rmse[j]),
+                                kind="training",
+                                sse=float(sse[j]),
+                                dof=int(dof[j]),
+                            )
+                            best[subset] = (region, est)
+                    continue
+                for s_idx, subset, __n in keep:
+                    if counts[s_idx] < self.min_examples:
+                        continue
+                    mask = subset_of_row == s_idx
                     est = self.task.error_estimator.estimate(
                         block.x[mask],
                         block.y[mask],
@@ -320,6 +410,11 @@ class BellwetherCubeBuilder:
                     )
                     if subset not in best or est.rmse < best[subset][1].rmse:
                         best[subset] = (region, est)
+        return self._entries_from_best(best)
+
+    def _entries_from_best(
+        self, best: dict[CubeSubset, tuple[Region, ErrorEstimate]]
+    ) -> dict[CubeSubset, SubsetEntry]:
         entries: dict[CubeSubset, SubsetEntry] = {}
         for __, rm, keep in self._levels:
             for __, subset, n_items in keep:
@@ -330,28 +425,133 @@ class BellwetherCubeBuilder:
     # -------------------------------------------------------------- optimized
 
     def _build_optimized(self) -> dict[CubeSubset, SubsetEntry]:
-        """Single scan + Theorem 1 rollup of per-base-cell statistics.
+        """Single scan + Theorem 1 rollup, batched: ≤ 1 solve per level.
+
+        The scan collects one :class:`~repro.ml.StackedSuffStats` of
+        per-base-cell statistics per region; after it, every lattice level
+        rolls *all* regions' cells up to (region, subset) problems with one
+        scatter-add and fits them with one stacked ``np.linalg.solve`` — the
+        whole cube costs one batched solve per lattice level instead of a
+        Python-level fit per (subset, region) pair.
 
         Model errors are training-set RMSE (the algebraic measure the
         theorem covers); the winning subset entries report chi-square-interval
         estimates exactly like :class:`~repro.ml.TrainingSetEstimator`.
         """
         best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
-        sizes: dict[CubeSubset, int] = {}
+        n_cells = len(self._cells)
+        regions: list[Region] = []
+        per_region: list[StackedSuffStats] = []
+        for region, block in self.store.scan():
+            block = block.restrict_to(self._ids)
+            if block.n_examples == 0:
+                continue
+            rows_item = self._index.rows_of(block.item_ids)
+            cell_of_row = self._cell_of_item[rows_item]
+            regions.append(region)
+            per_region.append(
+                self._cell_stats_stack(block, cell_of_row, n_cells)
+            )
+        if regions:
+            with _TRACER.span(
+                "cube.rollup", regions=len(regions), cells=n_cells
+            ):
+                self._rollup_batched(regions, per_region, best)
+        return self._entries_from_best(best)
+
+    @staticmethod
+    def _cell_stats_stack(
+        block, cell_of_row: np.ndarray, n_cells: int
+    ) -> StackedSuffStats:
+        """One region's per-base-cell g statistics as a dense stack.
+
+        Each present cell's statistics come from the same
+        :meth:`LinearSuffStats.from_data` call the per-problem path makes,
+        so the stacked rollup accumulates identical addends (absent cells
+        contribute exact zeros) and the batched cube matches
+        ``optimized_serial`` bit for bit.
+        """
+        design = add_intercept(block.x)
+        stack = StackedSuffStats.zeros(n_cells, design.shape[1])
+        order = np.argsort(cell_of_row, kind="stable")
+        sorted_cells = cell_of_row[order]
+        starts = np.flatnonzero(np.diff(sorted_cells, prepend=-1))
+        bounds = np.append(starts, len(sorted_cells))
+        for b_idx in range(len(starts)):
+            rows = order[bounds[b_idx]:bounds[b_idx + 1]]
+            cell = int(sorted_cells[bounds[b_idx]])
+            s = LinearSuffStats.from_data(
+                design[rows],
+                block.y[rows],
+                None if block.weights is None else block.weights[rows],
+            )
+            stack.ytwy[cell] = s.ytwy
+            stack.xtwx[cell] = s.xtwx
+            stack.xtwy[cell] = s.xtwy
+            stack.n[cell] = s.n
+            stack.sum_w[cell] = s.sum_w
+        return stack
+
+    def _rollup_batched(
+        self,
+        regions: list[Region],
+        per_region: list[StackedSuffStats],
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]],
+    ) -> None:
+        """Roll every region's base-cell stats up each level, solving once."""
+        n_regions = len(regions)
+        n_cells = len(self._cells)
+        all_cells = StackedSuffStats.concatenate(per_region)
         for __, rm, keep in self._levels:
-            for __, subset, n_items in keep:
-                sizes[subset] = n_items
+            n_subsets = len(rm.subsets)
+            # (region, cell) problem -> (region, subset) problem, region-major
+            target = (
+                np.arange(n_regions)[:, None] * n_subsets
+                + rm.subset_of_base[None, :]
+            ).ravel()
+            rolled = all_cells.rollup(target, n_regions * n_subsets)
+            keep_sidx = np.array([s_idx for s_idx, __s, __n in keep])
+            n_mat = rolled.n.reshape(n_regions, n_subsets)[:, keep_sidx]
+            cand = n_mat >= self.min_examples  # (n_regions, n_keep)
+            if not cand.any():
+                continue
+            flat = (
+                np.arange(n_regions)[:, None] * n_subsets + keep_sidx[None, :]
+            )
+            rmse, sse, dof = self._training_errors(rolled.select(flat[cand]))
+            reg_pos, keep_pos = np.nonzero(cand)
+            for j, (__s_idx, subset, __n) in enumerate(keep):
+                hits = np.flatnonzero(keep_pos == j)
+                if not len(hits):
+                    continue
+                k = hits[_first_strict_min(rmse[hits])]
+                est = ErrorEstimate(
+                    rmse=float(rmse[k]),
+                    kind="training",
+                    sse=float(sse[k]),
+                    dof=int(dof[k]),
+                )
+                best[subset] = (regions[reg_pos[k]], est)
+
+    # ------------------------------------------------- optimized (per-problem)
+
+    def _build_optimized_serial(self) -> dict[CubeSubset, SubsetEntry]:
+        """The pre-batching optimized path: one Python-level solve per
+        (subset, region) pair.
+
+        Kept as the reference implementation for the batched-equivalence
+        tests and as the recorded serial baseline the bench-regression CI
+        step compares the batched kernel against.
+        """
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
         n_cells = len(self._cells)
         for region, block in self.store.scan():
             block = block.restrict_to(self._ids)
             if block.n_examples == 0:
                 continue
-            rows_item = np.array(
-                [self._row_of[i] for i in block.item_ids], dtype=np.int64
-            )
+            rows_item = self._index.rows_of(block.item_ids)
             cell_of_row = self._cell_of_item[rows_item]
             design = add_intercept(block.x)
-            p = design.shape[1]
             # g per base cell, one grouped pass over the block.
             order = np.argsort(cell_of_row, kind="stable")
             sorted_cells = cell_of_row[order]
@@ -369,12 +569,7 @@ class BellwetherCubeBuilder:
                 )
             with _TRACER.span("cube.rollup", cells=len(cell_stats)):
                 self._rollup_region(region, cell_stats, best)
-        entries: dict[CubeSubset, SubsetEntry] = {}
-        for __, rm, keep in self._levels:
-            for __, subset, n_items in keep:
-                region, est = best.get(subset, (None, None))
-                entries[subset] = SubsetEntry(subset, n_items, region, est)
-        return entries
+        return self._entries_from_best(best)
 
     def _rollup_region(
         self,

@@ -38,6 +38,7 @@ from repro.table import Database, Table, natural_join
 from repro.table.schema import ColumnType
 
 from .exceptions import TaskError
+from .rowindex import RowIndex
 
 _SUPPORTED_FUNCS = ("sum", "count", "min", "max", "avg")
 
@@ -213,9 +214,9 @@ class ItemFeatureEncoder:
         self.id_column = id_column
         self.attributes = tuple(attributes)
         ids = item_table[id_column]
-        self._row_of: dict = {i: k for k, i in enumerate(ids)}
-        if len(self._row_of) != len(ids):
-            raise TaskError(f"duplicate item ids in item table")
+        if len(set(ids)) != len(ids):
+            raise TaskError("duplicate item ids in item table")
+        self._index = RowIndex(np.asarray(ids))
         names: list[str] = []
         columns: list[np.ndarray] = []
         for attr in attributes:
@@ -242,7 +243,7 @@ class ItemFeatureEncoder:
     def matrix(self, item_ids: np.ndarray) -> np.ndarray:
         """Feature rows aligned with the requested item ids."""
         try:
-            rows = [self._row_of[i] for i in item_ids]
+            rows = self._index.rows_of(np.asarray(item_ids))
         except KeyError as exc:
             raise TaskError(f"unknown item id {exc}") from None
         return self._matrix[rows]

@@ -1,0 +1,76 @@
+"""Vectorized item-id -> row-position lookup.
+
+Several hot paths used to resolve item ids through Python dict loops
+(``[row_of[i] for i in ids]`` / ``i in id_code``), which costs O(n) Python
+object work per block.  :class:`RowIndex` replaces those with sorted-array
+``searchsorted`` lookups (falling back to a dict only when the ids are not
+totally ordered, e.g. mixed-type object arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RowIndex"]
+
+
+class RowIndex:
+    """Maps item ids to their row positions in a fixed id array."""
+
+    def __init__(self, ids: np.ndarray):
+        self._ids = np.asarray(ids)
+        self._dict: dict | None = None
+        try:
+            self._order = np.argsort(self._ids, kind="stable")
+            self._sorted = self._ids[self._order]
+        except TypeError:  # unorderable object ids
+            self._order = None
+            self._sorted = None
+            self._dict = {i: k for k, i in enumerate(self._ids)}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._ids
+
+    def contains(self, wanted: np.ndarray) -> np.ndarray:
+        """Boolean per entry of ``wanted``: is it one of the indexed ids?"""
+        wanted = np.asarray(wanted)
+        if self._dict is not None:
+            return np.fromiter(
+                (i in self._dict for i in wanted), dtype=bool, count=len(wanted)
+            )
+        if len(self._ids) == 0 or len(wanted) == 0:
+            return np.zeros(len(wanted), dtype=bool)
+        pos = np.searchsorted(self._sorted, wanted)
+        pos = np.minimum(pos, len(self._sorted) - 1)
+        return self._sorted[pos] == wanted
+
+    def rows_of(self, wanted: np.ndarray) -> np.ndarray:
+        """Row position of every entry of ``wanted`` (KeyError if absent)."""
+        wanted = np.asarray(wanted)
+        if self._dict is not None:
+            try:
+                return np.fromiter(
+                    (self._dict[i] for i in wanted),
+                    dtype=np.int64,
+                    count=len(wanted),
+                )
+            except KeyError as exc:
+                raise KeyError(f"unknown item id {exc.args[0]!r}") from None
+        if len(wanted) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if len(self._ids) == 0:
+            raise KeyError(f"unknown item id {wanted[0]!r}")
+        pos = np.searchsorted(self._sorted, wanted)
+        pos = np.minimum(pos, len(self._sorted) - 1)
+        missing = self._sorted[pos] != wanted
+        if missing.any():
+            raise KeyError(f"unknown item id {wanted[missing][0]!r}")
+        return self._order[pos].astype(np.int64, copy=False)
+
+    def member_mask(self, wanted: np.ndarray) -> np.ndarray:
+        """Boolean over the *indexed* ids: membership in ``wanted``."""
+        return np.isin(self._ids, np.asarray(wanted))

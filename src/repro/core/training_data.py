@@ -29,11 +29,13 @@ from repro.dimensions import (
     IntervalDimension,
     Region,
 )
+from repro.exec import ParallelConfig, ParallelExecutor
 from repro.obs.trace import get_tracer
 from repro.storage import MemoryStore, RegionBlock
 from repro.table import factorize
 
 from .exceptions import TaskError
+from .rowindex import RowIndex
 
 _TRACER = get_tracer()
 from .features import DistinctJoinAggregate
@@ -66,13 +68,11 @@ class TrainingDataGenerator:
         fact = task.db.fact
         # --- item codes; fact rows for unknown items are dropped (I defines the task)
         ids = task.item_ids
-        id_code = {i: k for k, i in enumerate(ids)}
-        raw_ids = fact[task.id_column]
-        keep = np.array([i in id_code for i in raw_ids], dtype=bool)
+        index = RowIndex(np.asarray(ids))
+        raw_ids = np.asarray(fact[task.id_column])
+        keep = index.contains(raw_ids)
         self._row_idx = np.flatnonzero(keep)
-        self._item_codes = np.array(
-            [id_code[i] for i in raw_ids[keep]], dtype=np.int64
-        )
+        self._item_codes = index.rows_of(raw_ids[keep])
         self.n_items = len(ids)
         self._item_ids = np.asarray(ids)
         # --- dimension encodings
@@ -207,6 +207,7 @@ class TrainingDataGenerator:
         self,
         regions: Sequence[Region] | None = None,
         method: str = "cube",
+        parallel: ParallelConfig | None = None,
     ) -> MemoryStore:
         """Build the store of training sets.
 
@@ -218,48 +219,69 @@ class TrainingDataGenerator:
         method:
             ``"cube"`` (single grouped pass + rollup) or ``"naive"``
             (one aggregation per region).
+        parallel:
+            Fan the per-combo (cube) / per-region (naive) aggregation out
+            over workers; default is the process-wide :mod:`repro.exec`
+            config.  Blocks are identical to a serial run.
         """
         wanted = set(regions) if regions is not None else None
+        executor = ParallelExecutor(parallel)
         with _TRACER.span(
             "traindata.generate",
             method=method,
             regions=len(wanted) if wanted is not None else len(self.all_regions()),
         ) as sp:
             if method == "cube":
-                blocks = self._generate_cube(wanted)
+                blocks = self._generate_cube(wanted, executor)
             elif method == "naive":
-                blocks = self._generate_naive(wanted)
+                blocks = self._generate_naive(wanted, executor)
             else:
                 raise TaskError(f"unknown generation method {method!r}")
             sp.annotate(blocks=len(blocks))
         feature_names = self.task.feature_names
         return MemoryStore(blocks, feature_names)
 
-    def _generate_cube(self, wanted: set[Region] | None) -> dict[Region, RegionBlock]:
-        blocks: dict[Region, RegionBlock] = {}
-        for combo in self._node_combos:
-            if wanted is not None and not any(
+    def _generate_cube(
+        self, wanted: set[Region] | None, executor: ParallelExecutor
+    ) -> dict[Region, RegionBlock]:
+        combos = [
+            combo
+            for combo in self._node_combos
+            if wanted is None
+            or any(
                 self._region_for(combo, w) in wanted
                 for w in range(self.n_windows)
-            ):
+            )
+        ]
+        blocks: dict[Region, RegionBlock] = {}
+        for part in executor.map(
+            lambda combo: self._cube_combo_blocks(combo, wanted), combos
+        ):
+            blocks.update(part)
+        return blocks
+
+    def _cube_combo_blocks(
+        self, combo: tuple[str, ...], wanted: set[Region] | None
+    ) -> dict[Region, RegionBlock]:
+        """All windows' blocks of one hierarchy-node combo (one fan-out item)."""
+        dense_features = [
+            self._dense_feature(plan, combo) for plan in self._plans
+        ]
+        present = self._dense_presence(combo)
+        blocks: dict[Region, RegionBlock] = {}
+        for w in range(self.n_windows):
+            region = self._region_for(combo, w)
+            if wanted is not None and region not in wanted:
                 continue
-            dense_features = [
-                self._dense_feature(plan, combo) for plan in self._plans
-            ]
-            present = self._dense_presence(combo)
-            for w in range(self.n_windows):
-                region = self._region_for(combo, w)
-                if wanted is not None and region not in wanted:
-                    continue
-                rows = np.flatnonzero(present[:, w])
-                x = np.column_stack(
-                    [self._item_x[rows]]
-                    + [dense[rows, w][:, None] for dense in dense_features]
-                ) if len(rows) else np.empty((0, self._item_x.shape[1] + len(dense_features)))
-                blocks[region] = RegionBlock(
-                    self._item_ids[rows], x, self._y[rows],
-                    None if self._w is None else self._w[rows],
-                )
+            rows = np.flatnonzero(present[:, w])
+            x = np.column_stack(
+                [self._item_x[rows]]
+                + [dense[rows, w][:, None] for dense in dense_features]
+            ) if len(rows) else np.empty((0, self._item_x.shape[1] + len(dense_features)))
+            blocks[region] = RegionBlock(
+                self._item_ids[rows], x, self._y[rows],
+                None if self._w is None else self._w[rows],
+            )
         return blocks
 
     def _dense_presence(self, combo: tuple[str, ...]) -> np.ndarray:
@@ -401,31 +423,36 @@ class TrainingDataGenerator:
 
     # ----------------------------------------------------------------- naive
 
-    def _generate_naive(self, wanted: set[Region] | None) -> dict[Region, RegionBlock]:
-        blocks: dict[Region, RegionBlock] = {}
-        space = self.task.space
-        for region in self.all_regions():
-            if wanted is not None and region not in wanted:
-                continue
-            mask = self._region_mask(region)
-            items = self._item_codes[mask]
-            present_codes = np.unique(items)
-            columns: list[np.ndarray] = []
-            for plan in self._plans:
-                columns.append(
-                    self._naive_feature(plan, mask, present_codes)
-                )
-            rows = present_codes
-            x = (
-                np.column_stack([self._item_x[rows]] + [c[:, None] for c in columns])
-                if len(rows)
-                else np.empty((0, self._item_x.shape[1] + len(self._plans)))
-            )
-            blocks[region] = RegionBlock(
-                self._item_ids[rows], x, self._y[rows],
-                None if self._w is None else self._w[rows],
-            )
-        return blocks
+    def _generate_naive(
+        self, wanted: set[Region] | None, executor: ParallelExecutor
+    ) -> dict[Region, RegionBlock]:
+        regions = [
+            region
+            for region in self.all_regions()
+            if wanted is None or region in wanted
+        ]
+        parts = executor.map(self._naive_region_block, regions)
+        return dict(zip(regions, parts))
+
+    def _naive_region_block(self, region: Region) -> RegionBlock:
+        """One region's training block (one naive fan-out item)."""
+        mask = self._region_mask(region)
+        items = self._item_codes[mask]
+        present_codes = np.unique(items)
+        columns = [
+            self._naive_feature(plan, mask, present_codes)
+            for plan in self._plans
+        ]
+        rows = present_codes
+        x = (
+            np.column_stack([self._item_x[rows]] + [c[:, None] for c in columns])
+            if len(rows)
+            else np.empty((0, self._item_x.shape[1] + len(self._plans)))
+        )
+        return RegionBlock(
+            self._item_ids[rows], x, self._y[rows],
+            None if self._w is None else self._w[rows],
+        )
 
     def block_for_mask(self, mask: np.ndarray) -> RegionBlock:
         """Training block aggregated over an arbitrary fact-row subset.
@@ -524,12 +551,14 @@ def build_store(
     method: str = "cube",
     enforce_coverage: bool = True,
     enforce_budget: bool = False,
+    parallel: ParallelConfig | None = None,
 ) -> tuple[MemoryStore, dict[Region, float], dict[Region, float]]:
     """Generate the entire training data for a task.
 
     Returns ``(store, costs, coverage)``.  Coverage pruning is applied by
     default (it does not change with the budget); budget pruning is off by
-    default so one store can serve a whole budget sweep.
+    default so one store can serve a whole budget sweep.  ``parallel``
+    is forwarded to :meth:`TrainingDataGenerator.generate`.
     """
     with _TRACER.span("traindata.build_store", method=method):
         gen = TrainingDataGenerator(task)
@@ -542,5 +571,5 @@ def build_store(
             if enforce_budget and not task.criterion.admits(costs[region], coverage[region]):
                 continue
             regions.append(region)
-        store = gen.generate(regions=regions, method=method)
+        store = gen.generate(regions=regions, method=method, parallel=parallel)
     return store, costs, coverage

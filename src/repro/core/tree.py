@@ -17,7 +17,10 @@ Two construction algorithms (Figure 4), equivalent by Lemma 1:
 
 Split-quality errors default to training-set RMSE (cheap and, for linear
 models, close to cross-validation — Figure 7(c)); numeric splits use prefix
-sufficient statistics so every threshold costs O(p²), not a refit.
+sufficient statistics so every threshold costs O(p²), not a refit.  Each
+level's scan only collects sufficient statistics — every model of the level
+(node errors and all split partitions on all regions) is fit by one stacked
+solve (``StackedSuffStats``), with results identical to per-problem fits.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.ml import (
     ErrorEstimate,
     LinearRegression,
     LinearSuffStats,
+    StackedSuffStats,
     add_intercept,
 )
 from repro.obs.metrics import get_registry
@@ -40,6 +44,7 @@ from repro.storage import RegionBlock, TrainingDataStore
 from repro.table.schema import ColumnType
 
 from .exceptions import SearchError, TaskError
+from .rowindex import RowIndex
 from .task import BellwetherTask
 
 _TRACER = get_tracer()
@@ -281,7 +286,7 @@ class BellwetherTreeBuilder:
             else:
                 self._attr_kind[attr] = "num"
                 self._attr_values[attr] = np.asarray(col, dtype=np.float64)
-        self._row_of = {i: k for k, i in enumerate(self._ids)}
+        self._index = RowIndex(self._ids)
 
     # ------------------------------------------------------------ public API
 
@@ -305,9 +310,9 @@ class BellwetherTreeBuilder:
         root_ids = (
             self._ids.copy() if item_ids is None else np.asarray(list(item_ids))
         )
-        unknown = [i for i in root_ids if i not in self._row_of]
-        if unknown:
-            raise TaskError(f"unknown item ids: {unknown[:5]}")
+        missing = ~self._index.contains(root_ids)
+        if missing.any():
+            raise TaskError(f"unknown item ids: {list(root_ids[missing][:5])}")
         root = TreeNode(item_ids=root_ids, depth=0)
         before = self.store.stats.snapshot()
         with _TRACER.span(
@@ -333,7 +338,7 @@ class BellwetherTreeBuilder:
     # -------------------------------------------------------------- candidates
 
     def _candidate_splits(self, item_ids: np.ndarray) -> list[SplitCandidate]:
-        rows = [self._row_of[i] for i in item_ids]
+        rows = self._index.rows_of(item_ids)
         out: list[SplitCandidate] = []
         for attr in self.split_attrs:
             values = self._attr_values[attr][rows]
@@ -359,37 +364,45 @@ class BellwetherTreeBuilder:
     def _partition_rows(
         self, split: SplitCandidate, item_ids: np.ndarray
     ) -> np.ndarray:
-        rows = [self._row_of[i] for i in item_ids]
+        rows = self._index.rows_of(item_ids)
         values = self._attr_values[split.attr][rows]
         if split.kind == "cat":
             values = values.astype(str)
         return split.partition(values)
-
-    # ------------------------------------------------------------ error eval
-
-    def _block_error(
-        self, x: np.ndarray, y: np.ndarray, w: np.ndarray | None = None
-    ) -> float:
-        """Training-set RMSE of a WLS fit on one (region, item-set) block."""
-        stats = LinearSuffStats.from_data(add_intercept(x), y, w)
-        return stats.rmse()
 
     # ----------------------------------------------------------------- naive
 
     def _node_bellwether(
         self, item_ids: np.ndarray, store: TrainingDataStore | None = None
     ) -> tuple[Region | None, float]:
-        """min_r Error(h_r | S) by re-reading every region (naive path)."""
+        """min_r Error(h_r | S) by re-reading every region (naive path).
+
+        Every feasible region's statistics are collected first and fit by
+        one stacked solve; picking the first strict minimum in region order
+        reproduces the serial loop's winner exactly.
+        """
         store = store if store is not None else self.store
-        best_region, best_err = None, np.inf
+        pending: list[LinearSuffStats] = []
+        regions: list[Region] = []
         for region in store.regions():
             block = store.read(region).restrict_to(item_ids)
             if block.n_examples < self.min_examples:
                 continue
-            err = self._block_error(block.x, block.y, block.weights)
-            if err < best_err:
-                best_region, best_err = region, err
-        return best_region, best_err
+            pending.append(
+                LinearSuffStats.from_data(
+                    add_intercept(block.x), block.y, block.weights
+                )
+            )
+            regions.append(region)
+        if not pending:
+            return None, np.inf
+        errs = StackedSuffStats.from_stats(pending).rmse()
+        finite = np.isfinite(errs)
+        if not finite.any():
+            return None, np.inf
+        m = errs[finite].min()
+        k = int(np.flatnonzero(errs == m)[0])
+        return regions[k], float(m)
 
     def _build_naive(self, node: TreeNode, store: TrainingDataStore | None = None) -> None:
         store = store if store is not None else self.store
@@ -467,6 +480,9 @@ class BellwetherTreeBuilder:
             }
             for node in active
         }
+        per_node_index = {
+            id(node): RowIndex(node.item_ids) for node in active
+        }
         min_error: dict[tuple[int, int, int], float] = {}
         node_best: dict[int, tuple[float, Region | None]] = {
             id(node): (np.inf, None) for node in active
@@ -483,37 +499,55 @@ class BellwetherTreeBuilder:
         cache: dict[int, dict[Region, RegionBlock]] = {
             key: {} for key in cacheable
         }
+        # The scan only *collects* sufficient statistics; all the models of
+        # this level (node errors and every split partition's error on every
+        # region) are then fit by a single stacked solve, and the scan's
+        # sequential min-updates replay over the batched errors in order.
+        pending_stats: list[LinearSuffStats] = []
+        pending_slots: list[tuple] = []
         for region, block in self.store.scan():
             for node in active:
                 sub = block.restrict_to(node.item_ids)
                 if id(node) in cacheable:
                     cache[id(node)][region] = sub
                 if sub.n_examples >= self.min_examples:
-                    err = self._block_error(sub.x, sub.y, sub.weights)
-                    if err < node_best[id(node)][0]:
-                        node_best[id(node)] = (err, region)
+                    pending_stats.append(
+                        LinearSuffStats.from_data(
+                            add_intercept(sub.x), sub.y, sub.weights
+                        )
+                    )
+                    pending_slots.append(("node", id(node), region))
                 if (
                     node.n_items < self.min_items
                     or node.depth >= self.max_depth
                 ):
                     continue
-                id_to_child_cache: dict[int, dict] = {}
+                child_rows = None  # sub's rows within the node, lazily
                 for c_idx, split in enumerate(per_node_splits[id(node)]):
                     child_of_item = per_node_partition[id(node)][c_idx]
-                    key = id(child_of_item)
-                    if key not in id_to_child_cache:
-                        id_to_child_cache[key] = dict(
-                            zip(node.item_ids, child_of_item)
+                    if child_rows is None:
+                        child_rows = per_node_index[id(node)].rows_of(
+                            sub.item_ids
                         )
-                    errors = self._split_errors_on_block(
-                        split, sub, id_to_child_cache[key]
+                    stats_per_child = self._split_stats_on_block(
+                        split, sub, child_of_item[child_rows]
                     )
-                    for p, err in enumerate(errors):
-                        if err is None:
-                            continue
-                        slot = (id(node), c_idx, p)
-                        if err < min_error.get(slot, np.inf):
-                            min_error[slot] = err
+                    for p, stats in enumerate(stats_per_child):
+                        if stats is not None:
+                            pending_stats.append(stats)
+                            pending_slots.append(("split", id(node), c_idx, p))
+        if pending_stats:
+            errors = StackedSuffStats.from_stats(pending_stats).rmse()
+            for slot, err in zip(pending_slots, errors):
+                if slot[0] == "node":
+                    __, key, region = slot
+                    if err < node_best[key][0]:
+                        node_best[key] = (float(err), region)
+                else:
+                    __, key, c_idx, p = slot
+                    s = (key, c_idx, p)
+                    if err < min_error.get(s, np.inf):
+                        min_error[s] = float(err)
         next_active: list[TreeNode] = []
         for node in active:
             node._best_rmse, node.region = (
@@ -574,44 +608,45 @@ class BellwetherTreeBuilder:
                 next_active.extend(node.children)
         return next_active
 
-    def _split_errors_on_block(
+    def _split_stats_on_block(
         self,
         split: SplitCandidate,
         block: RegionBlock,
-        id_to_child: dict,
-    ) -> list[float | None]:
-        """Per-partition errors on one region's (already restricted) block."""
+        child_of_row: np.ndarray,
+    ) -> list[LinearSuffStats | None]:
+        """Per-partition statistics on one region's (restricted) block.
+
+        Returns ``None`` for partitions below ``min_examples``; the caller
+        fits everything else in one batched solve at the end of the scan.
+        """
         _SPLIT_EVALS.inc()
         if block.n_examples == 0:
             return [None] * split.n_children()
-        child_of_row = np.array(
-            [id_to_child[i] for i in block.item_ids], dtype=np.int64
-        )
         if (
             split.kind == "num"
             and self.use_prefix_stats
             and split.n_children() == 2
         ):
-            return self._two_way_errors_prefix(child_of_row, block)
-        errors: list[float | None] = []
+            return self._two_way_stats_prefix(child_of_row, block)
+        out: list[LinearSuffStats | None] = []
         for p in range(split.n_children()):
             mask = child_of_row == p
             if mask.sum() < self.min_examples:
-                errors.append(None)
+                out.append(None)
             else:
-                errors.append(
-                    self._block_error(
-                        block.x[mask],
+                out.append(
+                    LinearSuffStats.from_data(
+                        add_intercept(block.x[mask]),
                         block.y[mask],
                         None if block.weights is None else block.weights[mask],
                     )
                 )
-        return errors
+        return out
 
-    def _two_way_errors_prefix(
+    def _two_way_stats_prefix(
         self, child_of_row: np.ndarray, block: RegionBlock
-    ) -> list[float | None]:
-        """Binary-split errors from one pair of merged sufficient statistics.
+    ) -> list[LinearSuffStats | None]:
+        """Binary-split statistics from one pair of merged statistics.
 
         Sorting rows so the left partition is a prefix lets both partitions'
         statistics come from one cumulative pass (and the right side by
@@ -629,10 +664,10 @@ class BellwetherTreeBuilder:
             else LinearSuffStats.zeros(x.shape[1])
         )
         right = total - left
-        out: list[float | None] = []
-        out.append(left.rmse() if left.n >= self.min_examples else None)
-        out.append(right.rmse() if right.n >= self.min_examples else None)
-        return out
+        return [
+            left if left.n >= self.min_examples else None,
+            right if right.n >= self.min_examples else None,
+        ]
 
     # --------------------------------------------------------------- pruning
 

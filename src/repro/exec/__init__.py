@@ -1,0 +1,16 @@
+"""Execution layer: batched kernels ride in :mod:`repro.ml`; the parallel
+region fan-out lives here."""
+
+from .parallel import (
+    ParallelConfig,
+    ParallelExecutor,
+    get_default_config,
+    set_default_config,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelExecutor",
+    "get_default_config",
+    "set_default_config",
+]

@@ -1,0 +1,181 @@
+"""Region fan-out executor: serial, thread, or forked process pools.
+
+The scan-oriented algorithms spend their time in per-region work that is
+embarrassingly parallel — estimating a model per region block, aggregating a
+training set per hierarchy-node combination.  :class:`ParallelExecutor` fans
+a list of such work items out over a pool and returns results in input
+order, so parallel runs are *deterministic*: the same items produce the
+same results in the same order as a serial run.
+
+Two properties matter for the reproduction:
+
+* **Metric truthfulness** — the process-wide counters (``ml.linear.fits``,
+  ``store.full_scans``, …) back the Lemma 1/2 scan-bound tests.  Forked
+  workers therefore compute their counter deltas and ship them back with
+  the results; the parent merges them, so counts match a serial run.
+  (Thread workers share the registry and need no merging; the scan itself
+  always happens in the parent, so ``store.full_scans`` is parent-only.)
+* **No payload pickling** — the process backend uses ``fork``, stashing the
+  work function and items in a module global first.  Children inherit the
+  parent's memory, so pre-encoded fact arrays and region blocks are never
+  serialized on the way in; only chunk bounds and results cross the pipe.
+
+On platforms without ``fork`` the process backend degrades to threads, and
+``workers=1`` (the default everywhere) is exactly the serial code path.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelExecutor",
+    "get_default_config",
+    "set_default_config",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How region fan-outs execute.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; 1 means serial (the default everywhere).
+    backend:
+        ``"process"`` (forked workers, counter deltas merged back),
+        ``"thread"`` (shared memory and registry), or ``"serial"``.
+    chunk_size:
+        Items per work chunk; default splits the items evenly over the
+        workers.
+    """
+
+    workers: int = 1
+    backend: str = "process"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1 or self.backend == "serial"
+
+    def resolved_backend(self) -> str:
+        """The backend that will actually run (fork-less hosts get threads)."""
+        if self.is_serial:
+            return "serial"
+        if self.backend == "process" and not _fork_available():
+            return "thread"
+        return self.backend
+
+
+def _fork_available() -> bool:
+    return hasattr(os, "fork") and "fork" in mp.get_all_start_methods()
+
+
+_DEFAULT = ParallelConfig()
+
+
+def get_default_config() -> ParallelConfig:
+    """The process-wide default (set by ``--workers``; serial out of the box)."""
+    return _DEFAULT
+
+
+def set_default_config(config: ParallelConfig) -> None:
+    global _DEFAULT
+    _DEFAULT = config
+
+
+# Stash read by forked workers.  Children inherit it through fork, so the
+# function and items are never pickled; cleared again once the pool returns.
+# The lock makes nested/concurrent fan-outs degrade to serial instead of
+# racing on the stash (e.g. parallel CV folds whose inner searches are also
+# parallel-configured).
+_PAYLOAD: tuple[Callable, list] | None = None
+_PAYLOAD_LOCK = threading.Lock()
+
+
+def _run_chunk(bounds: tuple[int, int]) -> tuple[list, dict[str, float]]:
+    """Worker body: apply the stashed fn to one chunk, report counter deltas."""
+    fn, items = _PAYLOAD
+    registry = get_registry()
+    before = registry.counter_values()
+    results = [fn(items[i]) for i in range(*bounds)]
+    deltas = {
+        name: value - before.get(name, 0)
+        for name, value in registry.counter_values().items()
+        if value != before.get(name, 0)
+    }
+    return results, deltas
+
+
+class ParallelExecutor:
+    """Maps a function over items with the configured pool, in input order."""
+
+    def __init__(self, config: ParallelConfig | None = None):
+        self.config = config or get_default_config()
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """``[fn(item) for item in items]``, possibly fanned out.
+
+        Results come back in input order regardless of backend, and worker
+        counter increments are merged into the parent registry, so callers
+        observe the same results *and the same metrics* as a serial run.
+        """
+        items = list(items)
+        backend = self.config.resolved_backend()
+        # Pool workers are daemonic and cannot fork again: a parallel
+        # algorithm nested inside another fan-out runs its stage serially.
+        if backend == "process" and mp.current_process().daemon:
+            backend = "serial"
+        if backend == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks = self._chunks(len(items))
+        if backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+                parts = list(
+                    pool.map(
+                        lambda b: [fn(items[i]) for i in range(*b)], chunks
+                    )
+                )
+            return [r for part in parts for r in part]
+        if not _PAYLOAD_LOCK.acquire(blocking=False):
+            # another fan-out is in flight in this process (threaded caller)
+            return [fn(item) for item in items]
+        global _PAYLOAD
+        ctx = mp.get_context("fork")
+        _PAYLOAD = (fn, items)
+        try:
+            with ctx.Pool(processes=min(self.config.workers, len(chunks))) as pool:
+                parts = pool.map(_run_chunk, chunks)
+        finally:
+            _PAYLOAD = None
+            _PAYLOAD_LOCK.release()
+        registry = get_registry()
+        results: list = []
+        for chunk_results, deltas in parts:
+            results.extend(chunk_results)
+            registry.merge_counter_deltas(deltas)
+        return results
+
+    def _chunks(self, n: int) -> list[tuple[int, int]]:
+        size = self.config.chunk_size or max(
+            1, math.ceil(n / self.config.workers)
+        )
+        return [(lo, min(lo + size, n)) for lo in range(0, n, size)]

@@ -4,7 +4,13 @@ from .fig07_mailorder import Fig7Result, run_fig7
 from .fig08_prediction import Fig8Result, run_fig8
 from .fig09_bookstore import Fig9Result, run_fig9
 from .fig10_simulation import Fig10Result, run_fig10a, run_fig10b
-from .fig11_scalability import ScalingResult, run_fig11a, run_fig11b, run_fig11c
+from .fig11_scalability import (
+    ScalingResult,
+    run_fig11a,
+    run_fig11b,
+    run_fig11c,
+    run_fig11d,
+)
 from .fig12_characteristics import CharacteristicResult, run_fig12a, run_fig12b
 from .tables import render_grid, render_series
 
@@ -25,6 +31,7 @@ __all__ = [
     "run_fig11a",
     "run_fig11b",
     "run_fig11c",
+    "run_fig11d",
     "run_fig12a",
     "run_fig12b",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig10a fig10b  # several
     python -m repro.experiments all            # everything
     python -m repro.experiments all --fast     # small sizes, quick sanity
+    python -m repro.experiments fig7 --workers 4   # parallel region fan-out
 
 Observability (see ``repro.obs``)::
 
@@ -26,6 +27,7 @@ import argparse
 import sys
 import time
 
+from repro.exec import ParallelConfig, set_default_config
 from repro.obs import observe
 
 from . import (
@@ -37,6 +39,7 @@ from . import (
     run_fig11a,
     run_fig11b,
     run_fig11c,
+    run_fig11d,
     run_fig12a,
     run_fig12b,
 )
@@ -95,6 +98,11 @@ def _fig11c(fast: bool):
     return run_fig11c(**kwargs).render()
 
 
+def _fig11d(fast: bool):
+    kwargs = dict(region_counts=(8, 16), n_items=400, workers=2) if fast else {}
+    return run_fig11d(**kwargs).render()
+
+
 def _fig12a(fast: bool):
     kwargs = dict(leaf_counts=(2, 4), n_items=300) if fast else {}
     return run_fig12a(**kwargs).render()
@@ -114,6 +122,7 @@ FIGURES = {
     "fig11a": _fig11a,
     "fig11b": _fig11b,
     "fig11c": _fig11c,
+    "fig11d": _fig11d,
     "fig12a": _fig12a,
     "fig12b": _fig12b,
 }
@@ -150,7 +159,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a one-line summary per figure (elapsed, scans, fits)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan region work out over N worker processes (default 1 = serial; "
+        "results are identical, only wall-clock changes)",
+    )
     args = parser.parse_args(argv)
+    if args.workers != 1:
+        set_default_config(ParallelConfig(workers=args.workers))
     names = list(FIGURES) if "all" in args.figures else args.figures
     for name in names:
         start = time.perf_counter()

@@ -7,6 +7,10 @@ growing margin as the entire training data grows.
 examples, with the optimized cube ahead.
 (c) RF tree runtime grows linearly in the number of examples (it scans once
 per level, vs once total for the cubes — the paper's noted gap).
+(d) Execution-layer ablation (this reproduction's addition): per-pair serial
+solves vs one batched solve per lattice level in the optimized cube, and
+serial vs multi-worker basic-search evaluation.  Timings are journalled to
+``BENCH_figures.json`` so the repo accumulates a trajectory.
 
 Sizes are scaled to laptop budgets (the paper ran up to 10 M examples on a
 2006 Pentium IV); the *linearity in the swept axis* and the algorithm
@@ -19,8 +23,10 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import BellwetherCubeBuilder, BellwetherTreeBuilder
+from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder, BellwetherTreeBuilder
 from repro.datasets import make_scalability
+from repro.exec import ParallelConfig
+from repro.obs.bench import BenchJournal
 from repro.storage import DiskStore
 
 from .tables import render_series
@@ -145,4 +151,73 @@ def run_fig11c(
     return ScalingResult(
         tuple(xs), "examples", series,
         title="Figure 11(c) — RF tree scalability in examples (seconds)",
+    )
+
+
+def run_fig11d(
+    region_counts: tuple[int, ...] = (16, 32, 48),
+    n_items: int = 1_500,
+    workers: int = 4,
+    seed: int = 0,
+    journal_path: str | Path | None = "BENCH_figures.json",
+) -> ScalingResult:
+    """Execution-layer ablation: serial vs batched solves vs worker fan-out.
+
+    Compares the optimized cube with per-pair serial solves
+    (``method="optimized_serial"``) against the batched kernel
+    (one ``np.linalg.solve`` per lattice level), and the basic search's
+    region evaluation serially vs fanned over ``workers``.  All variants
+    produce bit-identical bellwethers; only wall-clock differs.  Each point
+    is appended to ``journal_path`` (pass ``None`` to skip journalling).
+    """
+    journal = (
+        BenchJournal(journal_path, context={"figure": "fig11d"})
+        if journal_path is not None
+        else None
+    )
+    par = ParallelConfig(workers=workers)
+    series: dict[str, list[float]] = {
+        "optimized cube (serial solves)": [],
+        "optimized cube (batched solves)": [],
+        "basic search (serial)": [],
+        f"basic search ({workers} workers)": [],
+    }
+    xs = []
+    for n_regions in region_counts:
+        ds = make_scalability(
+            n_items=n_items, n_regions=n_regions, seed=seed, hierarchy_leaves=3
+        )
+        xs.append(ds.n_examples_total)
+
+        def _search_seconds(cfg: ParallelConfig) -> float:
+            # fresh search each run: evaluate_all caches its profile
+            return _best_of(
+                lambda: BasicBellwetherSearch(ds.task, ds.store).evaluate_all(
+                    parallel=cfg
+                )
+            )
+
+        points = {
+            "optimized cube (serial solves)": _cube_seconds(
+                ds, ds.store, "optimized_serial", min_subset_size=50
+            ),
+            "optimized cube (batched solves)": _cube_seconds(
+                ds, ds.store, "optimized", min_subset_size=50
+            ),
+            "basic search (serial)": _search_seconds(ParallelConfig(workers=1)),
+            f"basic search ({workers} workers)": _search_seconds(par),
+        }
+        for label, seconds in points.items():
+            series[label].append(seconds)
+            if journal is not None:
+                journal.record(
+                    f"fig11d.{label}",
+                    seconds,
+                    examples=ds.n_examples_total,
+                    n_regions=n_regions,
+                    workers=workers,
+                )
+    return ScalingResult(
+        tuple(xs), "examples", series,
+        title="Figure 11(d) — execution layer: serial vs batched vs parallel (seconds)",
     )

@@ -19,7 +19,13 @@ from .metrics import (
     rmse,
 )
 from .regression_tree import RegressionTree
-from .suffstats import LinearSuffStats, add_intercept, prefix_stats
+from .suffstats import (
+    LinearSuffStats,
+    RowProducts,
+    StackedSuffStats,
+    add_intercept,
+    prefix_stats,
+)
 
 __all__ = [
     "ClassificationCVEstimator",
@@ -36,6 +42,8 @@ __all__ = [
     "ModelError",
     "NotFittedError",
     "RegressionTree",
+    "RowProducts",
+    "StackedSuffStats",
     "TrainingSetEstimator",
     "add_intercept",
     "default_model_factory",

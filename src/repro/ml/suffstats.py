@@ -18,11 +18,20 @@ the item-hierarchy lattice exactly like SUM/COUNT roll up a data cube.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 from .exceptions import FitError
+
+# One increment per *batched* LAPACK call, however many problems it carries.
+# The Theorem 1 efficiency claim is phrased against this counter: the batched
+# optimized cube must issue at most one per lattice level.
+_BATCHED_SOLVES = get_registry().counter("ml.linear.batched_solves")
+_BATCHED_PROBLEMS = get_registry().counter("ml.linear.batched_problems")
 
 
 @dataclass(frozen=True)
@@ -182,6 +191,258 @@ def add_intercept(x: np.ndarray) -> np.ndarray:
     if x.ndim != 2:
         raise FitError(f"x must be 2-D, got shape {x.shape}")
     return np.hstack([np.ones((x.shape[0], 1)), x])
+
+
+@dataclass(frozen=True)
+class StackedSuffStats:
+    """Sufficient statistics of N independent WLS problems, stored stacked.
+
+    The batched counterpart of :class:`LinearSuffStats`: component arrays
+    hold every problem at once (``ytwy`` is ``(N,)``, ``xtwx`` is
+    ``(N, p, p)``, ``xtwy`` is ``(N, p)``), so merging is element-wise array
+    addition, rolling up many problems into fewer is one scatter-add, and
+    fitting all N models is a single stacked ``np.linalg.solve`` — one LAPACK
+    call instead of N Python-level fits.
+
+    Solutions agree with the per-problem path bit-for-bit: stacked LAPACK
+    runs the same routine per matrix, and problems whose normal matrix is
+    singular fall back to :meth:`LinearSuffStats.solve` individually.
+    """
+
+    ytwy: np.ndarray
+    xtwx: np.ndarray
+    xtwy: np.ndarray
+    n: np.ndarray
+    sum_w: np.ndarray
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def zeros(cls, n_problems: int, p: int) -> "StackedSuffStats":
+        return cls(
+            ytwy=np.zeros(n_problems),
+            xtwx=np.zeros((n_problems, p, p)),
+            xtwy=np.zeros((n_problems, p)),
+            n=np.zeros(n_problems, dtype=np.int64),
+            sum_w=np.zeros(n_problems),
+        )
+
+    @classmethod
+    def from_stats(cls, stats: Sequence[LinearSuffStats]) -> "StackedSuffStats":
+        """Stack per-problem statistics (components are copied verbatim)."""
+        if not stats:
+            raise FitError("from_stats needs at least one problem")
+        p = stats[0].p
+        if any(s.p != p for s in stats):
+            raise FitError("cannot stack stats with differing p")
+        return cls(
+            ytwy=np.array([s.ytwy for s in stats]),
+            xtwx=np.stack([s.xtwx for s in stats]),
+            xtwy=np.stack([s.xtwy for s in stats]),
+            n=np.array([s.n for s in stats], dtype=np.int64),
+            sum_w=np.array([s.sum_w for s in stats]),
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray | None,
+        groups: np.ndarray,
+        n_groups: int,
+    ) -> "StackedSuffStats":
+        """``g(S_k)`` for every group in one vectorized pass.
+
+        ``groups[i]`` assigns row ``i`` of the design matrix to problem
+        ``groups[i]``; rows never revisit Python.  Summation runs in row
+        order within each group (segment sums over the sorted rows), so the
+        result matches per-group :meth:`LinearSuffStats.from_data` up to
+        float associativity.
+        """
+        return RowProducts(x, y, w).group(groups, n_groups)
+
+    @classmethod
+    def concatenate(cls, stacks: Sequence["StackedSuffStats"]) -> "StackedSuffStats":
+        """One stack holding every input stack's problems, in order."""
+        if not stacks:
+            raise FitError("concatenate needs at least one stack")
+        p = stacks[0].p
+        if any(s.p != p for s in stacks):
+            raise FitError("cannot concatenate stacks with differing p")
+        return cls(
+            ytwy=np.concatenate([s.ytwy for s in stacks]),
+            xtwx=np.concatenate([s.xtwx for s in stacks]),
+            xtwy=np.concatenate([s.xtwy for s in stacks]),
+            n=np.concatenate([s.n for s in stacks]),
+            sum_w=np.concatenate([s.sum_w for s in stacks]),
+        )
+
+    # ------------------------------------------------------------------ shape
+
+    def __len__(self) -> int:
+        return len(self.ytwy)
+
+    @property
+    def p(self) -> int:
+        return self.xtwx.shape[2]
+
+    def row(self, i: int) -> LinearSuffStats:
+        """The i-th problem as a scalar :class:`LinearSuffStats`."""
+        return LinearSuffStats(
+            ytwy=float(self.ytwy[i]),
+            xtwx=self.xtwx[i],
+            xtwy=self.xtwy[i],
+            n=int(self.n[i]),
+            sum_w=float(self.sum_w[i]),
+        )
+
+    def select(self, idx: np.ndarray) -> "StackedSuffStats":
+        """The sub-stack of the given problem indices (or boolean mask)."""
+        return StackedSuffStats(
+            self.ytwy[idx], self.xtwx[idx], self.xtwy[idx],
+            self.n[idx], self.sum_w[idx],
+        )
+
+    # ------------------------------------------------------------------ merge
+
+    def __add__(self, other: "StackedSuffStats") -> "StackedSuffStats":
+        """Element-wise merge: problem i absorbs the other stack's problem i."""
+        if len(self) != len(other) or self.p != other.p:
+            raise FitError(
+                f"cannot merge stacks of shape ({len(self)}, p={self.p}) "
+                f"and ({len(other)}, p={other.p})"
+            )
+        return StackedSuffStats(
+            self.ytwy + other.ytwy,
+            self.xtwx + other.xtwx,
+            self.xtwy + other.xtwy,
+            self.n + other.n,
+            self.sum_w + other.sum_w,
+        )
+
+    def rollup(self, target: np.ndarray, n_out: int) -> "StackedSuffStats":
+        """Scatter-add problems into ``n_out`` coarser ones (Theorem 1).
+
+        ``target[i]`` names the output problem that input problem ``i``
+        merges into — e.g. the cube's base-cell -> subset map, repeated per
+        region.  This is the vectorized form of the dict-of-``+`` rollup.
+        """
+        out = StackedSuffStats.zeros(n_out, self.p)
+        np.add.at(out.ytwy, target, self.ytwy)
+        np.add.at(out.xtwx, target, self.xtwx)
+        np.add.at(out.xtwy, target, self.xtwy)
+        np.add.at(out.n, target, self.n)
+        np.add.at(out.sum_w, target, self.sum_w)
+        return out
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(self, ridge: float = 0.0) -> np.ndarray:
+        """All N solutions ``(N, p)`` from one stacked LAPACK call.
+
+        Problems with a singular (or numerically singular) normal matrix are
+        re-solved individually through :meth:`LinearSuffStats.solve`, which
+        applies the pseudo-inverse — the batched path never changes which
+        fallback a problem gets.
+        """
+        if (self.n == 0).any():
+            raise FitError("cannot solve problems with zero examples")
+        if len(self) == 0:
+            return np.zeros((0, self.p))
+        a = self.xtwx
+        if ridge > 0.0:
+            a = a + ridge * np.eye(self.p)
+        _BATCHED_SOLVES.inc()
+        _BATCHED_PROBLEMS.inc(len(self))
+        try:
+            beta = np.linalg.solve(a, self.xtwy[..., None])[..., 0]
+            bad = ~np.isfinite(beta).all(axis=1)
+        except np.linalg.LinAlgError:
+            # Stacked solve refuses the whole batch when any matrix is
+            # exactly singular; redo every problem individually (the
+            # well-conditioned ones reproduce the batched bits exactly).
+            beta = np.empty_like(self.xtwy)
+            bad = np.ones(len(self), dtype=bool)
+        for i in np.flatnonzero(bad):
+            beta[i] = self.row(i).solve(ridge=ridge)
+        return beta
+
+    def sse(self, ridge: float = 0.0) -> np.ndarray:
+        """Batched ``q``: per-problem weighted SSE, clamped at zero."""
+        beta = self.solve(ridge=ridge)
+        # (N,1,p) @ (N,p,1) runs the same dot product LAPACK/BLAS uses for
+        # the scalar path, keeping the batched SSE bit-identical to it.
+        fitted = np.matmul(self.xtwy[:, None, :], beta[:, :, None])[:, 0, 0]
+        return np.maximum(self.ytwy - fitted, 0.0)
+
+    def mse(self, ridge: float = 0.0) -> np.ndarray:
+        """Batched weighted MSE with ``n − p`` degrees of freedom."""
+        dof = self.n - self.p
+        dof = np.where(dof <= 0, self.n, dof)
+        return self.sse(ridge=ridge) / dof
+
+    def rmse(self, ridge: float = 0.0) -> np.ndarray:
+        return np.sqrt(self.mse(ridge=ridge))
+
+    @property
+    def dof(self) -> np.ndarray:
+        """Per-problem residual degrees of freedom (clamped to at least 1)."""
+        return np.maximum(self.n - self.p, 1)
+
+
+class RowProducts:
+    """Per-row outer products of one design block, reusable across groupings.
+
+    The grouped builders (tree split evaluation, cube base cells) partition
+    the *same* rows many ways.  Computing ``x_i x_i'w_i`` once and segment-
+    summing per grouping makes each additional grouping O(n·p²) array work
+    with no Python per-row cost.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, w: np.ndarray | None = None):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2:
+            raise FitError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise FitError(f"y has shape {y.shape}, expected ({x.shape[0]},)")
+        if w is None:
+            xw = x
+            self._row_w = np.ones(x.shape[0])
+        else:
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != y.shape:
+                raise FitError(f"w has shape {w.shape}, expected {y.shape}")
+            if (w <= 0).any():
+                raise FitError("weights must be strictly positive")
+            xw = x * w[:, None]
+            self._row_w = w
+        self.n_rows, self.p = x.shape
+        self._xtwx = np.einsum("ij,ik->ijk", x, xw)
+        self._xtwy = xw * y[:, None]
+        self._ytwy = (y * y) * self._row_w
+
+    def group(self, groups: np.ndarray, n_groups: int) -> StackedSuffStats:
+        """Segment-sum the row products into one problem per group."""
+        groups = np.asarray(groups, dtype=np.int64)
+        if groups.shape != (self.n_rows,):
+            raise FitError(
+                f"groups has shape {groups.shape}, expected ({self.n_rows},)"
+            )
+        out = StackedSuffStats.zeros(n_groups, self.p)
+        if self.n_rows == 0:
+            return out
+        order = np.argsort(groups, kind="stable")
+        sorted_groups = groups[order]
+        starts = np.flatnonzero(np.diff(sorted_groups, prepend=-1))
+        present = sorted_groups[starts]
+        out.ytwy[present] = np.add.reduceat(self._ytwy[order], starts)
+        out.xtwx[present] = np.add.reduceat(self._xtwx[order], starts, axis=0)
+        out.xtwy[present] = np.add.reduceat(self._xtwy[order], starts, axis=0)
+        out.sum_w[present] = np.add.reduceat(self._row_w[order], starts)
+        out.n[present] = np.diff(np.append(starts, self.n_rows))
+        return out
 
 
 def prefix_stats(

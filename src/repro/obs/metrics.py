@@ -11,7 +11,10 @@ samples.  Interpolation error is bounded by the bucket width (~15%), which
 is plenty for p50/p95/p99 latency reporting.
 
 Everything is single-threaded by design, like the rest of the
-reproduction; increments are plain ``+=`` with no locking.
+reproduction; increments are plain ``+=`` with no locking.  Parallel
+executors (see :mod:`repro.exec`) keep counters truthful by computing
+counter deltas inside each worker process (:meth:`counter_values`) and
+merging them back into the parent (:meth:`merge_counter_deltas`).
 """
 
 from __future__ import annotations
@@ -202,6 +205,20 @@ class MetricsRegistry:
         self.histogram(name).observe(value)
 
     # -------------------------------------------------------------- snapshot
+
+    def counter_values(self) -> dict[str, float]:
+        """Counter name -> value only (the mergeable instruments)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def merge_counter_deltas(self, deltas: dict[str, float]) -> None:
+        """Fold worker-side counter increments into this registry.
+
+        Only counters merge meaningfully across processes (they are sums of
+        work done); gauges and histograms observed in a worker are dropped.
+        """
+        for name, delta in deltas.items():
+            if delta:
+                self.counter(name).inc(delta)
 
     def as_dict(self) -> dict[str, float]:
         """Flat name -> value view (histograms expand to summary stats)."""

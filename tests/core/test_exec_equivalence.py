@@ -1,0 +1,103 @@
+"""Execution-layer equivalences: batched and parallel paths change nothing.
+
+The batched optimized cube must reproduce the per-pair serial build
+bit-for-bit (``optimized_serial`` is kept as the reference), issuing at
+most one batched solve per lattice level; the worker fan-out must produce
+stores and search profiles identical to serial runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherCubeBuilder,
+    TrainingDataGenerator,
+)
+from repro.datasets import make_mailorder, make_scalability
+from repro.exec import ParallelConfig
+from repro.obs import get_registry
+
+
+class TestBatchedCube:
+    def test_optimized_equals_serial_reference_exactly(self, small_task, small_store):
+        from repro.dimensions import HierarchicalDimension, ItemHierarchies
+
+        store, __, __ = small_store
+        cat = HierarchicalDimension.from_spec(
+            "category", {"Either": ["a", "b"]},
+            level_names=("Any", "Side", "Category"), root_name="Any",
+        )
+        builder = BellwetherCubeBuilder(
+            small_task, store, ItemHierarchies([cat]), min_subset_size=5
+        )
+        batched = builder.build(method="optimized")
+        serial = builder.build(method="optimized_serial")
+        assert batched.subsets == serial.subsets
+        for subset in serial.subsets:
+            b, s = batched.entry(subset), serial.entry(subset)
+            assert b.region == s.region
+            assert b.error.rmse == s.error.rmse  # bitwise, not approx
+            assert b.error.sse == s.error.sse
+
+    def test_one_batched_solve_per_level_fig11_medium(self):
+        ds = make_scalability(
+            n_items=1_500, n_regions=32, hierarchy_leaves=3, seed=0
+        )
+        builder = BellwetherCubeBuilder(
+            ds.task, ds.store, ds.hierarchies, min_subset_size=50
+        )
+        solves = get_registry().counter("ml.linear.batched_solves")
+        before = solves.value
+        builder.build("optimized")
+        assert solves.value - before <= builder.n_levels
+
+
+@pytest.fixture(scope="module")
+def mailorder():
+    return make_mailorder(n_items=120, n_months=6, seed=0)
+
+
+class TestParallelTrainingData:
+    @pytest.mark.parametrize("method", ["cube", "naive"])
+    def test_generation_identical_to_serial(self, mailorder, method):
+        gen = TrainingDataGenerator(mailorder.task)
+        serial = gen.generate(method=method)
+        fanned = gen.generate(method=method, parallel=ParallelConfig(workers=3))
+        regions = list(serial.regions())
+        assert regions == list(fanned.regions())
+        for region in regions:
+            a, b = serial.read(region), fanned.read(region)
+            assert np.array_equal(a.item_ids, b.item_ids)
+            assert np.array_equal(a.x, b.x, equal_nan=True)
+            assert np.array_equal(a.y, b.y, equal_nan=True)
+
+    def test_thread_backend_identical_too(self, mailorder):
+        gen = TrainingDataGenerator(mailorder.task)
+        serial = gen.generate(method="cube")
+        threaded = gen.generate(
+            method="cube",
+            parallel=ParallelConfig(workers=2, backend="thread"),
+        )
+        for region in serial.regions():
+            assert np.array_equal(
+                serial.read(region).x, threaded.read(region).x, equal_nan=True
+            )
+
+
+class TestParallelSearch:
+    def test_evaluate_all_identical_and_scan_counted_once(self, mailorder):
+        from repro.core import build_store
+
+        store, costs, __ = build_store(mailorder.task)
+        serial = BasicBellwetherSearch(
+            mailorder.task, store, costs=costs
+        ).evaluate_all()
+        store.stats.reset()
+        fanned = BasicBellwetherSearch(
+            mailorder.task, store, costs=costs
+        ).evaluate_all(parallel=ParallelConfig(workers=3))
+        assert store.stats.full_scans == 1  # scan stays in the parent
+        assert [r.region for r in fanned] == [r.region for r in serial]
+        assert [r.rmse for r in fanned] == [r.rmse for r in serial]
+        assert [r.n_items for r in fanned] == [r.n_items for r in serial]

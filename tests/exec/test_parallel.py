@@ -1,0 +1,124 @@
+"""Unit tests for the region fan-out executor (repro.exec)."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ParallelConfig,
+    ParallelExecutor,
+    get_default_config,
+    set_default_config,
+)
+from repro.exec.parallel import _fork_available
+from repro.obs import get_registry
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="no fork start method on this platform"
+)
+
+
+class TestConfig:
+    def test_defaults_are_serial(self):
+        cfg = ParallelConfig()
+        assert cfg.workers == 1
+        assert cfg.is_serial
+        assert cfg.resolved_backend() == "serial"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(workers=0), dict(backend="gpu"), dict(chunk_size=0)],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ParallelConfig(**kwargs)
+
+    def test_serial_backend_overrides_workers(self):
+        assert ParallelConfig(workers=8, backend="serial").is_serial
+
+    def test_default_config_roundtrip(self):
+        original = get_default_config()
+        try:
+            set_default_config(ParallelConfig(workers=3))
+            assert get_default_config().workers == 3
+            assert ParallelExecutor().config.workers == 3
+        finally:
+            set_default_config(original)
+
+
+class TestMapOrder:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            ParallelConfig(),
+            ParallelConfig(workers=3, backend="thread"),
+            ParallelConfig(workers=3, backend="thread", chunk_size=2),
+            pytest.param(ParallelConfig(workers=3), marks=needs_fork),
+            pytest.param(
+                ParallelConfig(workers=2, chunk_size=1), marks=needs_fork
+            ),
+        ],
+    )
+    def test_results_in_input_order(self, cfg):
+        items = list(range(17))
+        out = ParallelExecutor(cfg).map(lambda i: i * i, items)
+        assert out == [i * i for i in items]
+
+    def test_empty_and_single_item(self):
+        ex = ParallelExecutor(ParallelConfig(workers=4))
+        assert ex.map(lambda i: i, []) == []
+        assert ex.map(lambda i: i + 1, [41]) == [42]
+
+    def test_arrays_survive_the_pipe(self):
+        cfg = ParallelConfig(workers=2) if _fork_available() else ParallelConfig(
+            workers=2, backend="thread"
+        )
+        arrays = [np.arange(5) * k for k in range(6)]
+        out = ParallelExecutor(cfg).map(lambda a: a.sum(), arrays)
+        assert out == [a.sum() for a in arrays]
+
+    def test_chunk_bounds_cover_items_exactly(self):
+        ex = ParallelExecutor(ParallelConfig(workers=4, chunk_size=3))
+        chunks = ex._chunks(10)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        even = ParallelExecutor(ParallelConfig(workers=4))._chunks(10)
+        assert even[0] == (0, 3) and even[-1][1] == 10
+
+
+class TestNesting:
+    @needs_fork
+    def test_nested_fanout_degrades_to_serial(self):
+        """A parallel map inside a forked worker must not fork again."""
+        cfg = ParallelConfig(workers=2)
+
+        def inner(i):
+            return i + 100
+
+        def outer(i):
+            # runs inside a daemonic pool worker; must fall back to serial
+            return ParallelExecutor(cfg).map(inner, [i, i + 1])
+
+        out = ParallelExecutor(cfg).map(outer, list(range(4)))
+        assert out == [[i + 100, i + 101] for i in range(4)]
+
+
+class TestCounterMerging:
+    @needs_fork
+    def test_worker_counts_merge_into_parent(self):
+        counter = get_registry().counter("test.exec.work_done")
+        before = counter.value
+
+        def work(i):
+            get_registry().counter("test.exec.work_done").inc()
+            return i
+
+        ParallelExecutor(ParallelConfig(workers=2)).map(work, list(range(8)))
+        assert counter.value - before == 8
+
+    def test_thread_backend_counts_directly(self):
+        counter = get_registry().counter("test.exec.thread_work")
+        before = counter.value
+        ParallelExecutor(ParallelConfig(workers=2, backend="thread")).map(
+            lambda i: get_registry().counter("test.exec.thread_work").inc(),
+            list(range(5)),
+        )
+        assert counter.value - before == 5

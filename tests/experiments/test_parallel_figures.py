@@ -1,0 +1,41 @@
+"""--workers N must not change any figure: same bellwethers, same errors.
+
+Runs the fig7/fig9 fast configurations serially and with the process-wide
+parallel config set to 2 workers (exactly what ``--workers 2`` does), and
+compares the rendered tables character for character.
+"""
+
+import pytest
+
+from repro.exec import ParallelConfig, get_default_config, set_default_config
+from repro.experiments import run_fig7, run_fig9
+
+
+@pytest.fixture()
+def two_workers():
+    original = get_default_config()
+    set_default_config(ParallelConfig(workers=2))
+    try:
+        yield
+    finally:
+        set_default_config(original)
+
+
+FIG7_KWARGS = dict(n_items=40, budgets=(15.0, 45.0), sampling_trials=1)
+FIG9_KWARGS = dict(
+    n_items=60, budgets=(10.0, 40.0), prediction_budgets=(20.0,), n_folds=2
+)
+
+
+class TestWorkersChangeNothing:
+    def test_fig7_identical(self, two_workers):
+        parallel = run_fig7(**FIG7_KWARGS).render()
+        set_default_config(ParallelConfig(workers=1))
+        serial = run_fig7(**FIG7_KWARGS).render()
+        assert parallel == serial
+
+    def test_fig9_identical(self, two_workers):
+        parallel = run_fig9(**FIG9_KWARGS).render()
+        set_default_config(ParallelConfig(workers=1))
+        serial = run_fig9(**FIG9_KWARGS).render()
+        assert parallel == serial

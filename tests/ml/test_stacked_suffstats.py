@@ -1,0 +1,149 @@
+"""Batched suff-stats kernel: bit-for-bit equal to the per-problem path.
+
+The scan-oriented builders rely on :class:`StackedSuffStats` producing
+*exactly* the numbers :class:`LinearSuffStats` would — not approximately:
+winner selection compares RMSEs with ``<``, so a single ULP of drift could
+flip a bellwether.  These tests pin the bitwise contract, including the
+singular-matrix fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    FitError,
+    LinearSuffStats,
+    StackedSuffStats,
+    add_intercept,
+)
+from repro.obs import get_registry
+
+
+def _random_stats(rng, n_problems, p=3, n_min=6, n_max=30, weighted=True):
+    stats = []
+    for __ in range(n_problems):
+        n = int(rng.integers(n_min, n_max))
+        x = add_intercept(rng.normal(size=(n, p - 1)))
+        y = x @ rng.normal(size=p) + rng.normal(scale=0.3, size=n)
+        w = rng.uniform(0.5, 2.0, size=n) if weighted else None
+        stats.append(LinearSuffStats.from_data(x, y, w))
+    return stats
+
+
+@st.composite
+def stats_batches(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_problems = draw(st.integers(1, 12))
+    p = draw(st.integers(2, 4))
+    weighted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    return _random_stats(rng, n_problems, p=p, weighted=weighted)
+
+
+class TestBitForBit:
+    @given(stats_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_solve_sse_rmse_match_per_problem_exactly(self, stats):
+        stack = StackedSuffStats.from_stats(stats)
+        beta = stack.solve()
+        sse = stack.sse()
+        rmse = stack.rmse()
+        for i, s in enumerate(stats):
+            assert np.array_equal(beta[i], s.solve())
+            assert sse[i] == s.sse()
+            assert rmse[i] == s.rmse()
+
+    @given(stats_batches(), st.floats(1e-6, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_ridge_matches_per_problem_exactly(self, stats, ridge):
+        stack = StackedSuffStats.from_stats(stats)
+        beta = stack.solve(ridge=ridge)
+        for i, s in enumerate(stats):
+            assert np.array_equal(beta[i], s.solve(ridge=ridge))
+
+    def test_singular_problem_falls_back_like_scalar_path(self):
+        rng = np.random.default_rng(1)
+        good = _random_stats(rng, 3)
+        # duplicate column -> exactly singular X'WX
+        x = rng.normal(size=(10, 1))
+        x = add_intercept(np.hstack([x, x]))
+        y = rng.normal(size=10)
+        singular = LinearSuffStats.from_data(x, y)
+        assert np.linalg.matrix_rank(singular.xtwx) < singular.p
+        stats = [good[0], singular, good[1], good[2]]
+        stack = StackedSuffStats.from_stats(stats)
+        beta = stack.solve()
+        for i, s in enumerate(stats):
+            assert np.array_equal(beta[i], s.solve())
+        assert np.array_equal(stack.sse(), [s.sse() for s in stats])
+
+    def test_interpolating_problem_matches_scalar_dof_fallback(self):
+        rng = np.random.default_rng(2)
+        # n == p: zero residual dof; mse falls back to dividing by n
+        x = add_intercept(rng.normal(size=(3, 2)))
+        y = rng.normal(size=3)
+        tiny = LinearSuffStats.from_data(x, y)
+        stack = StackedSuffStats.from_stats([tiny] + _random_stats(rng, 2))
+        assert stack.mse()[0] == tiny.mse()
+        assert stack.dof[0] == tiny.dof
+
+
+class TestAlgebra:
+    def test_merge_and_rollup_match_scalar_merge(self):
+        rng = np.random.default_rng(3)
+        stats = _random_stats(rng, 6)
+        stack = StackedSuffStats.from_stats(stats)
+        target = np.array([0, 1, 0, 2, 1, 0])
+        rolled = stack.rollup(target, 3)
+        for g in range(3):
+            expect = LinearSuffStats.zeros(stats[0].p)
+            for i in np.flatnonzero(target == g):
+                expect = expect + stats[i]
+            got = rolled.row(g)
+            assert got.n == expect.n
+            assert np.allclose(got.xtwx, expect.xtwx)
+            assert np.allclose(got.xtwy, expect.xtwy)
+            assert got.ytwy == pytest.approx(expect.ytwy)
+
+    def test_row_select_concatenate_roundtrip(self):
+        rng = np.random.default_rng(4)
+        stats = _random_stats(rng, 5)
+        stack = StackedSuffStats.from_stats(stats)
+        assert len(stack) == 5
+        sub = stack.select(np.array([4, 0, 2]))
+        assert np.array_equal(sub.ytwy, stack.ytwy[[4, 0, 2]])
+        both = StackedSuffStats.concatenate([sub, stack])
+        assert len(both) == 8
+        assert np.array_equal(both.xtwx[3:], stack.xtwx)
+        merged = stack + stack
+        assert np.array_equal(merged.n, stack.n * 2)
+
+    def test_shape_mismatches_rejected(self):
+        rng = np.random.default_rng(5)
+        a = StackedSuffStats.from_stats(_random_stats(rng, 2, p=3))
+        b = StackedSuffStats.from_stats(_random_stats(rng, 2, p=4))
+        with pytest.raises(FitError):
+            a + b
+        with pytest.raises(FitError):
+            StackedSuffStats.concatenate([a, b])
+        with pytest.raises(FitError):
+            StackedSuffStats.from_stats([])
+
+    def test_zero_example_problem_rejected(self):
+        stack = StackedSuffStats.zeros(2, 3)
+        with pytest.raises(FitError):
+            stack.solve()
+
+
+class TestCounters:
+    def test_one_batched_solve_per_call(self):
+        rng = np.random.default_rng(6)
+        stack = StackedSuffStats.from_stats(_random_stats(rng, 7))
+        solves = get_registry().counter("ml.linear.batched_solves")
+        problems = get_registry().counter("ml.linear.batched_problems")
+        s0, p0 = solves.value, problems.value
+        stack.solve()
+        assert solves.value - s0 == 1
+        assert problems.value - p0 == 7

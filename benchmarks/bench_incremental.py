@@ -1,0 +1,98 @@
+"""Incremental maintenance: delta refresh vs full rebuild on the fig11 config.
+
+After one month of orders is appended to a deployed store, the incremental
+layer must bring the basic-search profile and the optimized cube current
+with ≥ 3× less work than rebuilding from scratch — measured both as
+operations (full scans + solved stacked problems + model fits, via the
+``repro.obs`` counters) and as wall-clock — while producing bit-for-bit
+identical picks.
+"""
+
+import time
+
+from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
+from repro.datasets import make_mailorder
+from repro.experiments import render_grid
+from repro.incremental import month_append_delta, month_split_store
+from repro.ml import TrainingSetEstimator
+from repro.obs import get_registry
+
+from .conftest import publish
+
+_OP_COUNTERS = (
+    "store.full_scans",
+    "ml.linear.batched_problems",
+    "ml.linear.fits",
+)
+
+
+def _ops(before: dict) -> int:
+    values = get_registry().counter_values()
+    return sum(int(values.get(k, 0) - before.get(k, 0)) for k in _OP_COUNTERS)
+
+
+def test_bench_incremental_refresh_vs_rebuild(benchmark):
+    """Fig-11 append config: refresh must beat the rebuild by >= 3x."""
+    ds = make_mailorder(
+        n_items=600, n_months=10, seed=0,
+        error_estimator=TrainingSetEstimator(),
+    )
+    gen, regions, store = month_split_store(ds.task, base_month=9)
+    search = BasicBellwetherSearch(ds.task, store)
+    search.evaluate_all()
+    maintainer = BellwetherCubeBuilder(
+        ds.task, store, ds.hierarchies
+    ).incremental()
+    maintainer.refresh()
+    store.apply_delta(month_append_delta(gen, regions, 10))
+
+    registry = get_registry()
+    before = registry.counter_values()
+    start = time.perf_counter()
+    scratch_profile = BasicBellwetherSearch(ds.task, store).evaluate_all()
+    scratch_cube = BellwetherCubeBuilder(
+        ds.task, store, ds.hierarchies
+    ).build("optimized")
+    rebuild_s = time.perf_counter() - start
+    rebuild_ops = _ops(before)
+
+    before = registry.counter_values()
+    start = time.perf_counter()
+    incr_profile = search.refresh()
+    incr_cube = maintainer.refresh()
+    refresh_s = time.perf_counter() - start
+    refresh_ops = _ops(before)
+
+    # Same answers, bit for bit.
+    assert [(r.region, r.rmse, r.cost, r.coverage) for r in incr_profile] == [
+        (r.region, r.rmse, r.cost, r.coverage) for r in scratch_profile
+    ]
+    assert incr_cube.subsets == scratch_cube.subsets
+    for subset in incr_cube.subsets:
+        a, b = incr_cube.entry(subset), scratch_cube.entry(subset)
+        assert a.region == b.region
+        assert (a.error is None) == (b.error is None)
+        if a.error is not None:
+            assert (a.error.rmse, a.error.sse, a.error.dof) == (
+                b.error.rmse, b.error.sse, b.error.dof
+            )
+
+    publish(
+        "incremental_refresh",
+        render_grid(
+            "Incremental maintenance — one-month append: refresh vs rebuild",
+            ("rebuild_ops", "refresh_ops", "rebuild_s", "refresh_s",
+             "ops_ratio", "time_ratio"),
+            [(rebuild_ops, refresh_ops, rebuild_s, refresh_s,
+              rebuild_ops / max(refresh_ops, 1), rebuild_s / refresh_s)],
+        ),
+    )
+    assert rebuild_ops >= 3 * refresh_ops
+    assert rebuild_s > 3 * refresh_s
+
+    def _one_refresh():
+        store.apply_delta(month_append_delta(gen, regions, 10))
+        search.refresh()
+        maintainer.refresh()
+
+    benchmark.pedantic(_one_refresh, rounds=1, iterations=1)

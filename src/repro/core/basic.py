@@ -23,13 +23,17 @@ from repro.exec import ParallelConfig, ParallelExecutor
 from repro.ml import ErrorEstimate, LinearRegression
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
-from repro.storage import TrainingDataStore
+from repro.storage import StorageError, TrainingDataStore
 
 from .exceptions import SearchError
 from .task import BellwetherTask, Criterion
 
 _TRACER = get_tracer()
 _REGIONS_EVALUATED = get_registry().counter("search.regions_evaluated")
+# Shared with repro.incremental (get-or-create returns the same instrument).
+_CACHE_HITS = get_registry().counter("incr.cache_hits")
+_REGIONS_REFRESHED = get_registry().counter("incr.regions_refreshed")
+_FULL_REBUILDS = get_registry().counter("incr.full_rebuilds")
 
 
 @dataclass(frozen=True)
@@ -118,6 +122,9 @@ class BasicBellwetherSearch:
         # Keyed by frozenset(item_ids), or None for "all items" — None (not
         # frozenset()) so an explicit empty subset is a distinct cache entry.
         self._profile: dict[frozenset | None, list[RegionResult]] = {}
+        # Store version the all-items profile was evaluated against; refresh()
+        # asks the store what changed since then.
+        self._profile_version: int = store.version
 
     # -------------------------------------------------------------- evaluate
 
@@ -179,6 +186,82 @@ class BasicBellwetherSearch:
             )
         _REGIONS_EVALUATED.inc(len(results))
         self._profile[key] = results
+        if key is None:
+            self._profile_version = self.store.version
+        return results
+
+    # -------------------------------------------------------------- refresh
+
+    def refresh(
+        self, parallel: ParallelConfig | None = None
+    ) -> list[RegionResult]:
+        """Bring the all-items profile up to the store's current version.
+
+        Replays the store's changelog: only regions a delta touched are
+        re-read and re-estimated (``store.read``, never a full scan);
+        untouched regions keep their cached evaluations, which are identical
+        to what a fresh scan would recompute because their blocks did not
+        change.  A changelog gap (:class:`~repro.storage.StorageError`)
+        falls back to a full re-evaluation, loudly counted.
+
+        Restricted-item profiles are invalidated — their membership may
+        shift under the delta — and lazily recomputed on next use.
+        """
+        if None not in self._profile:
+            return self.evaluate_all(parallel=parallel)
+        try:
+            deltas = self.store.deltas_since(self._profile_version)
+        except StorageError:
+            _FULL_REBUILDS.inc()
+            self._profile.clear()
+            return self.evaluate_all(parallel=parallel)
+        if not deltas:
+            _CACHE_HITS.inc()
+            return self._profile[None]
+        touched: set[Region] = set()
+        dropped: set[Region] = set()
+        for applied in deltas:
+            for region in applied.delta.drop_regions:
+                dropped.add(region)
+                touched.discard(region)
+            for region in applied.delta.blocks:
+                dropped.discard(region)
+                touched.add(region)
+        by_region = {r.region: r for r in self._profile[None]}
+        for region in dropped:
+            by_region.pop(region, None)
+        with _TRACER.span("search.refresh", touched=len(touched)) as sp:
+            pending = []
+            for region in touched:
+                block = self.store.read(region)
+                if block.n_examples < self.min_examples:
+                    by_region.pop(region, None)
+                    continue
+                pending.append((region, block))
+            executor = ParallelExecutor(parallel)
+            estimator = self.task.error_estimator
+            errors = executor.map(
+                lambda pair: estimator.estimate(
+                    pair[1].x, pair[1].y, pair[1].weights
+                ),
+                pending,
+            )
+            for (region, block), error in zip(pending, errors):
+                by_region[region] = RegionResult(
+                    region=region,
+                    cost=self._costs.setdefault(region, self.task.cost(region)),
+                    coverage=block.n_examples / self.task.n_items,
+                    n_items=block.n_examples,
+                    error=error,
+                )
+            sp.annotate(evaluated=len(pending))
+        _REGIONS_EVALUATED.inc(len(pending))
+        _REGIONS_REFRESHED.inc(len(touched))
+        results = [
+            by_region[r] for r in self.store.regions() if r in by_region
+        ]
+        self._profile = {None: results}
+        self._profile_version = self.store.version
         return results
 
     # ------------------------------------------------------------------- run

@@ -301,6 +301,20 @@ class BellwetherCubeBuilder:
         _SUBSETS_BUILT.inc(len(entries))
         return BellwetherCubeResult(entries, self.hierarchies, self.confidence)
 
+    def incremental(self, cache_dir=None, mode: str = "exact"):
+        """A delta-aware maintainer for this builder's cube.
+
+        Its ``refresh()`` returns the same
+        :class:`BellwetherCubeResult` as ``build("optimized")`` — bit for
+        bit in ``"exact"`` mode — while replaying store deltas onto cached
+        sufficient statistics instead of rescanning.  ``cache_dir``
+        persists the statistics next to the store, keyed by store version.
+        See :class:`repro.incremental.IncrementalCubeMaintainer`.
+        """
+        from repro.incremental import IncrementalCubeMaintainer
+
+        return IncrementalCubeMaintainer(self, cache_dir=cache_dir, mode=mode)
+
     # ------------------------------------------------------------------ naive
 
     def _build_naive(self) -> dict[CubeSubset, SubsetEntry]:

@@ -11,6 +11,7 @@ from .fig11_scalability import (
     run_fig11c,
     run_fig11d,
 )
+from .fig11e_incremental import run_fig11e
 from .fig12_characteristics import CharacteristicResult, run_fig12a, run_fig12b
 from .tables import render_grid, render_series
 
@@ -32,6 +33,7 @@ __all__ = [
     "run_fig11b",
     "run_fig11c",
     "run_fig11d",
+    "run_fig11e",
     "run_fig12a",
     "run_fig12b",
 ]

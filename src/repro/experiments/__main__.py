@@ -40,6 +40,7 @@ from . import (
     run_fig11b,
     run_fig11c,
     run_fig11d,
+    run_fig11e,
     run_fig12a,
     run_fig12b,
 )
@@ -103,6 +104,13 @@ def _fig11d(fast: bool):
     return run_fig11d(**kwargs).render()
 
 
+def _fig11e(fast: bool, append_months: int | None = None):
+    kwargs = dict(n_items=80, base_months=7, append_months=2) if fast else {}
+    if append_months is not None:
+        kwargs["append_months"] = append_months
+    return run_fig11e(**kwargs).render()
+
+
 def _fig12a(fast: bool):
     kwargs = dict(leaf_counts=(2, 4), n_items=300) if fast else {}
     return run_fig12a(**kwargs).render()
@@ -123,6 +131,7 @@ FIGURES = {
     "fig11b": _fig11b,
     "fig11c": _fig11c,
     "fig11d": _fig11d,
+    "fig11e": _fig11e,
     "fig12a": _fig12a,
     "fig12b": _fig12b,
 }
@@ -167,6 +176,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fan region work out over N worker processes (default 1 = serial; "
         "results are identical, only wall-clock changes)",
     )
+    parser.add_argument(
+        "--append-months",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fig11e only: stream N new months of orders into the deployed "
+        "store (default: the figure's standard 3, or 2 with --fast)",
+    )
     args = parser.parse_args(argv)
     if args.workers != 1:
         set_default_config(ParallelConfig(workers=args.workers))
@@ -174,7 +191,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         start = time.perf_counter()
         with observe(name, trace=args.trace) as report:
-            rendered = FIGURES[name](args.fast)
+            if name == "fig11e":
+                rendered = _fig11e(args.fast, args.append_months)
+            else:
+                rendered = FIGURES[name](args.fast)
         print(rendered)
         print(f"[{name} in {time.perf_counter() - start:.1f}s]\n")
         if args.trace:

@@ -1,0 +1,161 @@
+"""Figure 11(e) — append-stream maintenance: incremental vs full rebuild.
+
+This reproduction's addition on top of the paper's scalability study: a
+mail-order deployment that has materialized its training data through month
+``M`` keeps receiving new months of orders.  Each arrival becomes a
+:class:`~repro.storage.StoreDelta` (every candidate window ending at the new
+month is a brand-new region); the figure then times two ways of bringing
+the bellwether answers current:
+
+* **full rebuild** — a fresh basic-search evaluation plus a fresh optimized
+  cube build over the updated store (one full scan each);
+* **incremental refresh** — :meth:`BasicBellwetherSearch.refresh` plus
+  :meth:`IncrementalCubeMaintainer.refresh`, which replay the store's
+  changelog onto cached statistics (no full scan, one batched solve per
+  dirty lattice level).
+
+Both paths produce bit-for-bit identical picks (asserted here and in the
+equivalence tests); only the work differs.  Timings and the counter deltas
+(``store.full_scans``, ``ml.linear.batched_problems``, ``ml.linear.fits``,
+``incr.*``) are journalled to ``BENCH_figures.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
+from repro.datasets import make_mailorder
+from repro.incremental import month_append_delta, month_split_store
+from repro.ml import TrainingSetEstimator
+from repro.obs.bench import BenchJournal
+from repro.obs.metrics import get_registry
+
+from .fig11_scalability import ScalingResult
+
+_WATCHED = (
+    "store.full_scans",
+    "store.region_reads",
+    "ml.linear.fits",
+    "ml.linear.batched_solves",
+    "ml.linear.batched_problems",
+    "incr.cells_resolved",
+    "incr.regions_refreshed",
+    "incr.cache_hits",
+)
+
+
+def _timed(fn) -> tuple[float, dict[str, float]]:
+    """(seconds, watched-counter deltas) of one call."""
+    registry = get_registry()
+    before = registry.counter_values()
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    after = registry.counter_values()
+    deltas = {
+        name: after.get(name, 0) - before.get(name, 0) for name in _WATCHED
+    }
+    return elapsed, {k: v for k, v in deltas.items() if v}
+
+
+def _same_cube(a, b) -> bool:
+    if a.subsets != b.subsets:
+        return False
+    for s in a.subsets:
+        ea, eb = a.entry(s), b.entry(s)
+        if ea.region != eb.region:
+            return False
+        if (ea.error is None) != (eb.error is None):
+            return False
+        if ea.error is not None and ea.error.rmse != eb.error.rmse:
+            return False
+    return True
+
+
+def run_fig11e(
+    n_items: int = 250,
+    base_months: int = 7,
+    append_months: int = 3,
+    seed: int = 0,
+    journal_path: str | Path | None = "BENCH_figures.json",
+) -> ScalingResult:
+    """Stream ``append_months`` months into a month-``base_months`` deployment.
+
+    For each appended month, times a full rebuild (fresh search + fresh
+    optimized cube, full scans) against the incremental refresh of the same
+    answers, asserting the picks match bit for bit.  Set
+    ``journal_path=None`` to skip journalling.
+    """
+    n_months = base_months + append_months
+    journal = (
+        BenchJournal(journal_path, context={"figure": "fig11e"})
+        if journal_path is not None
+        else None
+    )
+    ds = make_mailorder(
+        n_items=n_items,
+        n_months=n_months,
+        seed=seed,
+        error_estimator=TrainingSetEstimator(),
+    )
+    gen, regions, store = month_split_store(ds.task, base_months)
+    search = BasicBellwetherSearch(ds.task, store)
+    search.evaluate_all()
+    maintainer = BellwetherCubeBuilder(
+        ds.task, store, ds.hierarchies
+    ).incremental()
+    maintainer.refresh()
+    series: dict[str, list[float]] = {
+        "full rebuild": [],
+        "incremental refresh": [],
+    }
+    xs = []
+    for month in range(base_months + 1, n_months + 1):
+        store.apply_delta(month_append_delta(gen, regions, month))
+        xs.append(store.n_examples_total)
+
+        scratch: dict = {}
+
+        def _rebuild():
+            scratch["profile"] = BasicBellwetherSearch(
+                ds.task, store
+            ).evaluate_all()
+            scratch["cube"] = BellwetherCubeBuilder(
+                ds.task, store, ds.hierarchies
+            ).build("optimized")
+
+        incr: dict = {}
+
+        def _refresh():
+            incr["profile"] = search.refresh()
+            incr["cube"] = maintainer.refresh()
+
+        full_s, full_metrics = _timed(_rebuild)
+        incr_s, incr_metrics = _timed(_refresh)
+        if not _same_cube(incr["cube"], scratch["cube"]):
+            raise AssertionError(
+                f"incremental cube diverged from rebuild at month {month}"
+            )
+        if [(r.region, r.rmse) for r in incr["profile"]] != [
+            (r.region, r.rmse) for r in scratch["profile"]
+        ]:
+            raise AssertionError(
+                f"incremental profile diverged from rebuild at month {month}"
+            )
+        series["full rebuild"].append(full_s)
+        series["incremental refresh"].append(incr_s)
+        if journal is not None:
+            journal.record(
+                "fig11e.full_rebuild", full_s,
+                metrics=full_metrics, month=month, examples=xs[-1],
+            )
+            journal.record(
+                "fig11e.incremental_refresh", incr_s,
+                metrics=incr_metrics, month=month, examples=xs[-1],
+            )
+    return ScalingResult(
+        tuple(xs), "examples", series,
+        title="Figure 11(e) — append stream: full rebuild vs incremental refresh (seconds)",
+    )

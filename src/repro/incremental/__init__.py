@@ -1,0 +1,39 @@
+"""Incremental bellwether maintenance (delta-aware, Theorem 1 applied twice).
+
+The paper makes per-region WLS error an algebraic aggregate; this package
+exploits the same algebra *across time*: when the versioned training-data
+store absorbs appended or retracted fact rows (see :mod:`repro.storage.delta`),
+cached sufficient statistics are patched — merged, retracted, or recomputed
+per dirty base cell — and only the dirty (region, item-subset) lattice cells
+are re-solved.  Results stay bit-for-bit equal to a from-scratch rebuild
+while doing none of the rebuild's scans.
+
+Submodules
+----------
+``maintain``
+    :class:`IncrementalCubeMaintainer` — keeps a bellwether cube current
+    across store deltas (one batched solve per dirty level, no full scan).
+``cache``
+    :class:`SuffStatsCache` — persistent per-region suffstats stacks keyed
+    by store version; :class:`StaleCacheError` on version mismatch.
+``deltas``
+    Month-append stream construction for the experiment configs.
+
+Counters (in :mod:`repro.obs`): ``incr.cache_hits``, ``incr.cache_misses``,
+``incr.cells_resolved``, ``incr.regions_refreshed``, ``incr.full_rebuilds``.
+The basic search's :meth:`~repro.core.BasicBellwetherSearch.refresh` shares
+the same instruments.
+"""
+
+from .cache import StaleCacheError, SuffStatsCache
+from .deltas import month_append_delta, month_split_store, window_end
+from .maintain import IncrementalCubeMaintainer
+
+__all__ = [
+    "IncrementalCubeMaintainer",
+    "StaleCacheError",
+    "SuffStatsCache",
+    "month_append_delta",
+    "month_split_store",
+    "window_end",
+]

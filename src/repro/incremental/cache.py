@@ -1,0 +1,136 @@
+"""Persistent suffstats cache, keyed by store version.
+
+Lives next to a :class:`~repro.storage.DiskStore` (or any directory): one
+pickle of metadata (store version, region list, stack geometry) plus one
+``.npz`` holding every region's per-base-cell :class:`StackedSuffStats`
+concatenated.  A reopened maintainer warm-starts from it without a full
+scan — but only when the on-disk version matches the store's, and only when
+the files decode cleanly; anything else raises :class:`StaleCacheError` /
+:class:`~repro.storage.StorageError` so the caller rebuilds instead of
+serving stale or garbled statistics.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.dimensions import Region
+from repro.ml import StackedSuffStats
+from repro.storage import StorageError
+
+__all__ = ["StaleCacheError", "SuffStatsCache"]
+
+
+class StaleCacheError(StorageError):
+    """The cached statistics were written against another store version."""
+
+
+class SuffStatsCache:
+    """Saves/loads per-region base-cell suffstats stacks for one store."""
+
+    _META = "suffstats_meta.pkl"
+    _DATA = "suffstats_data.npz"
+
+    def __init__(self, directory: str | Path):
+        self._dir = Path(directory)
+
+    @property
+    def meta_path(self) -> Path:
+        return self._dir / self._META
+
+    @property
+    def data_path(self) -> Path:
+        return self._dir / self._DATA
+
+    def save(
+        self,
+        version: int,
+        stacks: dict[Region, StackedSuffStats],
+        n_cells: int,
+        p: int,
+    ) -> None:
+        """Write all stacks (each exactly ``n_cells`` problems) and metadata."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        regions = list(stacks)
+        if regions:
+            flat = StackedSuffStats.concatenate([stacks[r] for r in regions])
+        else:
+            flat = StackedSuffStats.zeros(0, p)
+        np.savez(
+            self.data_path,
+            ytwy=flat.ytwy, xtwx=flat.xtwx, xtwy=flat.xtwy,
+            n=flat.n, sum_w=flat.sum_w,
+        )
+        with self.meta_path.open("wb") as f:
+            pickle.dump(
+                {
+                    "version": version,
+                    "regions": regions,
+                    "n_cells": n_cells,
+                    "p": p,
+                },
+                f,
+            )
+
+    def load(
+        self,
+        expected_version: int,
+        n_cells: int,
+        p: int,
+    ) -> dict[Region, StackedSuffStats]:
+        """The cached stacks, verified against the live store/builder geometry.
+
+        Raises :class:`StaleCacheError` when the cache was written at a
+        different store version (or a different lattice geometry), and
+        :class:`StorageError` when the files are missing or unreadable.
+        """
+        if not self.meta_path.exists():
+            raise StorageError(f"no suffstats cache at {self._dir}")
+        try:
+            with self.meta_path.open("rb") as f:
+                meta = pickle.load(f)
+            version = int(meta["version"])
+            regions = list(meta["regions"])
+        except StorageError:
+            raise
+        except Exception as exc:
+            raise StorageError(
+                f"corrupt suffstats-cache metadata {self.meta_path}: {exc!r}"
+            ) from exc
+        if version != expected_version:
+            raise StaleCacheError(
+                f"suffstats cache is at store version {version}, "
+                f"store is at {expected_version}"
+            )
+        if meta.get("n_cells") != n_cells or meta.get("p") != p:
+            raise StaleCacheError(
+                "suffstats cache was built for another lattice geometry "
+                f"(cells={meta.get('n_cells')}/p={meta.get('p')}, "
+                f"expected {n_cells}/{p})"
+            )
+        try:
+            with np.load(self.data_path) as data:
+                flat = StackedSuffStats(
+                    data["ytwy"], data["xtwx"], data["xtwy"],
+                    data["n"], data["sum_w"],
+                )
+        except StorageError:
+            raise
+        except Exception as exc:
+            raise StorageError(
+                f"unreadable suffstats cache {self.data_path}: {exc!r}"
+            ) from exc
+        if len(flat) != len(regions) * n_cells or (
+            len(flat) and flat.p != p
+        ):
+            raise StorageError(
+                f"suffstats cache {self.data_path} has {len(flat)} problems, "
+                f"expected {len(regions) * n_cells}"
+            )
+        return {
+            region: flat.select(slice(i * n_cells, (i + 1) * n_cells))
+            for i, region in enumerate(regions)
+        }

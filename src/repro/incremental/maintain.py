@@ -1,0 +1,427 @@
+"""Delta-aware bellwether-cube maintenance (Theorem 1, applied to updates).
+
+A built cube caches, per region, one :class:`~repro.ml.StackedSuffStats` of
+per-base-cell statistics — the same stacks the optimized builder scans for.
+When the store absorbs a delta (new months of orders, new or retired items),
+:class:`IncrementalCubeMaintainer.refresh` consumes the store's changelog,
+maps the touched item ids to their base cells, refreshes only those cells'
+statistics, re-rolls the touched regions up the lattice, and re-solves only
+the dirty (region, subset) problems — one batched solve per level, no full
+scan.  Untouched cells keep their cached statistics.
+
+Two refresh modes:
+
+* ``"exact"`` (default) — dirty cells are recomputed from the touched
+  region's *updated* rows.  Because deltas retract first and append at the
+  block's end, surviving rows keep their original relative order, so every
+  statistic — touched or not — is **bit-for-bit** what a from-scratch
+  optimized build over the updated store computes.
+* ``"merge"`` — dirty cells are updated algebraically
+  (``cached + g(appended) − g(removed)``, the paper's merge applied in
+  reverse).  Never rereads surviving rows, at the cost of float-associativity
+  drift (equal to scratch up to rounding, not bit-for-bit).
+
+Winner selection replays the builder's sequential first-strict-min rule over
+candidates in store order, so refreshed picks match a rebuild exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cube import (
+    BellwetherCubeBuilder,
+    BellwetherCubeResult,
+    _first_strict_min,
+)
+from repro.dimensions import Region
+from repro.ml import (
+    ErrorEstimate,
+    LinearSuffStats,
+    StackedSuffStats,
+    add_intercept,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.storage import StorageError
+
+from .cache import SuffStatsCache
+
+__all__ = ["IncrementalCubeMaintainer"]
+
+_TRACER = get_tracer()
+_CACHE_HITS = get_registry().counter("incr.cache_hits")
+_CACHE_MISSES = get_registry().counter("incr.cache_misses")
+_CELLS_RESOLVED = get_registry().counter("incr.cells_resolved")
+_REGIONS_REFRESHED = get_registry().counter("incr.regions_refreshed")
+_FULL_REBUILDS = get_registry().counter("incr.full_rebuilds")
+
+
+class IncrementalCubeMaintainer:
+    """Keeps a bellwether cube current across store deltas.
+
+    Parameters
+    ----------
+    builder:
+        The cube builder whose geometry (hierarchies, significant subsets,
+        ``min_examples``) and store this maintainer serves.  Requires a
+        batchable task (training-set error — the measure Theorem 1 covers).
+    cache_dir:
+        Optional directory for a persistent :class:`SuffStatsCache`; a
+        maintainer constructed later against the same (unchanged) store
+        warm-starts from it without a full scan.
+    mode:
+        ``"exact"`` (bit-for-bit, rereads touched regions) or ``"merge"``
+        (pure suffstats algebra, equal up to float associativity).
+    """
+
+    def __init__(
+        self,
+        builder: BellwetherCubeBuilder,
+        cache_dir=None,
+        mode: str = "exact",
+    ):
+        if mode not in ("exact", "merge"):
+            raise ValueError(f"unknown refresh mode {mode!r}")
+        if not builder._batchable():
+            raise ValueError(
+                "incremental maintenance needs the algebraic (training-set) "
+                "error estimator; this task's estimator is not batchable"
+            )
+        self.builder = builder
+        self.mode = mode
+        self._cache = SuffStatsCache(cache_dir) if cache_dir is not None else None
+        self._version: int | None = None  # None = cold (nothing cached yet)
+        self._stacks: dict[Region, StackedSuffStats] = {}
+        # Per lattice level, per region: arrays over the level's significant
+        # subsets — example count, and the solved rmse/sse/dof (NaN/0 where
+        # the subset has too few examples in that region).
+        self._errors: list[dict[Region, dict[str, np.ndarray]]] = []
+
+    # --------------------------------------------------------------- geometry
+
+    @property
+    def _n_cells(self) -> int:
+        return len(self.builder._cells)
+
+    @property
+    def _p(self) -> int:
+        return len(self.builder.store.feature_names) + 1  # + intercept
+
+    def _ordered_regions(self) -> list[Region]:
+        """Cached regions in store-scan order (the builder's region order)."""
+        return [r for r in self.builder.store.regions() if r in self._stacks]
+
+    # ---------------------------------------------------------------- refresh
+
+    def refresh(self) -> BellwetherCubeResult:
+        """The cube for the store's current contents, updated incrementally.
+
+        Cold maintainers try the persistent cache, then fall back to one
+        full scan.  Warm maintainers replay ``store.deltas_since`` onto the
+        cached statistics; a changelog gap triggers a loud full rebuild.
+        """
+        store = self.builder.store
+        with _TRACER.span("incr.refresh", mode=self.mode) as sp:
+            if self._version is None:
+                if self._cache is not None and self._try_cache_load():
+                    _CACHE_HITS.inc()
+                    sp.annotate(source="cache")
+                    return self._result_from_cache()
+                self._full_build()
+                sp.annotate(source="scan")
+                return self._result_from_cache()
+            try:
+                deltas = store.deltas_since(self._version)
+            except StorageError:
+                _FULL_REBUILDS.inc()
+                self._full_build()
+                sp.annotate(source="rebuild")
+                return self._result_from_cache()
+            if not deltas:
+                _CACHE_HITS.inc()
+                sp.annotate(source="noop")
+                return self._result_from_cache()
+            self._apply_deltas(deltas)
+            sp.annotate(source="delta", deltas=len(deltas))
+        return self._result_from_cache()
+
+    def _try_cache_load(self) -> bool:
+        try:
+            self._stacks = self._cache.load(
+                self.builder.store.version, self._n_cells, self._p
+            )
+        except StorageError:
+            _CACHE_MISSES.inc()
+            return False
+        self._solve_all_levels()
+        self._version = self.builder.store.version
+        return True
+
+    def _save_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.save(
+                self._version, self._stacks, self._n_cells, self._p
+            )
+
+    # ------------------------------------------------------------- full build
+
+    def _full_build(self) -> None:
+        """One scan: per-region base-cell stacks + per-level solved errors."""
+        builder = self.builder
+        self._stacks = {}
+        for region, block in builder.store.scan():
+            block = block.restrict_to(builder._ids)
+            if block.n_examples == 0:
+                continue
+            rows_item = builder._index.rows_of(block.item_ids)
+            cell_of_row = builder._cell_of_item[rows_item]
+            self._stacks[region] = builder._cell_stats_stack(
+                block, cell_of_row, self._n_cells
+            )
+        self._solve_all_levels()
+        self._version = builder.store.version
+        self._save_cache()
+
+    def _solve_all_levels(self) -> None:
+        """(Re)solve every cached region's significant subsets, per level.
+
+        One concatenated batched solve per lattice level, like the
+        optimized builder — the per-problem solutions are identical because
+        stacked LAPACK is deterministic per matrix.
+        """
+        builder = self.builder
+        regions = self._ordered_regions()
+        self._errors = []
+        for __, rm, keep in builder._levels:
+            keep_sidx = np.array([s_idx for s_idx, __s, __n in keep])
+            per: dict[Region, dict[str, np.ndarray]] = {}
+            pending: list[StackedSuffStats] = []
+            slots: list[tuple[Region, np.ndarray]] = []
+            for region in regions:
+                rolled = self._stacks[region].rollup(
+                    rm.subset_of_base, len(rm.subsets)
+                ).select(keep_sidx)
+                per[region] = self._blank_errors(len(keep), rolled.n)
+                cand = np.flatnonzero(rolled.n >= builder.min_examples)
+                if len(cand):
+                    pending.append(rolled.select(cand))
+                    slots.append((region, cand))
+            self._errors.append(per)
+            self._scatter_solutions(per, pending, slots)
+
+    @staticmethod
+    def _blank_errors(n_keep: int, n_vec: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "n": n_vec.copy(),
+            "rmse": np.full(n_keep, np.nan),
+            "sse": np.full(n_keep, np.nan),
+            "dof": np.zeros(n_keep, dtype=np.int64),
+        }
+
+    def _scatter_solutions(
+        self,
+        per: dict[Region, dict[str, np.ndarray]],
+        pending: list[StackedSuffStats],
+        slots: list[tuple[Region, np.ndarray]],
+    ) -> None:
+        """Solve the pending problems in one batch; write results back."""
+        if not pending:
+            return
+        rmse, sse, dof = self.builder._training_errors(
+            StackedSuffStats.concatenate(pending)
+        )
+        _CELLS_RESOLVED.inc(len(rmse))
+        offset = 0
+        for region, cand in slots:
+            k = len(cand)
+            per[region]["rmse"][cand] = rmse[offset:offset + k]
+            per[region]["sse"][cand] = sse[offset:offset + k]
+            per[region]["dof"][cand] = dof[offset:offset + k]
+            offset += k
+
+    # ---------------------------------------------------------- delta replay
+
+    def _apply_deltas(self, deltas: list) -> None:
+        """Fold the changelog entries into the cached stacks and errors."""
+        builder = self.builder
+        store = builder.store
+        touched: dict[Region, list[np.ndarray]] = {}
+        for applied in deltas:
+            # Drops forget the region *in sequence*, so a later delta that
+            # re-adds it rebuilds from nothing instead of patching a stack
+            # whose rows are long gone.
+            for region in applied.delta.drop_regions:
+                self._forget_region(region)
+                touched.pop(region, None)
+            for region in applied.delta.blocks:
+                touched.setdefault(region, []).append(
+                    applied.touched_items(region)
+                )
+        _REGIONS_REFRESHED.inc(len(touched))
+        # Per level: dirty problems gathered across every touched region,
+        # solved by one batched call after the loop.
+        pending: list[list[StackedSuffStats]] = [[] for __ in builder._levels]
+        slots: list[list[tuple[Region, np.ndarray]]] = [
+            [] for __ in builder._levels
+        ]
+        for region, id_lists in touched.items():
+            dirty_cells = self._dirty_cells(np.concatenate(id_lists))
+            block = store.read(region).restrict_to(builder._ids)
+            if block.n_examples == 0:
+                self._forget_region(region)
+                continue
+            is_new = region not in self._stacks
+            stack = self._refresh_stack(region, block, dirty_cells, deltas)
+            self._stacks[region] = stack
+            if is_new:
+                dirty_cells = np.flatnonzero(stack.n > 0)
+            for lvl, (__, rm, keep) in enumerate(builder._levels):
+                keep_sidx = np.array([s_idx for s_idx, __s, __n in keep])
+                rolled = stack.rollup(rm.subset_of_base, len(rm.subsets)).select(
+                    keep_sidx
+                )
+                old = self._errors[lvl].get(region)
+                per = self._blank_errors(len(keep), rolled.n)
+                # Clean subsets' base cells did not move: their cached
+                # solutions are still bit-exact.  Only dirty subsets (those
+                # receiving a dirty base cell) re-enter the solver.
+                dirty_s = np.unique(rm.subset_of_base[dirty_cells])
+                dirty_pos = np.flatnonzero(np.isin(keep_sidx, dirty_s))
+                if old is not None:
+                    clean = np.setdiff1d(
+                        np.arange(len(keep)), dirty_pos, assume_unique=True
+                    )
+                    for key in ("rmse", "sse", "dof"):
+                        per[key][clean] = old[key][clean]
+                else:
+                    dirty_pos = np.flatnonzero(rolled.n > 0)
+                self._errors[lvl][region] = per
+                cand = dirty_pos[rolled.n[dirty_pos] >= builder.min_examples]
+                if len(cand):
+                    pending[lvl].append(rolled.select(cand))
+                    slots[lvl].append((region, cand))
+        for lvl in range(len(builder._levels)):
+            self._scatter_solutions(self._errors[lvl], pending[lvl], slots[lvl])
+        self._version = store.version
+        self._save_cache()
+
+    def _forget_region(self, region: Region) -> None:
+        self._stacks.pop(region, None)
+        for per in self._errors:
+            per.pop(region, None)
+
+    def _dirty_cells(self, item_ids: np.ndarray) -> np.ndarray:
+        """The base cells of the builder's items among ``item_ids``."""
+        builder = self.builder
+        ids = np.unique(item_ids)
+        known = builder._index.contains(ids)
+        rows = builder._index.rows_of(ids[known])
+        return np.unique(builder._cell_of_item[rows])
+
+    def _refresh_stack(
+        self,
+        region: Region,
+        block,
+        dirty_cells: np.ndarray,
+        deltas: list,
+    ) -> StackedSuffStats:
+        """The region's updated base-cell stack (exact or algebraic)."""
+        builder = self.builder
+        old = self._stacks.get(region)
+        rows_item = builder._index.rows_of(block.item_ids)
+        cell_of_row = builder._cell_of_item[rows_item]
+        if old is None:
+            return builder._cell_stats_stack(block, cell_of_row, self._n_cells)
+        if self.mode == "merge":
+            return self._merge_stack(region, old, deltas)
+        # Exact mode: recompute the dirty cells from the updated block.
+        # Rows reach from_data in ascending row order — the same order the
+        # builder's stable-argsort grouping uses — so recomputed statistics
+        # are bit-identical to a scratch pass; clean cells' rows did not
+        # move relative to each other and keep their cached bits.
+        stack = old.copy()
+        design = add_intercept(block.x)
+        refreshed = []
+        for cell in dirty_cells:
+            rows = np.flatnonzero(cell_of_row == cell)
+            if len(rows):
+                refreshed.append(
+                    LinearSuffStats.from_data(
+                        design[rows],
+                        block.y[rows],
+                        None if block.weights is None else block.weights[rows],
+                    )
+                )
+            else:
+                refreshed.append(LinearSuffStats.zeros(self._p))
+        if refreshed:
+            stack.assign(dirty_cells, StackedSuffStats.from_stats(refreshed))
+        return stack
+
+    def _merge_stack(
+        self,
+        region: Region,
+        old: StackedSuffStats,
+        deltas: list,
+    ) -> StackedSuffStats:
+        """``cached + g(appended rows) − g(removed rows)``, per base cell."""
+        stack = old
+        for applied in deltas:
+            bd = applied.delta.blocks.get(region)
+            if bd is not None and bd.append is not None:
+                stack = stack + self._rows_stack(bd.append)
+            removed = applied.removed.get(region)
+            if removed is not None and removed.n_examples:
+                stack = stack - self._rows_stack(removed)
+        return stack
+
+    def _rows_stack(self, block) -> StackedSuffStats:
+        """Delta rows (restricted to the builder's items) grouped by cell."""
+        builder = self.builder
+        sub = block.restrict_to(builder._ids)
+        if sub.n_examples == 0:
+            return StackedSuffStats.zeros(self._n_cells, self._p)
+        rows_item = builder._index.rows_of(sub.item_ids)
+        cells = builder._cell_of_item[rows_item]
+        return StackedSuffStats.from_groups(
+            add_intercept(sub.x), sub.y, sub.weights, cells, self._n_cells
+        )
+
+    # ----------------------------------------------------------------- result
+
+    def _result_from_cache(self) -> BellwetherCubeResult:
+        """Winners from the cached per-(level, region) errors — no solves.
+
+        Replays the builder's tie-breaking: per subset, candidates (enough
+        examples) in store-region order, first strict minimum wins.
+        """
+        builder = self.builder
+        regions = self._ordered_regions()
+        best: dict = {}
+        for lvl, (__, __rm, keep) in enumerate(builder._levels):
+            per = self._errors[lvl]
+            if not regions:
+                continue
+            n_mat = np.stack([per[r]["n"] for r in regions])
+            rmse_mat = np.stack([per[r]["rmse"] for r in regions])
+            cand = n_mat >= builder.min_examples
+            for j, (__s_idx, subset, __n) in enumerate(keep):
+                hits = np.flatnonzero(cand[:, j])
+                if not len(hits):
+                    continue
+                k = hits[_first_strict_min(rmse_mat[hits, j])]
+                winner = regions[k]
+                best[subset] = (
+                    winner,
+                    ErrorEstimate(
+                        rmse=float(per[winner]["rmse"][j]),
+                        kind="training",
+                        sse=float(per[winner]["sse"][j]),
+                        dof=int(per[winner]["dof"][j]),
+                    ),
+                )
+        entries = builder._entries_from_best(best)
+        return BellwetherCubeResult(
+            entries, builder.hierarchies, builder.confidence
+        )

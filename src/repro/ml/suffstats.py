@@ -321,6 +321,70 @@ class StackedSuffStats:
             self.sum_w + other.sum_w,
         )
 
+    def __sub__(self, other: "StackedSuffStats") -> "StackedSuffStats":
+        """Element-wise retraction: problem i sheds the other's problem i.
+
+        The stacked form of :meth:`LinearSuffStats.__sub__`; the incremental
+        maintainer uses it to retract delta rows from cached cell statistics
+        without rescanning the surviving rows.
+        """
+        if len(self) != len(other) or self.p != other.p:
+            raise FitError(
+                f"cannot subtract stacks of shape ({len(self)}, p={self.p}) "
+                f"and ({len(other)}, p={other.p})"
+            )
+        return StackedSuffStats(
+            self.ytwy - other.ytwy,
+            self.xtwx - other.xtwx,
+            self.xtwy - other.xtwy,
+            self.n - other.n,
+            self.sum_w - other.sum_w,
+        )
+
+    def copy(self) -> "StackedSuffStats":
+        """A deep copy whose component arrays are safe to mutate in place."""
+        return StackedSuffStats(
+            self.ytwy.copy(), self.xtwx.copy(), self.xtwy.copy(),
+            self.n.copy(), self.sum_w.copy(),
+        )
+
+    def assign(self, idx: np.ndarray, other: "StackedSuffStats") -> None:
+        """Overwrite problems ``idx`` in place with the other stack's rows.
+
+        This is the dirty-cell write-back: a refresh recomputes only the
+        problems a delta touched and assigns them over the cached stack.
+        """
+        if self.p != other.p:
+            raise FitError(
+                f"cannot assign stats with p={other.p} into a p={self.p} stack"
+            )
+        self.ytwy[idx] = other.ytwy
+        self.xtwx[idx] = other.xtwx
+        self.xtwy[idx] = other.xtwy
+        self.n[idx] = other.n
+        self.sum_w[idx] = other.sum_w
+
+    def changed_rows(self, other: "StackedSuffStats") -> np.ndarray:
+        """Indices of problems whose components differ from ``other``'s.
+
+        Bitwise comparison (no tolerance): the incremental layer promises
+        bit-for-bit equality with a from-scratch pass, so "dirty" means any
+        component byte moved.
+        """
+        if len(self) != len(other) or self.p != other.p:
+            raise FitError(
+                f"cannot diff stacks of shape ({len(self)}, p={self.p}) "
+                f"and ({len(other)}, p={other.p})"
+            )
+        same = (
+            (self.ytwy == other.ytwy)
+            & (self.xtwx == other.xtwx).all(axis=(1, 2))
+            & (self.xtwy == other.xtwy).all(axis=1)
+            & (self.n == other.n)
+            & (self.sum_w == other.sum_w)
+        )
+        return np.flatnonzero(~same)
+
     def rollup(self, target: np.ndarray, n_out: int) -> "StackedSuffStats":
         """Scatter-add problems into ``n_out`` coarser ones (Theorem 1).
 

@@ -1,4 +1,10 @@
-"""Training-data storage: in-memory and disk-resident region blocks."""
+"""Training-data storage: in-memory and disk-resident region blocks.
+
+Stores are versioned: :meth:`TrainingDataStore.apply_delta` absorbs appended
+or retracted training rows (see :mod:`repro.storage.delta`) and bumps a
+monotone ``version`` that downstream caches — notably the incremental
+suffstats cache of :mod:`repro.incremental` — key on.
+"""
 
 from .block_store import (
     DiskStore,
@@ -8,14 +14,19 @@ from .block_store import (
     StorageError,
     TrainingDataStore,
 )
+from .delta import AppliedDelta, BlockDelta, StoreDelta, apply_block_delta
 from .stats import IOStats
 
 __all__ = [
+    "AppliedDelta",
+    "BlockDelta",
     "DiskStore",
     "FilteredStore",
     "IOStats",
     "MemoryStore",
     "RegionBlock",
     "StorageError",
+    "StoreDelta",
     "TrainingDataStore",
+    "apply_block_delta",
 ]

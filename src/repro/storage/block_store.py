@@ -12,11 +12,22 @@ patterns:
 Both stores count these accesses via :class:`~repro.storage.stats.IOStats`.
 :class:`DiskStore` spills blocks to ``.npz`` files, giving the "every request
 is a disk read" regime of Section 7.4.1 for the Figure 11(a) comparison.
+
+Stores are *versioned*: contents start at version 0 and every
+:meth:`TrainingDataStore.apply_delta` (appended / retracted training rows —
+see :mod:`repro.storage.delta`) bumps the version and appends an
+:class:`~repro.storage.delta.AppliedDelta` record to the store's changelog.
+Callers that cached derived state (per-region error profiles, suffstats
+stacks) ask :meth:`TrainingDataStore.deltas_since` what moved and refresh
+only that; a changelog gap (e.g. a reopened :class:`DiskStore`, whose log is
+not persisted) raises :class:`StorageError`, telling the caller to rebuild
+rather than silently serving stale numbers.
 """
 
 from __future__ import annotations
 
 import pickle
+import zipfile
 from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -97,12 +108,78 @@ class TrainingDataStore:
 
     feature_names: tuple[str, ...]
     stats: IOStats
+    #: Monotone content version; bumped by every applied delta.
+    version: int = 0
+    #: Versions ``<= _log_floor`` are not in the in-memory changelog.
+    _log_floor: int = 0
 
     def regions(self) -> list[Region]:
         raise NotImplementedError
 
     def read(self, region: Region) -> RegionBlock:
         raise NotImplementedError
+
+    # ---------------------------------------------------------- delta contract
+
+    def apply_delta(self, delta) -> int:
+        """Fold a :class:`~repro.storage.delta.StoreDelta` in; new version."""
+        raise StorageError(f"{type(self).__name__} does not accept deltas")
+
+    def deltas_since(self, version: int) -> list:
+        """Changelog entries applied after ``version``, oldest first.
+
+        Raises :class:`StorageError` when that history is unavailable (the
+        caller's snapshot predates this store's in-memory log, or claims a
+        version the store never reached) — the signal to rebuild from a
+        full scan instead of trusting stale derived state.
+        """
+        if version == self.version:
+            return []
+        if version > self.version:
+            raise StorageError(
+                f"version {version} is ahead of the store (at {self.version})"
+            )
+        if version < self._log_floor:
+            raise StorageError(
+                f"delta history before version {self._log_floor} is gone; "
+                "rebuild from a full scan"
+            )
+        changelog = getattr(self, "_changelog", [])
+        return [entry for entry in changelog if entry.version > version]
+
+    def _apply_delta_to_blocks(self, delta, blocks: dict[Region, RegionBlock]):
+        """Shared apply path: mutate ``blocks`` in place, log, bump version.
+
+        Returns the :class:`~repro.storage.delta.AppliedDelta` recorded.
+        """
+        from .delta import AppliedDelta, apply_block_delta
+
+        removed: dict[Region, RegionBlock] = {}
+        new_regions: list[Region] = []
+        for region in delta.drop_regions:
+            try:
+                removed[region] = blocks.pop(region)
+            except KeyError:
+                raise StorageError(f"cannot drop unknown region {region}") from None
+        for region, bd in delta.blocks.items():
+            old = blocks.get(region)
+            if old is None:
+                new_regions.append(region)
+            new, gone = apply_block_delta(old, bd, len(self.feature_names))
+            blocks[region] = new
+            if gone is not None and gone.n_examples:
+                removed[region] = gone
+        self.version += 1
+        applied = AppliedDelta(
+            version=self.version,
+            delta=delta,
+            removed=removed,
+            new_regions=tuple(new_regions),
+        )
+        if not hasattr(self, "_changelog"):
+            self._changelog = []
+        self._changelog.append(applied)
+        return applied
 
     def scan(self) -> Iterator[tuple[Region, RegionBlock]]:
         """One pass over every region's block (counted as one full scan).
@@ -138,6 +215,8 @@ class MemoryStore(TrainingDataStore):
         self._blocks = dict(blocks)
         self.feature_names = tuple(feature_names)
         self.stats = IOStats()
+        self.version = 0
+        self._changelog: list = []
         for block in self._blocks.values():
             if block.n_features != len(self.feature_names):
                 raise StorageError(
@@ -147,6 +226,15 @@ class MemoryStore(TrainingDataStore):
 
     def regions(self) -> list[Region]:
         return list(self._blocks)
+
+    def apply_delta(self, delta) -> int:
+        """Append/retract rows (and add/drop regions); returns new version.
+
+        New regions land after the existing ones in :meth:`regions` order,
+        exactly where a regenerated store would also scan them last.
+        """
+        self._apply_delta_to_blocks(delta, self._blocks)
+        return self.version
 
     def _fetch(self, region: Region) -> RegionBlock:
         try:
@@ -207,11 +295,42 @@ class DiskStore(TrainingDataStore):
         manifest_path = self._dir / self._MANIFEST
         if not manifest_path.exists():
             raise StorageError(f"{self._dir} has no manifest; use DiskStore.create")
-        with manifest_path.open("rb") as f:
-            manifest = pickle.load(f)
-        self._files: dict[Region, str] = manifest["files"]
-        self.feature_names = tuple(manifest["feature_names"])
+        try:
+            with manifest_path.open("rb") as f:
+                manifest = pickle.load(f)
+            self._files: dict[Region, str] = manifest["files"]
+            self.feature_names = tuple(manifest["feature_names"])
+            # Manifests written before versioning count as version 0.
+            self.version = int(manifest.get("version", 0))
+        except StorageError:
+            raise
+        except Exception as exc:
+            raise StorageError(
+                f"corrupt manifest {manifest_path}: {exc!r}"
+            ) from exc
         self.stats = IOStats()
+        # The persisted version survives reopening, but the delta log does
+        # not: deltas_since(anything older) must fail loudly.
+        self._log_floor = self.version
+        self._changelog: list = []
+
+    @staticmethod
+    def _write_block(path: Path, block: RegionBlock) -> None:
+        arrays = {"item_ids": block.item_ids, "x": block.x, "y": block.y}
+        if block.weights is not None:
+            arrays["weights"] = block.weights
+        np.savez(path, **arrays)
+
+    def _write_manifest(self) -> None:
+        with (self._dir / self._MANIFEST).open("wb") as f:
+            pickle.dump(
+                {
+                    "files": self._files,
+                    "feature_names": self.feature_names,
+                    "version": self.version,
+                },
+                f,
+            )
 
     @classmethod
     def create(
@@ -226,16 +345,41 @@ class DiskStore(TrainingDataStore):
         files: dict[Region, str] = {}
         for i, (region, block) in enumerate(blocks.items()):
             name = f"region_{i:06d}.npz"
-            arrays = {"item_ids": block.item_ids, "x": block.x, "y": block.y}
-            if block.weights is not None:
-                arrays["weights"] = block.weights
-            np.savez(directory / name, **arrays)
+            cls._write_block(directory / name, block)
             files[region] = name
         with (directory / cls._MANIFEST).open("wb") as f:
             pickle.dump(
-                {"files": files, "feature_names": tuple(feature_names)}, f
+                {"files": files, "feature_names": tuple(feature_names), "version": 0},
+                f,
             )
         return cls(directory)
+
+    def apply_delta(self, delta) -> int:
+        """Apply a delta, rewriting touched ``.npz`` blocks and the manifest.
+
+        The bumped version is persisted in the manifest, so a cache written
+        against an older version is detectably stale after reopening.
+        """
+        touched: dict[Region, RegionBlock] = {}
+        for region in tuple(delta.blocks) + tuple(delta.drop_regions):
+            if region in self._files:
+                touched[region] = self._fetch(region)
+        self._apply_delta_to_blocks(delta, touched)
+        for region in delta.drop_regions:
+            (self._dir / self._files.pop(region)).unlink(missing_ok=True)
+        next_idx = 1 + max(
+            (int(name[len("region_"):-len(".npz")]) for name in self._files.values()),
+            default=-1,
+        )
+        for region in delta.blocks:
+            name = self._files.get(region)
+            if name is None:
+                name = f"region_{next_idx:06d}.npz"
+                next_idx += 1
+                self._files[region] = name
+            self._write_block(self._dir / name, touched[region])
+        self._write_manifest()
+        return self.version
 
     @classmethod
     def from_memory(cls, directory: str | Path, store: MemoryStore) -> "DiskStore":
@@ -253,9 +397,19 @@ class DiskStore(TrainingDataStore):
             name = self._files[region]
         except KeyError:
             raise StorageError(f"unknown region {region}") from None
-        with np.load(self._dir / name) as data:
-            weights = data["weights"] if "weights" in data.files else None
-            return RegionBlock(data["item_ids"], data["x"], data["y"], weights)
+        # Truncated, corrupt, or missing block files must surface as
+        # StorageError — never a raw OSError/BadZipFile, and never silently
+        # wrong numbers.
+        try:
+            with np.load(self._dir / name) as data:
+                weights = data["weights"] if "weights" in data.files else None
+                return RegionBlock(data["item_ids"], data["x"], data["y"], weights)
+        except StorageError:
+            raise
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+            raise StorageError(
+                f"unreadable block {name} for region {region}: {exc!r}"
+            ) from exc
 
     def read(self, region: Region) -> RegionBlock:
         block = self._fetch(region)

@@ -1,0 +1,97 @@
+"""SuffStatsCache: round trips, warm starts, and staleness detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import BellwetherCubeBuilder
+from repro.core.training_data import build_store
+from repro.datasets import make_mailorder
+from repro.dimensions import Region
+from repro.incremental import StaleCacheError, SuffStatsCache
+from repro.ml import (
+    LinearSuffStats,
+    StackedSuffStats,
+    TrainingSetEstimator,
+    add_intercept,
+)
+from repro.obs import get_registry
+
+
+def _stack(n_cells, p, seed):
+    rng = np.random.default_rng(seed)
+    stats = []
+    for __ in range(n_cells):
+        x = add_intercept(rng.normal(size=(8, p - 1)))
+        y = rng.normal(size=8)
+        stats.append(LinearSuffStats.from_data(x, y, rng.uniform(0.5, 2, 8)))
+    return StackedSuffStats.from_stats(stats)
+
+
+def test_save_load_round_trip_is_bitwise(tmp_path):
+    stacks = {
+        Region(("a",)): _stack(4, 3, seed=1),
+        Region(("b",)): _stack(4, 3, seed=2),
+    }
+    cache = SuffStatsCache(tmp_path)
+    cache.save(version=5, stacks=stacks, n_cells=4, p=3)
+    loaded = cache.load(expected_version=5, n_cells=4, p=3)
+    assert set(loaded) == set(stacks)
+    for region, stack in stacks.items():
+        got = loaded[region]
+        assert np.array_equal(got.n, stack.n)
+        assert np.array_equal(got.sum_w, stack.sum_w)
+        assert np.array_equal(got.ytwy, stack.ytwy)
+        assert np.array_equal(got.xtwx, stack.xtwx)
+        assert np.array_equal(got.xtwy, stack.xtwy)
+
+
+def test_save_overwrites_previous_version(tmp_path):
+    cache = SuffStatsCache(tmp_path)
+    cache.save(version=1, stacks={Region(("a",)): _stack(2, 3, 1)}, n_cells=2, p=3)
+    cache.save(version=2, stacks={Region(("a",)): _stack(2, 3, 9)}, n_cells=2, p=3)
+    with pytest.raises(StaleCacheError):
+        cache.load(expected_version=1, n_cells=2, p=3)
+    assert set(cache.load(expected_version=2, n_cells=2, p=3)) == {Region(("a",))}
+
+
+def test_stale_version_and_geometry(tmp_path):
+    cache = SuffStatsCache(tmp_path)
+    cache.save(version=1, stacks={Region(("a",)): _stack(2, 3, 1)}, n_cells=2, p=3)
+    with pytest.raises(StaleCacheError):
+        cache.load(expected_version=2, n_cells=2, p=3)
+    with pytest.raises(StaleCacheError):
+        cache.load(expected_version=1, n_cells=3, p=3)
+    with pytest.raises(StaleCacheError):
+        cache.load(expected_version=1, n_cells=2, p=4)
+
+
+def test_warm_start_skips_the_full_scan(tmp_path):
+    """A second maintainer over an unchanged store never touches the data."""
+    ds = make_mailorder(
+        n_items=60, n_months=6, seed=0, error_estimator=TrainingSetEstimator()
+    )
+    store, __, __ = build_store(ds.task)
+    cache_dir = tmp_path / "cache"
+    cold = BellwetherCubeBuilder(ds.task, store, ds.hierarchies).incremental(
+        cache_dir=cache_dir
+    )
+    cold_result = cold.refresh()
+
+    registry = get_registry()
+    before = registry.counter_values()
+    warm = BellwetherCubeBuilder(ds.task, store, ds.hierarchies).incremental(
+        cache_dir=cache_dir
+    )
+    warm_result = warm.refresh()
+    delta = registry.counter_values()
+    assert delta.get("store.full_scans", 0) - before.get("store.full_scans", 0) == 0
+    assert delta.get("incr.cache_hits", 0) - before.get("incr.cache_hits", 0) == 1
+
+    assert warm_result.subsets == cold_result.subsets
+    for subset in cold_result.subsets:
+        a, b = cold_result.entry(subset), warm_result.entry(subset)
+        assert a.region == b.region
+        if a.error is not None:
+            assert (a.error.rmse, a.error.sse, a.error.dof) == (
+                b.error.rmse, b.error.sse, b.error.dof
+            )

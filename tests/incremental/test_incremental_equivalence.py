@@ -1,0 +1,197 @@
+"""Incremental refresh must be indistinguishable from rebuilding from scratch.
+
+Each test streams deltas into a deployed store and compares the refreshed
+answer against a from-scratch rebuild of the *same* store: basic-search
+profiles and rendered budget tables (the fig 7 configuration), cube entries
+and cross-tabs (the fig 9 bookstore configuration), serial and with a
+2-worker executor, and after K seeded random retract/re-append deltas.
+The acceptance bar is bit-for-bit equality with ≥ 3× fewer operations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherCubeBuilder,
+    budget_sweep,
+    render_table,
+)
+from repro.datasets import make_bookstore, make_mailorder
+from repro.exec import ParallelConfig
+from repro.incremental import month_append_delta, month_split_store, window_end
+from repro.ml import CrossValidationEstimator, TrainingSetEstimator
+from repro.obs import get_registry
+from repro.storage import BlockDelta, StoreDelta
+
+_OP_COUNTERS = (
+    "store.full_scans",
+    "ml.linear.batched_problems",
+    "ml.linear.fits",
+)
+
+
+def _ops(before: dict) -> int:
+    values = get_registry().counter_values()
+    return sum(int(values.get(k, 0) - before.get(k, 0)) for k in _OP_COUNTERS)
+
+
+def _scans(before: dict) -> int:
+    values = get_registry().counter_values()
+    return int(values.get("store.full_scans", 0) - before.get("store.full_scans", 0))
+
+
+def _profile_key(results):
+    return [(r.region, r.rmse, r.cost, r.coverage) for r in results]
+
+
+def _assert_same_cube(a, b):
+    assert a.subsets == b.subsets
+    for subset in a.subsets:
+        ea, eb = a.entry(subset), b.entry(subset)
+        assert ea.region == eb.region, subset
+        assert (ea.error is None) == (eb.error is None)
+        if ea.error is not None:
+            assert (ea.error.rmse, ea.error.sse, ea.error.dof) == (
+                eb.error.rmse, eb.error.sse, eb.error.dof
+            )
+
+
+class TestFig7BasicSearchEquivalence:
+    """Mail-order + CV estimator: the fig 7 configuration, month by month."""
+
+    @pytest.fixture
+    def deployed(self):
+        ds = make_mailorder(
+            n_items=50, n_months=8, seed=0,
+            error_estimator=CrossValidationEstimator(n_folds=3),
+        )
+        gen, regions, store = month_split_store(ds.task, base_month=6)
+        search = BasicBellwetherSearch(ds.task, store)
+        search.evaluate_all()
+        return ds, gen, regions, store, search
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_month_append_refresh_matches_fresh_search(self, deployed, workers):
+        ds, gen, regions, store, search = deployed
+        parallel = ParallelConfig(workers=workers) if workers else None
+        for month in (7, 8):
+            store.apply_delta(month_append_delta(gen, regions, month))
+
+            registry = get_registry()
+            before = registry.counter_values()
+            scratch = BasicBellwetherSearch(ds.task, store)
+            scratch_profile = scratch.evaluate_all()
+            scratch_ops = _ops(before)
+
+            before = registry.counter_values()
+            incr_profile = search.refresh(parallel=parallel)
+            refresh_ops = _ops(before)
+            assert _scans(before) == 0
+
+            assert _profile_key(incr_profile) == _profile_key(scratch_profile)
+            assert scratch_ops >= 3 * refresh_ops
+
+            budgets = (10.0, 30.0, 60.0)
+            assert render_table(budget_sweep(search, budgets)) == render_table(
+                budget_sweep(scratch, budgets)
+            )
+
+    def test_delta_built_store_equals_fresh_generation(self, deployed):
+        """After the append stream, block contents match a scratch build."""
+        __, gen, regions, store, __ = deployed
+        for month in (7, 8):
+            store.apply_delta(month_append_delta(gen, regions, month))
+        fresh = gen.generate(
+            regions=[r for r in regions if window_end(r) <= 8]
+        )
+        assert set(store.regions()) == set(fresh.regions())
+        for region in fresh.regions():
+            a, b = store.read(region), fresh.read(region)
+            assert np.array_equal(a.item_ids, b.item_ids)
+            assert np.array_equal(a.x, b.x)
+            assert np.array_equal(a.y, b.y)
+
+
+class TestFig9CubeEquivalence:
+    """Bookstore (no planted bellwether) + cube maintainer: fig 9's config."""
+
+    @pytest.fixture
+    def deployed(self):
+        ds = make_bookstore(
+            n_items=60, n_months=8, seed=7,
+            error_estimator=TrainingSetEstimator(),
+        )
+        gen, regions, store = month_split_store(ds.task, base_month=6)
+        builder = BellwetherCubeBuilder(ds.task, store, ds.hierarchies)
+        maintainer = builder.incremental()
+        maintainer.refresh()
+        return ds, gen, regions, store, builder, maintainer
+
+    def test_month_append_refresh_matches_scratch_cube(self, deployed):
+        ds, gen, regions, store, builder, maintainer = deployed
+        for month in (7, 8):
+            store.apply_delta(month_append_delta(gen, regions, month))
+
+            registry = get_registry()
+            before = registry.counter_values()
+            scratch = BellwetherCubeBuilder(
+                ds.task, store, ds.hierarchies
+            ).build("optimized")
+            scratch_ops = _ops(before)
+
+            before = registry.counter_values()
+            refreshed = maintainer.refresh()
+            refresh_ops = _ops(before)
+            assert _scans(before) == 0
+
+            _assert_same_cube(refreshed, scratch)
+            assert scratch_ops >= 3 * refresh_ops
+
+            for level in sorted({s.level for s in refreshed.subsets}):
+                assert refreshed.crosstab_text(level) == scratch.crosstab_text(
+                    level
+                )
+                assert refreshed.crosstab_text(
+                    level, show="error"
+                ) == scratch.crosstab_text(level, show="error")
+
+    def test_random_retract_reappend_deltas(self, deployed):
+        """K seeded retract-then-re-append rounds stay bit-for-bit right."""
+        ds, gen, regions, store, builder, maintainer = deployed
+        rng = np.random.default_rng(42)
+        region_pool = store.regions()
+        for __ in range(4):
+            region = region_pool[rng.integers(len(region_pool))]
+            block = store.read(region)
+            ids = np.unique(block.item_ids)
+            victims = rng.choice(ids, size=min(3, len(ids)), replace=False)
+            rows = np.isin(block.item_ids, victims)
+            from repro.storage import RegionBlock
+
+            removed = RegionBlock(
+                block.item_ids[rows], block.x[rows], block.y[rows],
+                None if block.weights is None else block.weights[rows],
+            )
+            store.apply_delta(
+                StoreDelta({region: BlockDelta(retract_ids=victims)})
+            )
+            store.apply_delta(
+                StoreDelta({region: BlockDelta(append=removed)})
+            )
+
+            refreshed = maintainer.refresh()
+            scratch = BellwetherCubeBuilder(
+                ds.task, store, ds.hierarchies
+            ).build("optimized")
+            _assert_same_cube(refreshed, scratch)
+
+    def test_drop_region_refresh_matches_scratch(self, deployed):
+        ds, gen, regions, store, builder, maintainer = deployed
+        victim = store.regions()[3]
+        store.apply_delta(StoreDelta({}, drop_regions=(victim,)))
+        refreshed = maintainer.refresh()
+        scratch = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies
+        ).build("optimized")
+        _assert_same_cube(refreshed, scratch)

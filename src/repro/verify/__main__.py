@@ -1,0 +1,83 @@
+"""CLI for the differential conformance harness.
+
+Examples::
+
+    python -m repro.verify --seed 0 --rounds 10
+    python -m repro.verify --replay tests/verify/corpus
+    python -m repro.verify --list
+    python -m repro.verify --seed 3 --rounds 5 --classes cube-methods,tree-methods
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .oracles import registry
+from .runner import DEFAULT_CORPUS, replay_corpus, run_rounds
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Fuzz every execution path against its oracle.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for random workloads"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=10, help="number of workloads to draw"
+    )
+    parser.add_argument(
+        "--classes",
+        default="",
+        help="comma-separated oracle classes (default: all)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=str(DEFAULT_CORPUS),
+        help="directory for shrunk repro artifacts",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="DIR",
+        default=None,
+        help="replay every artifact in DIR instead of fuzzing",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list oracle classes and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for cls in registry().values():
+            print(f"{cls.name:<16} {cls.description}")
+        return 0
+
+    if args.replay is not None:
+        failures = 0
+        for result in replay_corpus(args.replay):
+            status = "ok" if result.ok else "FAIL"
+            print(f"{result.name:<16} {status:>4}  {result.elapsed:6.2f}s")
+            for mismatch in result.mismatches:
+                print(f"  {mismatch}")
+            failures += not result.ok
+        print(f"replay: {failures} failing artifact(s)")
+        return 1 if failures else 0
+
+    classes = [c for c in args.classes.split(",") if c] or None
+    start = time.perf_counter()
+    failures = run_rounds(
+        seed=args.seed, rounds=args.rounds, classes=classes, out=args.corpus
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"{args.rounds} round(s), {failures} failing class run(s), "
+        f"{elapsed:.1f}s"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,414 @@
+"""The oracle registry: equivalence classes of execution paths.
+
+Each :class:`OracleClass` names one oracle path and the candidate paths
+that must agree with it, runs all of them on a :class:`~repro.verify.Workload`,
+and returns the observed :class:`~repro.verify.Mismatch` list.  Result
+diffs use the per-class tolerance policy (bit-for-bit for suffstats
+algebra, :data:`~repro.verify.APPROX` where float orderings differ) and
+every class also checks its operation counters against the paper's bounds:
+
+* ``cube-methods`` — Lemma 2: single-scan/optimized cubes read the data
+  exactly once, naive pays ``n_regions × n_subsets`` region reads; the
+  batched build issues at most one stacked solve per lattice level.
+* ``tree-methods`` — Lemma 1: the RF tree reads the data once per level.
+* ``exec-workers`` — the worker fan-out changes nothing; the scan stays in
+  the parent process.
+* ``search-refresh`` / ``cube-refresh`` — incremental refresh equals a
+  from-scratch rebuild with zero full scans; the maintainer's cached
+  suffstats stacks are additionally audited against a scratch recompute
+  (the integer ``n`` component catches dropped retractions at any size).
+* ``store-delta`` — an append-only delta stream reproduces a from-scratch
+  generation bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherCubeBuilder,
+    BellwetherTreeBuilder,
+    SearchError,
+)
+from repro.exec import ParallelConfig
+from repro.incremental import window_end
+from repro.obs import get_registry
+
+from .diff import (
+    APPROX,
+    EXACT,
+    Mismatch,
+    Tolerance,
+    diff_coefs,
+    diff_cubes,
+    diff_profiles,
+    diff_stacks,
+    diff_stores,
+    diff_trees,
+)
+from .workload import Workload
+
+__all__ = [
+    "OP_COUNTERS",
+    "OracleClass",
+    "counters_snapshot",
+    "error_tolerance",
+    "get_class",
+    "ops_delta",
+    "registry",
+    "scans_delta",
+    "scratch_stacks",
+]
+
+#: The operation counters the refresh-vs-scratch speedup gates sum over.
+OP_COUNTERS = (
+    "store.full_scans",
+    "ml.linear.batched_problems",
+    "ml.linear.fits",
+)
+
+
+def counters_snapshot() -> dict[str, float]:
+    return get_registry().counter_values()
+
+
+def ops_delta(before: dict) -> int:
+    """Operations performed since ``before`` (a counters snapshot)."""
+    values = counters_snapshot()
+    return sum(int(values.get(k, 0) - before.get(k, 0)) for k in OP_COUNTERS)
+
+
+def scans_delta(before: dict) -> int:
+    values = counters_snapshot()
+    return int(
+        values.get("store.full_scans", 0) - before.get("store.full_scans", 0)
+    )
+
+
+def error_tolerance(store) -> Tolerance:
+    """:data:`APPROX` with ``atol`` raised to the store's cancellation floor.
+
+    A Theorem 1 rollup computes SSE as a difference of ``~sum(y**2)``-sized
+    terms, while a refit sums small residuals directly, so on a near-perfect
+    fit the two legitimately disagree by ``~eps * sum(y**2)``; the matching
+    rmse noise is its square root.  A fixed tiny ``atol`` would flag that
+    float cancellation as a conformance failure.
+    """
+    energy = sum(
+        float(np.sum(np.square(block.y))) for __, block in store.scan()
+    )
+    sse_noise = 64.0 * np.finfo(float).eps * energy
+    atol = max(APPROX.atol, sse_noise, float(np.sqrt(sse_noise)))
+    return Tolerance(rtol=APPROX.rtol, atol=atol)
+
+
+def _expect(path: str, expected, actual) -> list[Mismatch]:
+    if expected != actual:
+        return [Mismatch(path, str(expected), str(actual))]
+    return []
+
+
+@dataclass(frozen=True)
+class OracleClass:
+    """One equivalence class: an oracle path plus its candidates."""
+
+    name: str
+    description: str
+    runner: Callable[[Workload], list[Mismatch]]
+
+    def run(self, workload: Workload) -> list[Mismatch]:
+        return self.runner(workload)
+
+
+_REGISTRY: dict[str, OracleClass] = {}
+
+
+def _oracle_class(name: str, description: str):
+    def deco(fn):
+        _REGISTRY[name] = OracleClass(name, description, fn)
+        return fn
+
+    return deco
+
+
+def registry() -> dict[str, OracleClass]:
+    return dict(_REGISTRY)
+
+
+def get_class(name: str) -> OracleClass:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle class {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scratch_stacks(builder: BellwetherCubeBuilder):
+    """Per-region base-cell suffstats recomputed from scratch.
+
+    The reference the maintainer's cached stacks are audited against —
+    the same per-cell grouping the optimized builder scans for.
+    """
+    stacks = {}
+    n_cells = len(builder._cells)
+    for region, block in builder.store.scan():
+        block = block.restrict_to(builder._ids)
+        if block.n_examples == 0:
+            continue
+        rows_item = builder._index.rows_of(block.item_ids)
+        cell_of_row = builder._cell_of_item[rows_item]
+        stacks[region] = builder._cell_stats_stack(block, cell_of_row, n_cells)
+    return stacks
+
+
+# ------------------------------------------------------------- cube methods
+
+
+@_oracle_class(
+    "cube-methods",
+    "naive / single_scan / optimized cube builds vs optimized_serial "
+    "(Lemma 2 scan bounds, Theorem 1 rollup)",
+)
+def _cube_methods(w: Workload) -> list[Mismatch]:
+    ds = w.dataset()
+    store, __, __ = w.full_store()
+    builder = BellwetherCubeBuilder(
+        ds.task,
+        store,
+        ds.hierarchies,
+        min_subset_size=w.min_subset_size,
+        min_examples=w.min_examples,
+    )
+    oracle = builder.build("optimized_serial")
+    refit_tol = error_tolerance(store)
+    out: list[Mismatch] = []
+
+    before = counters_snapshot()
+    io0 = store.stats.snapshot()
+    optimized = builder.build("optimized")
+    io = store.stats - io0
+    solves = int(
+        counters_snapshot().get("ml.linear.batched_solves", 0)
+        - before.get("ml.linear.batched_solves", 0)
+    )
+    out += diff_cubes(oracle, optimized, EXACT, label="optimized")
+    out += _expect("optimized.full_scans", 1, io.full_scans)
+    if solves > builder.n_levels:
+        out.append(
+            Mismatch(
+                "optimized.batched_solves",
+                f"<= {builder.n_levels}",
+                str(solves),
+            )
+        )
+
+    io0 = store.stats.snapshot()
+    single = builder.build("single_scan")
+    io = store.stats - io0
+    out += diff_cubes(oracle, single, refit_tol, label="single_scan")
+    out += _expect("single_scan.full_scans", 1, io.full_scans)
+
+    io0 = store.stats.snapshot()
+    naive = builder.build("naive")
+    io = store.stats - io0
+    out += diff_cubes(oracle, naive, refit_tol, label="naive")
+    expected_reads = len(store.regions()) * len(builder.significant_subsets)
+    out += _expect("naive.region_reads", expected_reads, io.region_reads)
+    return out
+
+
+# ------------------------------------------------------------- tree methods
+
+
+@_oracle_class(
+    "tree-methods",
+    "naive tree and prefix-stats ablation vs RF tree (Lemma 1 scan bound)",
+)
+def _tree_methods(w: Workload) -> list[Mismatch]:
+    ds = w.dataset()
+    store, __, __ = w.full_store()
+    kwargs = dict(
+        split_attrs=("category", "rdexpense"),
+        min_items=max(2, w.n_items // 6),
+        max_depth=2,
+        max_numeric_splits=3,
+        min_examples=w.min_examples,
+    )
+    oracle_builder = BellwetherTreeBuilder(
+        ds.task, store, use_prefix_stats=True, **kwargs
+    )
+    ablation_builder = BellwetherTreeBuilder(
+        ds.task, store, use_prefix_stats=False, **kwargs
+    )
+    io0 = store.stats.snapshot()
+    try:
+        rf = oracle_builder.build("rf")
+    except SearchError:
+        # Infeasible on this workload (e.g. a leaf with no feasible
+        # region).  Every path must agree on that outcome too.
+        out: list[Mismatch] = []
+        for label, build in (
+            ("naive", lambda: oracle_builder.build("naive")),
+            ("no-prefix-stats", lambda: ablation_builder.build("rf")),
+        ):
+            try:
+                build()
+            except SearchError:
+                continue
+            out.append(
+                Mismatch(f"{label}.outcome", "SearchError", "a tree")
+            )
+        return out
+    io = store.stats - io0
+    out = _expect("rf.full_scans", rf.n_levels, io.full_scans)
+
+    naive = oracle_builder.build("naive")
+    out += diff_trees(rf.root, naive.root, label="naive")
+
+    ablation = ablation_builder.build("rf")
+    out += diff_trees(rf.root, ablation.root, label="no-prefix-stats")
+    return out
+
+
+# ------------------------------------------------------------- exec workers
+
+
+@_oracle_class(
+    "exec-workers",
+    "worker fan-out vs serial evaluation (identical profile, one scan)",
+)
+def _exec_workers(w: Workload) -> list[Mismatch]:
+    ds = w.dataset()
+    store, costs, __ = w.full_store()
+    io0 = store.stats.snapshot()
+    serial = BasicBellwetherSearch(
+        ds.task, store, costs=costs, min_examples=w.min_examples
+    ).evaluate_all(parallel=ParallelConfig(workers=1))
+    io = store.stats - io0
+    out = _expect("serial.full_scans", 1, io.full_scans)
+
+    io0 = store.stats.snapshot()
+    fanned = BasicBellwetherSearch(
+        ds.task, store, costs=costs, min_examples=w.min_examples
+    ).evaluate_all(parallel=ParallelConfig(workers=w.workers))
+    io = store.stats - io0
+    out += _expect("parallel.full_scans", 1, io.full_scans)
+    out += diff_profiles(serial, fanned, EXACT, label=f"workers={w.workers}")
+    return out
+
+
+# ----------------------------------------------------------- search refresh
+
+
+@_oracle_class(
+    "search-refresh",
+    "BasicBellwetherSearch.refresh() after a delta stream vs a from-scratch "
+    "search (profiles, winners, model coefficients, zero full scans)",
+)
+def _search_refresh(w: Workload) -> list[Mismatch]:
+    ds, gen, regions, store = w.deployed()
+    search = BasicBellwetherSearch(ds.task, store, min_examples=w.min_examples)
+    search.evaluate_all()
+    w.apply_stream(gen, regions, store)
+
+    io0 = store.stats.snapshot()
+    refreshed = search.refresh()
+    io = store.stats - io0
+    out = _expect("refresh.full_scans", 0, io.full_scans)
+
+    scratch = BasicBellwetherSearch(ds.task, store, min_examples=w.min_examples)
+    scratch_profile = scratch.evaluate_all()
+    out += diff_profiles(scratch_profile, refreshed, EXACT, label="refresh")
+
+    for budget in w.budgets:
+        a, b = scratch.run(budget=budget), search.run(budget=budget)
+        path = f"refresh.budget[{budget:g}]"
+        if (a.bellwether is None) != (b.bellwether is None):
+            out += _expect(f"{path}.found", a.found, b.found)
+            continue
+        if a.bellwether is None:
+            continue
+        if a.bellwether.region != b.bellwether.region:
+            out += _expect(
+                f"{path}.region", a.bellwether.region, b.bellwether.region
+            )
+            continue
+        out += diff_coefs(
+            scratch.fit_model(a.bellwether.region).coef,
+            search.fit_model(b.bellwether.region).coef,
+            EXACT,
+            label=f"{path}.coef",
+        )
+    return out
+
+
+# ------------------------------------------------------------- cube refresh
+
+
+@_oracle_class(
+    "cube-refresh",
+    "IncrementalCubeMaintainer.refresh() (exact and merge modes) after a "
+    "delta stream vs a scratch optimized build, plus a suffstats-stack audit",
+)
+def _cube_refresh(w: Workload) -> list[Mismatch]:
+    out: list[Mismatch] = []
+    for mode in ("exact", "merge"):
+        ds, gen, regions, store = w.deployed()
+        builder = BellwetherCubeBuilder(
+            ds.task,
+            store,
+            ds.hierarchies,
+            min_subset_size=w.min_subset_size,
+            min_examples=w.min_examples,
+        )
+        maintainer = builder.incremental(mode=mode)
+        maintainer.refresh()
+        w.apply_stream(gen, regions, store)
+
+        io0 = store.stats.snapshot()
+        refreshed = maintainer.refresh()
+        io = store.stats - io0
+        out += _expect(f"{mode}.full_scans", 0, io.full_scans)
+
+        scratch_builder = BellwetherCubeBuilder(
+            ds.task,
+            store,
+            ds.hierarchies,
+            min_subset_size=w.min_subset_size,
+            min_examples=w.min_examples,
+        )
+        scratch = scratch_builder.build("optimized")
+        # Merge-mode stacks carry `cached + g(appended) - g(removed)` float
+        # drift, so their errors inherit the same cancellation noise floor
+        # as a refit; exact mode promises identical bits.
+        tol = EXACT if mode == "exact" else error_tolerance(store)
+        out += diff_cubes(scratch, refreshed, tol, label=f"{mode}.cube")
+        out += diff_stacks(
+            scratch_stacks(scratch_builder),
+            maintainer._stacks,
+            tol,
+            label=f"{mode}.stacks",
+        )
+    return out
+
+
+# -------------------------------------------------------------- store delta
+
+
+@_oracle_class(
+    "store-delta",
+    "append-only delta stream vs from-scratch training-data generation "
+    "(bit-identical blocks)",
+)
+def _store_delta(w: Workload) -> list[Mismatch]:
+    __, gen, regions, store = w.deployed()
+    w.apply_appends(gen, regions, store)
+    fresh = gen.generate(
+        regions=[r for r in regions if window_end(r) <= w.n_months]
+    )
+    return diff_stores(fresh, store, EXACT, label="append-stream")

@@ -1,0 +1,166 @@
+"""The differential runner: execute, diff, shrink, serialize.
+
+``run_rounds`` is the fuzz loop behind ``python -m repro.verify``: draw a
+seeded workload, run every registered oracle class on it, and on any
+mismatch greedily shrink the workload (items and months toward the 3/2
+floor first, then dropped delta ops and budgets) while the failure
+reproduces, finally writing a replayable JSON artifact under the corpus
+directory.  ``replay_corpus`` is the deterministic half: re-run every
+committed artifact and expect green — that is the standing CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .diff import Mismatch
+from .oracles import OracleClass, get_class, registry
+from .workload import Workload, random_workload
+
+__all__ = [
+    "ClassResult",
+    "replay_artifact",
+    "replay_corpus",
+    "run_class",
+    "run_rounds",
+    "run_workload",
+    "shrink",
+    "write_artifact",
+]
+
+#: Where the committed repro corpus lives, relative to the repo root.
+DEFAULT_CORPUS = Path("tests") / "verify" / "corpus"
+
+
+@dataclass(frozen=True)
+class ClassResult:
+    """Outcome of one oracle class on one workload."""
+
+    name: str
+    mismatches: tuple[Mismatch, ...]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_class(cls: OracleClass, workload: Workload) -> ClassResult:
+    """Run one oracle class, folding exceptions into the mismatch list."""
+    start = time.perf_counter()
+    try:
+        mismatches = tuple(cls.run(workload))
+    except Exception as exc:  # noqa: BLE001 - a crash on any path is a finding
+        mismatches = (
+            Mismatch(f"{cls.name}.exception", "no exception", repr(exc)),
+        )
+    return ClassResult(cls.name, mismatches, time.perf_counter() - start)
+
+
+def run_workload(
+    workload: Workload, classes: list[str] | None = None
+) -> list[ClassResult]:
+    """Run the selected (default: all) oracle classes on one workload."""
+    selected = (
+        [get_class(name) for name in classes]
+        if classes
+        else list(registry().values())
+    )
+    return [run_class(cls, workload) for cls in selected]
+
+
+def shrink(workload: Workload, cls: OracleClass) -> Workload:
+    """Greedily minimize a failing workload while the class still fails.
+
+    Candidates come minimum-first from :meth:`Workload.shrink_candidates`,
+    so each accepted step jumps as close to the 3-item/2-month floor as
+    the failure allows; the loop ends when no smaller variant fails.
+    """
+    current = workload
+    while True:
+        for candidate in current.shrink_candidates():
+            if not run_class(cls, candidate).ok:
+                current = candidate
+                break
+        else:
+            return current
+
+
+def write_artifact(
+    directory: str | Path,
+    workload: Workload,
+    class_name: str,
+    mismatches,
+    note: str = "",
+) -> Path:
+    """Serialize a (shrunk) failing workload as a replayable JSON repro."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{workload.name}-{class_name}.json"
+    payload = {
+        "schema": 1,
+        "oracle_class": class_name,
+        "workload": workload.to_dict(),
+        "mismatches": [str(m) for m in mismatches],
+        "note": note,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def replay_artifact(path: str | Path) -> ClassResult:
+    """Re-run the oracle class recorded in one corpus artifact."""
+    payload = json.loads(Path(path).read_text())
+    workload = Workload.from_dict(payload["workload"])
+    return run_class(get_class(payload["oracle_class"]), workload)
+
+
+def replay_corpus(directory: str | Path = DEFAULT_CORPUS) -> list[ClassResult]:
+    """Deterministically replay every committed artifact (sorted order)."""
+    return [
+        replay_artifact(path)
+        for path in sorted(Path(directory).glob("*.json"))
+    ]
+
+
+def run_rounds(
+    seed: int,
+    rounds: int,
+    classes: list[str] | None = None,
+    out: str | Path = DEFAULT_CORPUS,
+    report=print,
+) -> int:
+    """The fuzz loop: ``rounds`` seeded workloads through every class.
+
+    Returns the number of failing (class, workload) pairs; each failure is
+    shrunk and written to ``out`` before moving on.
+    """
+    failures = 0
+    for round_index in range(rounds):
+        workload = random_workload(seed + round_index)
+        report(f"[{round_index + 1}/{rounds}] {workload.label()}")
+        for result in run_workload(workload, classes):
+            status = "ok" if result.ok else "FAIL"
+            report(
+                f"    {result.name:<16} {status:>4}  {result.elapsed:6.2f}s"
+            )
+            if result.ok:
+                continue
+            failures += 1
+            for mismatch in result.mismatches[:5]:
+                report(f"      {mismatch}")
+            shrunk = shrink(workload, get_class(result.name))
+            final = run_class(get_class(result.name), shrunk)
+            path = write_artifact(
+                out,
+                shrunk,
+                result.name,
+                final.mismatches,
+                note=f"shrunk from {workload.label()}",
+            )
+            report(f"      shrunk to {shrunk.label()}")
+            report(f"      repro written to {path}")
+    return failures

@@ -1,0 +1,326 @@
+"""Seeded random workloads for the differential conformance harness.
+
+A :class:`Workload` is a small, fully JSON-serializable description of one
+conformance scenario: which dataset family to draw (``repro.datasets``
+builders), its size and seed, the deployment split (``base_month``), a
+delta stream (month appends plus explicit retract/re-append/drop ops),
+budgets, and the builder thresholds.  Everything an oracle class needs is
+derived deterministically from these fields, so a workload round-trips
+through the repro artifacts in ``tests/verify/corpus/`` and replays
+bit-identically.
+
+Shrinking: :meth:`Workload.shrink_candidates` yields strictly smaller
+variants, minimum-first (3 items / 2 months before halving), so the greedy
+loop in :mod:`repro.verify.runner` converges to tiny repros in a few steps.
+Shrunk variants relax ``min_subset_size``/``min_examples`` so the lattice
+and models still exist at 3 items — count-based diffs (suffstats ``n``)
+stay discriminating there even though residuals degenerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core import build_store
+from repro.datasets import RetailDataset, make_bookstore, make_mailorder
+from repro.incremental import month_append_delta, month_split_store
+from repro.ml import TrainingSetEstimator
+from repro.storage import BlockDelta, RegionBlock, StoreDelta
+
+__all__ = ["DeltaOp", "Workload", "fixed_workloads", "random_workload"]
+
+KINDS = ("mailorder", "bookstore")
+OP_KINDS = ("retract_reappend", "retract", "drop_region")
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One explicit store mutation beyond the month-append stream.
+
+    ``region_rank`` selects the target region by descending row count
+    (rank 0 = the most-populated region), so retractions keep biting even
+    after the workload shrinks to 3 items — the planted region always has
+    rows for every item.
+    """
+
+    kind: str
+    region_rank: int = 0
+    n_victims: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown delta op kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "region_rank": self.region_rank,
+            "n_victims": self.n_victims,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DeltaOp":
+        return cls(
+            kind=d["kind"],
+            region_rank=int(d.get("region_rank", 0)),
+            n_victims=int(d.get("n_victims", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One conformance scenario, drawn seeded or replayed from an artifact."""
+
+    name: str
+    seed: int
+    kind: str = "mailorder"
+    n_items: int = 24
+    n_months: int = 5
+    base_month: int = 4
+    deltas: tuple[DeltaOp, ...] = ()
+    budgets: tuple[float, ...] = (10.0, 30.0, 60.0)
+    min_subset_size: int = 3
+    min_examples: int | None = None
+    workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown dataset kind {self.kind!r}")
+        if self.n_items < 3:
+            raise ValueError(f"n_items must be >= 3, got {self.n_items}")
+        if self.n_months < 2:
+            raise ValueError(f"n_months must be >= 2, got {self.n_months}")
+        if not 1 <= self.base_month <= self.n_months:
+            raise ValueError(
+                f"base_month {self.base_month} out of 1..{self.n_months}"
+            )
+
+    # -------------------------------------------------------------- roundtrip
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "kind": self.kind,
+            "n_items": self.n_items,
+            "n_months": self.n_months,
+            "base_month": self.base_month,
+            "deltas": [op.to_dict() for op in self.deltas],
+            "budgets": list(self.budgets),
+            "min_subset_size": self.min_subset_size,
+            "min_examples": self.min_examples,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Workload":
+        return cls(
+            name=str(d["name"]),
+            seed=int(d["seed"]),
+            kind=str(d.get("kind", "mailorder")),
+            n_items=int(d["n_items"]),
+            n_months=int(d["n_months"]),
+            base_month=int(d["base_month"]),
+            deltas=tuple(DeltaOp.from_dict(op) for op in d.get("deltas", ())),
+            budgets=tuple(float(b) for b in d.get("budgets", (10.0, 30.0, 60.0))),
+            min_subset_size=int(d.get("min_subset_size", 3)),
+            min_examples=(
+                None if d.get("min_examples") is None else int(d["min_examples"])
+            ),
+            workers=int(d.get("workers", 2)),
+        )
+
+    # ---------------------------------------------------------- materialize
+
+    def dataset(self) -> RetailDataset:
+        """The workload's dataset, always with the algebraic estimator.
+
+        Training-set error is the measure Theorem 1 covers; it is also the
+        only estimator the incremental maintainer accepts, so every oracle
+        class can run against the same task.
+        """
+        return _dataset(self.kind, self.n_items, self.n_months, self.seed)
+
+    def full_store(self):
+        """``(store, costs, coverage)`` over the full horizon (read-only)."""
+        return _full_store(self.kind, self.n_items, self.n_months, self.seed)
+
+    def deployed(self):
+        """A fresh ``(dataset, generator, regions, base_store)`` deployment.
+
+        Never cached: delta-stream classes mutate the returned store.
+        """
+        ds = self.dataset()
+        gen, regions, store = month_split_store(ds.task, self.base_month)
+        return ds, gen, regions, store
+
+    @property
+    def append_months(self) -> tuple[int, ...]:
+        return tuple(range(self.base_month + 1, self.n_months + 1))
+
+    def apply_appends(self, gen, regions, store) -> None:
+        for month in self.append_months:
+            store.apply_delta(month_append_delta(gen, regions, month))
+
+    def apply_stream(self, gen, regions, store) -> None:
+        """Month appends followed by the workload's explicit delta ops."""
+        self.apply_appends(gen, regions, store)
+        for index, op in enumerate(self.deltas):
+            self._apply_op(store, op, index)
+
+    def _apply_op(self, store, op: DeltaOp, index: int) -> None:
+        ordered = list(store.regions())
+        if not ordered:
+            return
+        sizes = [store.read(r).n_examples for r in ordered]
+        ranked = sorted(range(len(ordered)), key=lambda i: (-sizes[i], i))
+        region = ordered[ranked[op.region_rank % len(ordered)]]
+        if op.kind == "drop_region":
+            store.apply_delta(StoreDelta({}, drop_regions=(region,)))
+            return
+        rng = np.random.default_rng([self.seed, 211, index])
+        block = store.read(region)
+        ids = np.unique(block.item_ids)
+        if not len(ids):
+            return
+        victims = rng.choice(ids, size=min(op.n_victims, len(ids)), replace=False)
+        if op.kind == "retract":
+            store.apply_delta(
+                StoreDelta({region: BlockDelta(retract_ids=victims)})
+            )
+            return
+        # retract_reappend: take the victims' rows out, then append the very
+        # same rows at the block's end (content-preserving, order-changing).
+        rows = np.isin(block.item_ids, victims)
+        removed = RegionBlock(
+            block.item_ids[rows],
+            block.x[rows],
+            block.y[rows],
+            None if block.weights is None else block.weights[rows],
+        )
+        store.apply_delta(StoreDelta({region: BlockDelta(retract_ids=victims)}))
+        store.apply_delta(StoreDelta({region: BlockDelta(append=removed)}))
+
+    # -------------------------------------------------------------- shrinking
+
+    def shrink_candidates(self) -> list["Workload"]:
+        """Strictly smaller variants, most-aggressive first."""
+        out: list[Workload] = []
+
+        def tiny_limits(n_items: int) -> dict:
+            # At a handful of items, the default thresholds empty the cube;
+            # relax them so the shrunk repro still exercises the same code.
+            if n_items <= 6:
+                return {"min_subset_size": 1, "min_examples": 2}
+            return {}
+
+        for target in dict.fromkeys((3, max(3, self.n_items // 2))):
+            if target < self.n_items:
+                out.append(
+                    replace(self, n_items=target, **tiny_limits(target))
+                )
+        for target in dict.fromkeys((2, max(2, self.n_months // 2))):
+            if target < self.n_months:
+                out.append(
+                    replace(
+                        self,
+                        n_months=target,
+                        base_month=max(1, min(self.base_month, target - 1)),
+                    )
+                )
+        for i in range(len(self.deltas)):
+            out.append(
+                replace(
+                    self,
+                    deltas=self.deltas[:i] + self.deltas[i + 1:],
+                )
+            )
+        if len(self.budgets) > 1:
+            out.append(replace(self, budgets=self.budgets[:1]))
+        return out
+
+    def label(self) -> str:
+        ops = ",".join(op.kind for op in self.deltas) or "none"
+        return (
+            f"{self.name}: {self.kind} items={self.n_items} "
+            f"months={self.n_months} base={self.base_month} deltas=[{ops}]"
+        )
+
+
+@lru_cache(maxsize=8)
+def _dataset(kind: str, n_items: int, n_months: int, seed: int) -> RetailDataset:
+    maker = make_mailorder if kind == "mailorder" else make_bookstore
+    return maker(
+        n_items=n_items,
+        n_months=n_months,
+        seed=seed,
+        error_estimator=TrainingSetEstimator(),
+    )
+
+
+@lru_cache(maxsize=8)
+def _full_store(kind: str, n_items: int, n_months: int, seed: int):
+    ds = _dataset(kind, n_items, n_months, seed)
+    return build_store(ds.task)
+
+
+def random_workload(seed: int) -> Workload:
+    """Draw one CI-sized workload from the given seed."""
+    rng = np.random.default_rng(seed)
+    kind = "mailorder" if rng.random() < 0.6 else "bookstore"
+    n_items = int(rng.integers(10, 25))
+    n_months = int(rng.integers(3, 6))
+    base_month = max(1, n_months - int(rng.integers(1, 3)))
+    ops = tuple(
+        DeltaOp(
+            kind=OP_KINDS[int(rng.integers(0, len(OP_KINDS)))],
+            region_rank=int(rng.integers(0, 4)),
+            n_victims=int(rng.integers(1, 4)),
+        )
+        for __ in range(int(rng.integers(0, 3)))
+    )
+    return Workload(
+        name=f"seed{seed}",
+        seed=int(seed),
+        kind=kind,
+        n_items=n_items,
+        n_months=n_months,
+        base_month=base_month,
+        deltas=ops,
+    )
+
+
+def fixed_workloads() -> dict[str, Workload]:
+    """The experiment configurations doubling as conformance workloads.
+
+    ``fig7`` mirrors the mail-order deployment of Figure 7 (50 items, 8
+    months, deploy at month 6) and ``fig9`` the bookstore configuration of
+    Figure 9 (60 items, seed 7) — the same sizes/seeds the incremental
+    equivalence tests stream deltas through.
+    """
+    return {
+        "fig7": Workload(
+            name="fig7",
+            seed=0,
+            kind="mailorder",
+            n_items=50,
+            n_months=8,
+            base_month=6,
+            deltas=(DeltaOp("retract_reappend", region_rank=0, n_victims=3),),
+        ),
+        "fig9": Workload(
+            name="fig9",
+            seed=7,
+            kind="bookstore",
+            n_items=60,
+            n_months=8,
+            base_month=6,
+            deltas=(
+                DeltaOp("retract_reappend", region_rank=1, n_victims=3),
+                DeltaOp("drop_region", region_rank=3),
+            ),
+        ),
+    }

@@ -1,10 +1,10 @@
 """Lemma 2 and Theorem 1 in action: cube algorithm equivalences."""
 
-import numpy as np
 import pytest
 
 from repro.core import BellwetherCubeBuilder
 from repro.dimensions import HierarchicalDimension, ItemHierarchies
+from repro.verify import APPROX, assert_same_cube
 
 
 @pytest.fixture(scope="module")
@@ -23,21 +23,11 @@ def builder(small_task, small_store, hierarchies):
     return BellwetherCubeBuilder(small_task, store, hierarchies, min_subset_size=5)
 
 
-def _regions(cube):
-    return {str(s): str(cube.entry(s).region) for s in cube.subsets}
-
-
-def _errors(cube):
-    return {str(s): cube.entry(s).error.rmse for s in cube.subsets}
-
-
 class TestLemma2:
     def test_single_scan_equals_naive(self, builder):
         naive = builder.build(method="naive")
         single = builder.build(method="single_scan")
-        assert _regions(naive) == _regions(single)
-        for key, err in _errors(naive).items():
-            assert _errors(single)[key] == pytest.approx(err)
+        assert_same_cube(naive, single, APPROX)
 
     def test_single_scan_uses_one_scan(self, builder, small_store):
         store, __, __ = small_store
@@ -60,9 +50,7 @@ class TestTheorem1Optimized:
         training-set error, the measure Theorem 1 makes algebraic)."""
         single = builder.build(method="single_scan")
         optimized = builder.build(method="optimized")
-        assert _regions(single) == _regions(optimized)
-        for key, err in _errors(single).items():
-            assert _errors(optimized)[key] == pytest.approx(err, rel=1e-6)
+        assert_same_cube(single, optimized, APPROX)
 
     def test_optimized_uses_one_scan(self, builder, small_store):
         store, __, __ = small_store

@@ -6,7 +6,6 @@ most one batched solve per lattice level; the worker fan-out must produce
 stores and search profiles identical to serial runs.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -17,6 +16,12 @@ from repro.core import (
 from repro.datasets import make_mailorder, make_scalability
 from repro.exec import ParallelConfig
 from repro.obs import get_registry
+from repro.verify import (
+    EXACT,
+    assert_same_cube,
+    assert_same_profile,
+    assert_same_store,
+)
 
 
 class TestBatchedCube:
@@ -33,12 +38,7 @@ class TestBatchedCube:
         )
         batched = builder.build(method="optimized")
         serial = builder.build(method="optimized_serial")
-        assert batched.subsets == serial.subsets
-        for subset in serial.subsets:
-            b, s = batched.entry(subset), serial.entry(subset)
-            assert b.region == s.region
-            assert b.error.rmse == s.error.rmse  # bitwise, not approx
-            assert b.error.sse == s.error.sse
+        assert_same_cube(serial, batched, EXACT)  # bitwise, not approx
 
     def test_one_batched_solve_per_level_fig11_medium(self):
         ds = make_scalability(
@@ -64,13 +64,8 @@ class TestParallelTrainingData:
         gen = TrainingDataGenerator(mailorder.task)
         serial = gen.generate(method=method)
         fanned = gen.generate(method=method, parallel=ParallelConfig(workers=3))
-        regions = list(serial.regions())
-        assert regions == list(fanned.regions())
-        for region in regions:
-            a, b = serial.read(region), fanned.read(region)
-            assert np.array_equal(a.item_ids, b.item_ids)
-            assert np.array_equal(a.x, b.x, equal_nan=True)
-            assert np.array_equal(a.y, b.y, equal_nan=True)
+        assert list(serial.regions()) == list(fanned.regions())
+        assert_same_store(serial, fanned, EXACT)
 
     def test_thread_backend_identical_too(self, mailorder):
         gen = TrainingDataGenerator(mailorder.task)
@@ -79,10 +74,7 @@ class TestParallelTrainingData:
             method="cube",
             parallel=ParallelConfig(workers=2, backend="thread"),
         )
-        for region in serial.regions():
-            assert np.array_equal(
-                serial.read(region).x, threaded.read(region).x, equal_nan=True
-            )
+        assert_same_store(serial, threaded, EXACT)
 
 
 class TestParallelSearch:
@@ -98,6 +90,4 @@ class TestParallelSearch:
             mailorder.task, store, costs=costs
         ).evaluate_all(parallel=ParallelConfig(workers=3))
         assert store.stats.full_scans == 1  # scan stays in the parent
-        assert [r.region for r in fanned] == [r.region for r in serial]
-        assert [r.rmse for r in fanned] == [r.rmse for r in serial]
-        assert [r.n_items for r in fanned] == [r.n_items for r in serial]
+        assert_same_profile(serial, fanned, EXACT)

@@ -1,20 +1,9 @@
 """Lemma 1: the RF bellwether tree equals the naive bellwether tree."""
 
-import numpy as np
 import pytest
 
 from repro.core import BellwetherTreeBuilder
-
-
-def _tree_signature(node):
-    """Structure + split + per-leaf (region, items) as a comparable object."""
-    if node.is_leaf:
-        return ("leaf", str(node.region), tuple(sorted(node.item_ids)))
-    return (
-        "split",
-        str(node.split),
-        tuple(_tree_signature(c) for c in node.children),
-    )
+from repro.verify import assert_same_tree
 
 
 @pytest.fixture(scope="module", params=["prefix", "refit"])
@@ -34,7 +23,7 @@ class TestLemma1:
     def test_rf_equals_naive(self, builders):
         rf = builders.build(method="rf")
         naive = builders.build(method="naive")
-        assert _tree_signature(rf.root) == _tree_signature(naive.root)
+        assert_same_tree(rf.root, naive.root)
 
     def test_leaf_regions_agree(self, builders):
         rf = builders.build(method="rf")
@@ -64,4 +53,4 @@ class TestPrefixStatsAblation:
         slow = BellwetherTreeBuilder(
             small_task, store, use_prefix_stats=False, **kwargs
         ).build("rf")
-        assert _tree_signature(fast.root) == _tree_signature(slow.root)
+        assert_same_tree(fast.root, slow.root)

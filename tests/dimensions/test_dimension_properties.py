@@ -1,0 +1,189 @@
+"""Property-based tests for the region/lattice algebra (Section 4.1, 6.1).
+
+Mirrors the suffstats property suite: seeded random geometries drawn via
+hypothesis, checking the structural invariants the cube and search layers
+lean on — containment is a partial order (on cell sets), every lattice
+rollup assigns each base cell and each item exactly once, and region cost
+is monotone in window length / containment.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dimensions import (
+    CellCostModel,
+    HierarchicalDimension,
+    IntervalDimension,
+    ItemHierarchies,
+    ProductCostModel,
+    RegionSpace,
+)
+from repro.table import Table
+
+
+@st.composite
+def region_spaces(draw):
+    """A small random space: one prefix-time dimension, one hierarchy."""
+    n_points = draw(st.integers(2, 6))
+    n_leaves = draw(st.integers(3, 6))
+    split = draw(st.integers(1, n_leaves - 1))
+    leaves = [f"L{i}" for i in range(n_leaves)]
+    spec = {"GA": leaves[:split], "GB": leaves[split:]}
+    time = IntervalDimension("month", n_points, unit="month")
+    loc = HierarchicalDimension.from_spec(
+        "loc", spec, level_names=("All", "Group", "Leaf")
+    )
+    return RegionSpace([time, loc])
+
+
+@st.composite
+def item_hierarchies(draw):
+    """Two random item hierarchies plus an item table using their leaves."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    dims = []
+    for attr in ("cat", "price"):
+        n_leaves = draw(st.integers(2, 5))
+        split = draw(st.integers(1, n_leaves - 1))
+        leaves = [f"{attr}{i}" for i in range(n_leaves)]
+        spec = {f"{attr}A": leaves[:split], f"{attr}B": leaves[split:]}
+        dims.append(
+            HierarchicalDimension.from_spec(
+                attr, spec, level_names=("Any", "Group", "Leaf")
+            )
+        )
+    n_items = draw(st.integers(2, 12))
+    table = Table(
+        {
+            "item": np.arange(n_items),
+            "cat": rng.choice(dims[0].leaf_names, size=n_items),
+            "price": rng.choice(dims[1].leaf_names, size=n_items),
+        }
+    )
+    return ItemHierarchies(dims), table
+
+
+def _cells_of(space, region):
+    return frozenset(
+        cell
+        for cell in space.finest_cells()
+        if space.contains_cell(region, cell)
+    )
+
+
+def _value_contained(space, r1, r2):
+    """Per-dimension containment: every value of r1 sits inside r2's."""
+    interval1, node1 = r1.values
+    interval2, node2 = r2.values
+    loc = space.dimensions[1]
+    return (
+        interval2.start <= interval1.start
+        and interval1.end <= interval2.end
+        and set(loc.leaves_under(str(node1)))
+        <= set(loc.leaves_under(str(node2)))
+    )
+
+
+@given(region_spaces())
+@settings(max_examples=30, deadline=None)
+def test_containment_is_a_partial_order_on_cellsets(space):
+    """Cell sets order candidate regions: reflexive, antisymmetric,
+    transitive, and equivalent to per-dimension value containment."""
+    regions = space.all_regions()
+    cells = {r: _cells_of(space, r) for r in regions}
+    for r in regions:
+        assert cells[r], f"candidate region {r} covers no cells"
+        assert cells[r] <= cells[r]
+    for r1 in regions:
+        for r2 in regions:
+            sub = cells[r1] <= cells[r2]
+            assert sub == _value_contained(space, r1, r2)
+            if sub and cells[r2] <= cells[r1]:
+                assert cells[r1] == cells[r2]
+            for r3 in regions:
+                if sub and cells[r2] <= cells[r3]:
+                    assert cells[r1] <= cells[r3]
+
+
+@given(region_spaces(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_mask_agrees_with_contains_cell(space, seed):
+    """Row membership over a random fact table == per-row cell containment."""
+    rng = np.random.default_rng(seed)
+    n_rows = 40
+    time_dim, loc_dim = space.dimensions
+    fact = Table(
+        {
+            "month": rng.integers(1, time_dim.n_points + 1, size=n_rows),
+            "loc": rng.choice(loc_dim.leaf_names, size=n_rows),
+        }
+    )
+    months = fact.column("month")
+    locs = fact.column("loc")
+    for region in space.all_regions():
+        mask = space.mask(fact, region)
+        expected = np.array(
+            [
+                space.contains_cell(region, (months[i], locs[i]))
+                for i in range(n_rows)
+            ]
+        )
+        assert np.array_equal(mask, expected)
+
+
+@given(item_hierarchies())
+@settings(max_examples=30, deadline=None)
+def test_rollup_assigns_each_cell_and_item_exactly_once(pair):
+    """At every lattice level the subsets partition base cells and items."""
+    hierarchies, table = pair
+    cell_of_item, base_codes = hierarchies.encode_items(table)
+    levels = hierarchies.levels()
+    assert len(set(levels)) == len(levels)
+    for rm in hierarchies.iter_all_subsets(base_codes):
+        assert rm.subset_of_base.shape == (len(base_codes),)
+        assert rm.subset_of_base.min() >= 0
+        assert rm.subset_of_base.max() < len(rm.subsets)
+        membership = np.zeros(table.n_rows, dtype=np.int64)
+        for subset in rm.subsets:
+            membership += hierarchies.member_mask(table, subset)
+        assert np.array_equal(membership, np.ones(table.n_rows, dtype=np.int64))
+        # The rollup map and the membership masks agree cell by cell.
+        for s_idx, subset in enumerate(rm.subsets):
+            mask = hierarchies.member_mask(table, subset)
+            assert np.array_equal(
+                mask, rm.subset_of_base[cell_of_item] == s_idx
+            )
+
+
+@given(region_spaces(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_cost_is_monotone(space, seed):
+    """Product cost grows with window length; nonnegative cell cost is
+    monotone under region containment."""
+    rng = np.random.default_rng(seed)
+    time_dim, loc_dim = space.dimensions
+    weights = {leaf: float(w) for leaf, w in zip(
+        loc_dim.leaf_names,
+        rng.uniform(0.1, 3.0, size=loc_dim.n_leaves),
+    )}
+    product = ProductCostModel(space, weights)
+    cell_costs = {
+        cell: float(c)
+        for cell, c in zip(
+            space.finest_cells(),
+            rng.uniform(0.0, 5.0, size=len(space.finest_cells())),
+        )
+    }
+    summed = CellCostModel(space, cell_costs, agg="sum")
+    for node in loc_dim.nodes():
+        costs = [
+            product.cost(space.region(t, node.name))
+            for t in range(1, time_dim.n_points + 1)
+        ]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+    regions = space.all_regions()
+    for r1 in regions:
+        for r2 in regions:
+            if _value_contained(space, r1, r2):
+                assert summed.cost(r1) <= summed.cost(r2) + 1e-12

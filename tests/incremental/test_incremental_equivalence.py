@@ -6,6 +6,8 @@ profiles and rendered budget tables (the fig 7 configuration), cube entries
 and cross-tabs (the fig 9 bookstore configuration), serial and with a
 2-worker executor, and after K seeded random retract/re-append deltas.
 The acceptance bar is bit-for-bit equality with ≥ 3× fewer operations.
+Comparators come from :mod:`repro.verify` — the same diffing API the
+differential conformance harness fuzzes with.
 """
 
 import numpy as np
@@ -21,40 +23,16 @@ from repro.datasets import make_bookstore, make_mailorder
 from repro.exec import ParallelConfig
 from repro.incremental import month_append_delta, month_split_store, window_end
 from repro.ml import CrossValidationEstimator, TrainingSetEstimator
-from repro.obs import get_registry
-from repro.storage import BlockDelta, StoreDelta
-
-_OP_COUNTERS = (
-    "store.full_scans",
-    "ml.linear.batched_problems",
-    "ml.linear.fits",
+from repro.storage import BlockDelta, RegionBlock, StoreDelta
+from repro.verify import (
+    EXACT,
+    assert_same_cube,
+    assert_same_profile,
+    assert_same_store,
+    counters_snapshot,
+    ops_delta,
+    scans_delta,
 )
-
-
-def _ops(before: dict) -> int:
-    values = get_registry().counter_values()
-    return sum(int(values.get(k, 0) - before.get(k, 0)) for k in _OP_COUNTERS)
-
-
-def _scans(before: dict) -> int:
-    values = get_registry().counter_values()
-    return int(values.get("store.full_scans", 0) - before.get("store.full_scans", 0))
-
-
-def _profile_key(results):
-    return [(r.region, r.rmse, r.cost, r.coverage) for r in results]
-
-
-def _assert_same_cube(a, b):
-    assert a.subsets == b.subsets
-    for subset in a.subsets:
-        ea, eb = a.entry(subset), b.entry(subset)
-        assert ea.region == eb.region, subset
-        assert (ea.error is None) == (eb.error is None)
-        if ea.error is not None:
-            assert (ea.error.rmse, ea.error.sse, ea.error.dof) == (
-                eb.error.rmse, eb.error.sse, eb.error.dof
-            )
 
 
 class TestFig7BasicSearchEquivalence:
@@ -78,18 +56,17 @@ class TestFig7BasicSearchEquivalence:
         for month in (7, 8):
             store.apply_delta(month_append_delta(gen, regions, month))
 
-            registry = get_registry()
-            before = registry.counter_values()
+            before = counters_snapshot()
             scratch = BasicBellwetherSearch(ds.task, store)
             scratch_profile = scratch.evaluate_all()
-            scratch_ops = _ops(before)
+            scratch_ops = ops_delta(before)
 
-            before = registry.counter_values()
+            before = counters_snapshot()
             incr_profile = search.refresh(parallel=parallel)
-            refresh_ops = _ops(before)
-            assert _scans(before) == 0
+            refresh_ops = ops_delta(before)
+            assert scans_delta(before) == 0
 
-            assert _profile_key(incr_profile) == _profile_key(scratch_profile)
+            assert_same_profile(scratch_profile, incr_profile, EXACT)
             assert scratch_ops >= 3 * refresh_ops
 
             budgets = (10.0, 30.0, 60.0)
@@ -106,11 +83,7 @@ class TestFig7BasicSearchEquivalence:
             regions=[r for r in regions if window_end(r) <= 8]
         )
         assert set(store.regions()) == set(fresh.regions())
-        for region in fresh.regions():
-            a, b = store.read(region), fresh.read(region)
-            assert np.array_equal(a.item_ids, b.item_ids)
-            assert np.array_equal(a.x, b.x)
-            assert np.array_equal(a.y, b.y)
+        assert_same_store(fresh, store, EXACT)
 
 
 class TestFig9CubeEquivalence:
@@ -133,19 +106,18 @@ class TestFig9CubeEquivalence:
         for month in (7, 8):
             store.apply_delta(month_append_delta(gen, regions, month))
 
-            registry = get_registry()
-            before = registry.counter_values()
+            before = counters_snapshot()
             scratch = BellwetherCubeBuilder(
                 ds.task, store, ds.hierarchies
             ).build("optimized")
-            scratch_ops = _ops(before)
+            scratch_ops = ops_delta(before)
 
-            before = registry.counter_values()
+            before = counters_snapshot()
             refreshed = maintainer.refresh()
-            refresh_ops = _ops(before)
-            assert _scans(before) == 0
+            refresh_ops = ops_delta(before)
+            assert scans_delta(before) == 0
 
-            _assert_same_cube(refreshed, scratch)
+            assert_same_cube(scratch, refreshed, EXACT)
             assert scratch_ops >= 3 * refresh_ops
 
             for level in sorted({s.level for s in refreshed.subsets}):
@@ -167,8 +139,6 @@ class TestFig9CubeEquivalence:
             ids = np.unique(block.item_ids)
             victims = rng.choice(ids, size=min(3, len(ids)), replace=False)
             rows = np.isin(block.item_ids, victims)
-            from repro.storage import RegionBlock
-
             removed = RegionBlock(
                 block.item_ids[rows], block.x[rows], block.y[rows],
                 None if block.weights is None else block.weights[rows],
@@ -184,7 +154,7 @@ class TestFig9CubeEquivalence:
             scratch = BellwetherCubeBuilder(
                 ds.task, store, ds.hierarchies
             ).build("optimized")
-            _assert_same_cube(refreshed, scratch)
+            assert_same_cube(scratch, refreshed, EXACT)
 
     def test_drop_region_refresh_matches_scratch(self, deployed):
         ds, gen, regions, store, builder, maintainer = deployed
@@ -194,4 +164,4 @@ class TestFig9CubeEquivalence:
         scratch = BellwetherCubeBuilder(
             ds.task, store, ds.hierarchies
         ).build("optimized")
-        _assert_same_cube(refreshed, scratch)
+        assert_same_cube(scratch, refreshed, EXACT)

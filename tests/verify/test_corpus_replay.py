@@ -1,0 +1,36 @@
+"""Deterministically replay the committed conformance corpus.
+
+Every artifact under ``tests/verify/corpus/`` pins one (workload, oracle
+class) pair that must stay green; ``python -m repro.verify --replay`` runs
+the same check from the command line.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify import Workload, registry, replay_artifact
+
+CORPUS = Path(__file__).parent / "corpus"
+ARTIFACTS = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ARTIFACTS, f"no committed artifacts under {CORPUS}"
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_green(path):
+    result = replay_artifact(path)
+    assert result.ok, "\n".join(str(m) for m in result.mismatches)
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_is_well_formed(path):
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == 1
+    assert payload["oracle_class"] in registry()
+    workload = Workload.from_dict(payload["workload"])
+    # The artifact round-trips: replaying serializes to the same workload.
+    assert Workload.from_dict(workload.to_dict()) == workload

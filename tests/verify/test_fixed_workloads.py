@@ -1,0 +1,26 @@
+"""The fig7/fig9 experiment configurations as fixed conformance workloads."""
+
+import pytest
+
+from repro.verify import fixed_workloads, get_class, run_class
+
+
+def test_fixed_workloads_cover_both_datasets():
+    fixed = fixed_workloads()
+    assert {w.kind for w in fixed.values()} == {"mailorder", "bookstore"}
+    assert all(w.deltas for w in fixed.values())
+
+
+@pytest.mark.parametrize(
+    ("name", "class_name"),
+    [
+        ("fig7", "search-refresh"),
+        ("fig7", "exec-workers"),
+        ("fig9", "cube-refresh"),
+        ("fig9", "store-delta"),
+    ],
+)
+def test_fixed_workload_is_green(name, class_name):
+    workload = fixed_workloads()[name]
+    result = run_class(get_class(class_name), workload)
+    assert result.ok, "\n".join(str(m) for m in result.mismatches)

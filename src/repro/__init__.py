@@ -25,7 +25,14 @@ Packages
   bellwether trees, bellwether cubes, item-centric prediction.
 * :mod:`repro.datasets` - synthetic substitutes for the paper's datasets.
 * :mod:`repro.experiments` - drivers regenerating every evaluation figure.
+* :mod:`repro.analysis` - AST-based invariant linter for this repo's own
+  contracts (``python -m repro.analysis``).
+
+Every exception raised by ``repro`` code roots at :class:`ReproError`
+(see :mod:`repro.exceptions`; enforced by lint rule RPR006).
 """
+
+from .exceptions import ConfigError, ReproError, VerificationError
 
 from .core import (
     BasicBellwetherSearch,
@@ -44,8 +51,11 @@ __all__ = [
     "BellwetherCubeBuilder",
     "BellwetherTask",
     "BellwetherTreeBuilder",
+    "ConfigError",
     "Criterion",
     "DirectTask",
+    "ReproError",
+    "VerificationError",
     "__version__",
     "build_store",
 ]

@@ -1,0 +1,34 @@
+"""Static-analysis layer: AST rules enforcing the repo's invariants.
+
+``python -m repro.analysis`` lints ``src/repro`` and ``tests`` against the
+contracts the instrumentation, conformance, and incremental layers are
+built on — see :mod:`repro.analysis.rules` for the rule table and
+:mod:`repro.analysis.engine` for suppressions and baselines.
+"""
+
+from .engine import (
+    AnalysisError,
+    Engine,
+    FileContext,
+    Finding,
+    Rule,
+    Scope,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "Engine",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Scope",
+    "apply_baseline",
+    "get_rules",
+    "load_baseline",
+    "write_baseline",
+]

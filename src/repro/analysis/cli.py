@@ -1,0 +1,137 @@
+"""``python -m repro.analysis`` — run the invariant linter.
+
+Examples
+--------
+::
+
+    python -m repro.analysis                        # lint src/repro + tests
+    python -m repro.analysis --rule RPR001          # one rule only
+    python -m repro.analysis --format json          # machine-readable
+    python -m repro.analysis --baseline lint_baseline.json
+    python -m repro.analysis --write-baseline lint_baseline.json
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when clean, 1 when findings remain after baseline/suppression
+filtering, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import (
+    AnalysisError,
+    Engine,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .rules import ALL_RULES, get_rules
+
+__all__ = ["main"]
+
+
+def _default_root() -> Path:
+    """The repo root, assuming the canonical ``<root>/src/repro`` layout."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the bellwether repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro and tests)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root findings are reported relative to",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    try:
+        engine = Engine(
+            root=args.root or _default_root(),
+            rules=get_rules(args.rules),
+        )
+        findings = engine.run(args.paths or None)
+        if args.baseline is not None:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"findings": [f.to_dict() for f in findings]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0

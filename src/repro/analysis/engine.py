@@ -1,0 +1,363 @@
+"""Rule engine for the repo's AST-based invariant linter.
+
+The reproduction's efficiency claims rest on instrumentation contracts the
+runtime cannot check for itself: every block access must route through the
+scan-accounting store APIs (Lemmas 1 and 2 are phrased against
+``store.full_scans``), every metric name must come from one catalog, random
+draws must be seeded, fan-out workers must be fork-safe, suffstats must be
+treated as values, and public APIs must raise ``repro`` exception types.
+This module walks the AST of every source file and dispatches visitor-based
+rules (:mod:`repro.analysis.rules`) that turn those implicit contracts into
+findings with a file, line, rule id, and message.
+
+Escapes are deliberate and visible:
+
+* a per-line suppression comment — ``# lint: ignore[RPR001]`` (or a bare
+  ``# lint: ignore`` for any rule) on the *first* line of the offending
+  statement, and
+* a baseline file (:func:`load_baseline` / :func:`write_baseline`) that
+  grandfathers existing findings by ``(rule, path, message)`` so a new rule
+  can land strictly before its violations are burned down.  The shipped tree
+  keeps an **empty** baseline; CI runs without one.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "AnalysisError",
+    "DEFAULT_EXCLUDES",
+    "DEFAULT_ROOTS",
+    "Engine",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "RuleVisitor",
+    "Scope",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Rule id attached to files the engine cannot parse at all.
+PARSE_ERROR_RULE = "RPR000"
+
+#: Directories walked when no explicit paths are given (repo-root relative).
+DEFAULT_ROOTS = ("src/repro", "tests")
+
+#: Repo-root-relative prefixes never linted: the fixture corpus *is* a pile
+#: of deliberate violations.
+DEFAULT_EXCLUDES = ("tests/analysis/fixtures",)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+class AnalysisError(ReproError):
+    """The linter itself was misused (bad rule id, unreadable baseline...)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-root-relative, posix-style
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used by baseline matching."""
+        return (self.rule_id, self.path, self.message)
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Which repo-root-relative paths a rule applies to.
+
+    ``include``/``exclude`` are posix path prefixes; a file is in scope when
+    some include prefix matches and no exclude prefix does.  The default
+    scope matches everything (the engine's global excludes still apply).
+    """
+
+    include: tuple[str, ...] = ("",)
+    exclude: tuple[str, ...] = ()
+
+    def contains(self, relpath: str) -> bool:
+        return _matches_any(relpath, self.include) and not _matches_any(
+            relpath, self.exclude
+        )
+
+
+def _matches_any(relpath: str, prefixes: Sequence[str]) -> bool:
+    for prefix in prefixes:
+        if not prefix or relpath == prefix or relpath.startswith(
+            prefix.rstrip("/") + "/"
+        ):
+            return True
+    return False
+
+
+class FileContext:
+    """One parsed source file plus its suppression comments."""
+
+    def __init__(self, root: Path, path: Path):
+        self.root = root
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        # line -> None (suppress every rule) or a set of rule ids.
+        self._suppressions: dict[int, set[str] | None] = {}
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                self._suppressions[lineno] = None
+            elif not (
+                lineno in self._suppressions
+                and self._suppressions[lineno] is None
+            ):
+                wanted = {part.strip() for part in ids.split(",") if part.strip()}
+                self._suppressions[lineno] = (
+                    self._suppressions.get(lineno) or set()
+                ) | wanted
+        self.module_is_test = self.relpath.startswith("tests")
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        if line not in self._suppressions:
+            return False
+        ids = self._suppressions[line]
+        return ids is None or rule_id in ids
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for one invariant: an id, a default scope, a visitor.
+
+    Subclasses implement :meth:`make_visitor`, returning an
+    :class:`ast.NodeVisitor` with a ``findings`` list attribute; the engine
+    runs it over the file's tree and collects the findings.  Rules that need
+    engine-wide context (the metric catalog, the repo root) receive the
+    engine itself.
+    """
+
+    rule_id: str = "RPR###"
+    title: str = ""
+    #: Where the rule applies by default; the engine may override per rule.
+    default_scope: Scope = Scope()
+
+    def make_visitor(self, ctx: FileContext, engine: "Engine") -> ast.NodeVisitor:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext, engine: "Engine") -> list[Finding]:
+        visitor = self.make_visitor(ctx, engine)
+        visitor.visit(ctx.tree)
+        return list(visitor.findings)
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Shared base: carries the context and accumulates findings."""
+
+    def __init__(self, rule: Rule, ctx: FileContext, engine: "Engine"):
+        self.rule = rule
+        self.ctx = ctx
+        self.engine = engine
+        self.findings: list[Finding] = []
+
+    def add(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(node, self.rule.rule_id, message))
+
+
+class Engine:
+    """Walks source files, dispatches rules, filters suppressions.
+
+    Parameters
+    ----------
+    root:
+        Repo root every reported path is relative to.
+    rules:
+        The rule instances to run (default: every registered rule).
+    scopes:
+        Optional per-rule-id :class:`Scope` overrides.  Tests use
+        ``{rule_id: Scope()}`` to point a rule at fixture files its default
+        scope would skip.
+    excludes:
+        Repo-root-relative prefixes skipped entirely.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        rules: Sequence[Rule] | None = None,
+        scopes: dict[str, Scope] | None = None,
+        excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    ):
+        from .rules import ALL_RULES  # deferred: rules import this module
+
+        self.root = Path(root).resolve()
+        self.rules = list(ALL_RULES if rules is None else rules)
+        self._scopes = dict(scopes or {})
+        self.excludes = tuple(excludes)
+        self._catalog_names: frozenset[str] | None = None
+
+    # ------------------------------------------------------------- file walk
+
+    def iter_files(self, paths: Sequence[str | Path] | None = None) -> Iterator[Path]:
+        """Python files under ``paths`` (default: the repo's lint roots)."""
+        if paths is None:
+            paths = [self.root / rel for rel in DEFAULT_ROOTS]
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            candidates = (
+                sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            )
+            for file in candidates:
+                file = file.resolve()
+                if file in seen or not file.exists():
+                    continue
+                seen.add(file)
+                rel = self._relpath(file)
+                if rel is None or _matches_any(rel, self.excludes):
+                    continue
+                yield file
+
+    def _relpath(self, file: Path) -> str | None:
+        try:
+            return file.relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+
+    def scope_for(self, rule: Rule) -> Scope:
+        return self._scopes.get(rule.rule_id, rule.default_scope)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, paths: Sequence[str | Path] | None = None) -> list[Finding]:
+        """Every unsuppressed finding under ``paths``, sorted by location."""
+        findings: list[Finding] = []
+        for file in self.iter_files(paths):
+            findings.extend(self.check_file(file))
+        return sorted(findings)
+
+    def check_file(self, file: Path) -> list[Finding]:
+        rel = self._relpath(file)
+        if rel is None:
+            raise AnalysisError(f"{file} is outside the lint root {self.root}")
+        try:
+            ctx = FileContext(self.root, file)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 1,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        out: list[Finding] = []
+        for rule in self.rules:
+            if not self.scope_for(rule).contains(rel):
+                continue
+            for finding in rule.check(ctx, self):
+                if not ctx.suppressed(finding.line, finding.rule_id):
+                    out.append(finding)
+        return out
+
+    # -------------------------------------------------------------- catalog
+
+    def catalog_names(self) -> frozenset[str]:
+        """Metric names defined in ``repro/obs/catalog.py`` (parsed, not
+        imported, so the linter works on trees that do not import)."""
+        if self._catalog_names is None:
+            self._catalog_names = _parse_catalog(
+                self.root / "src" / "repro" / "obs" / "catalog.py"
+            )
+        return self._catalog_names
+
+
+def _parse_catalog(path: Path) -> frozenset[str]:
+    if not path.exists():
+        return frozenset()
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    names: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Constant):
+            continue
+        if not isinstance(node.value.value, str):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id.isupper():
+                names.add(node.value.value)
+    return frozenset(names)
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Baseline keys ``(rule, path, message)`` from a JSON baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload["findings"]
+        return {
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in entries
+        }
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise AnalysisError(f"unreadable baseline {path}: {exc!r}") from exc
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the findings as a baseline file (line numbers are advisory)."""
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """The findings whose ``(rule, path, message)`` is not grandfathered."""
+    return [f for f in findings if f.baseline_key not in baseline]

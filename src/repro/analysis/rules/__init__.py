@@ -1,0 +1,57 @@
+"""The invariant rule set, one module per contract.
+
+==========  ====================================================== ==========
+Rule        Contract                                               Guards
+==========  ====================================================== ==========
+``RPR001``  block access routes through scan-accounting APIs       Lemma 1/2
+``RPR002``  metric names come from :mod:`repro.obs.catalog`        obs/bench
+``RPR003``  random draws use explicitly seeded generators          conformance
+``RPR004``  executor-submitted work is fork-safe                   exec layer
+``RPR005``  suffstats are values outside :mod:`repro.ml`           Theorem 1
+``RPR006``  no swallowed catch-alls; raise ``repro`` types         API surface
+==========  ====================================================== ==========
+"""
+
+from __future__ import annotations
+
+from ..engine import AnalysisError, Rule
+from .counter_catalog import CounterCatalogRule
+from .exception_discipline import ExceptionDisciplineRule
+from .fork_safety import ForkSafetyRule
+from .scan_accounting import ScanAccountingRule
+from .seed_discipline import SeedDisciplineRule
+from .suffstats_purity import SuffStatsPurityRule
+
+__all__ = [
+    "ALL_RULES",
+    "CounterCatalogRule",
+    "ExceptionDisciplineRule",
+    "ForkSafetyRule",
+    "ScanAccountingRule",
+    "SeedDisciplineRule",
+    "SuffStatsPurityRule",
+    "get_rules",
+]
+
+#: Every registered rule, in id order.
+ALL_RULES: tuple[Rule, ...] = (
+    ScanAccountingRule(),
+    CounterCatalogRule(),
+    SeedDisciplineRule(),
+    ForkSafetyRule(),
+    SuffStatsPurityRule(),
+    ExceptionDisciplineRule(),
+)
+
+
+def get_rules(rule_ids: list[str] | None = None) -> list[Rule]:
+    """The selected rules (default: all), validating unknown ids loudly."""
+    if not rule_ids:
+        return list(ALL_RULES)
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = [rid for rid in rule_ids if rid not in by_id]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule ids {unknown}; have {sorted(by_id)}"
+        )
+    return [by_id[rid] for rid in rule_ids]

@@ -1,0 +1,89 @@
+"""RPR002 — metric names come from the central catalog, never free-typed.
+
+A typo'd counter name registers a second instrument that nobody increments;
+whatever reads the misspelled name sees zeros and the scan-bound/bench gates
+certify nothing.  :mod:`repro.obs.catalog` is the single source of truth,
+and this rule closes both halves of the loop:
+
+* a string literal passed to ``counter()/gauge()/histogram()/inc()/
+  observe()`` must be a name the catalog defines (otherwise: add it there
+  first), and
+* a catalogued name may not be re-typed as a raw literal anywhere — import
+  the constant, so renames are one edit and typos cannot compile.
+
+The catalog is parsed from source (see :meth:`Engine.catalog_names`), so
+the rule works without importing :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, RuleVisitor, Scope
+
+__all__ = ["CounterCatalogRule"]
+
+_REGISTRY_METHODS = {"counter", "gauge", "histogram", "inc", "observe"}
+
+
+class _Visitor(RuleVisitor):
+    def __init__(self, rule, ctx, engine):
+        super().__init__(rule, ctx, engine)
+        self._catalog = engine.catalog_names()
+        self._handled: set[int] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _REGISTRY_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            name_node = node.args[0]
+            self._handled.add(id(name_node))
+            name = name_node.value
+            if name not in self._catalog:
+                self.add(
+                    name_node,
+                    f"metric name {name!r} is not in repro.obs.catalog; "
+                    "register it there and import the constant",
+                )
+            else:
+                self.add(
+                    name_node,
+                    f"metric name {name!r} re-typed as a literal; import "
+                    "the repro.obs.catalog constant instead",
+                )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            id(node) not in self._handled
+            and isinstance(node.value, str)
+            and node.value in self._catalog
+        ):
+            self.add(
+                node,
+                f"catalogued metric name {node.value!r} written as a raw "
+                "string; import the repro.obs.catalog constant instead",
+            )
+
+
+class CounterCatalogRule(Rule):
+    rule_id = "RPR002"
+    title = "metric name literals must come from repro.obs.catalog"
+    default_scope = Scope(
+        include=("src/repro",),
+        # The catalog defines the literals; metrics/trace implement the
+        # registry machinery and never name concrete instruments.
+        exclude=(
+            "src/repro/obs/catalog.py",
+            "src/repro/obs/metrics.py",
+            "src/repro/obs/trace.py",
+        ),
+    )
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        return _Visitor(self, ctx, engine)

@@ -1,0 +1,102 @@
+"""RPR006 — no swallowed catch-alls; public APIs raise ``repro`` types.
+
+Two contracts:
+
+* **No silent catch-alls.**  A bare ``except:`` is always a bug (it eats
+  ``KeyboardInterrupt``); ``except Exception`` is allowed only when the
+  handler re-raises (typically wrapping into a package exception, the
+  ``raise StorageError(...) from exc`` idiom).  The conformance runner's
+  fold-a-crash-into-a-finding handler is the one sanctioned swallow and
+  carries an inline suppression.
+* **Raise ``repro`` exception types.**  Public ``repro.*`` APIs raise
+  subclasses of :class:`repro.exceptions.ReproError` (package hierarchies
+  like ``StorageError``/``ModelError`` root there; ``ConfigError`` doubles
+  as ``ValueError`` for compatibility).  Raising a raw builtin —
+  ``ValueError``, ``TypeError``, ``RuntimeError``, ... — leaks an
+  undeclared exception type to callers.  Protocol exceptions stay exempt:
+  ``NotImplementedError`` (abstract methods), ``KeyError``/``IndexError``
+  (mapping/sequence semantics, cf. ``ColumnNotFoundError(TableError,
+  KeyError)``), ``StopIteration``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, RuleVisitor, Scope
+
+__all__ = ["ExceptionDisciplineRule"]
+
+_CATCH_ALLS = {"Exception", "BaseException"}
+_BANNED_RAISES = {
+    "ArithmeticError",
+    "AssertionError",
+    "AttributeError",
+    "BaseException",
+    "BufferError",
+    "EOFError",
+    "Exception",
+    "IOError",
+    "OSError",
+    "RuntimeError",
+    "SystemError",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+}
+
+
+def _exception_names(node: ast.AST | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Tuple):
+        return [n.id for n in node.elts if isinstance(n, ast.Name)]
+    return []
+
+
+class _Visitor(RuleVisitor):
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.add(
+                node,
+                "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                "catch specific exception types",
+            )
+        elif any(n in _CATCH_ALLS for n in _exception_names(node.type)):
+            reraises = any(
+                isinstance(sub, ast.Raise) for sub in ast.walk(node)
+            )
+            if not reraises:
+                self.add(
+                    node,
+                    "`except Exception` without re-raise swallows failures; "
+                    "wrap into a repro exception type and re-raise",
+                )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BANNED_RAISES:
+            self.add(
+                node,
+                f"raise of builtin {name}: public repro.* APIs raise repro "
+                "exception types (see repro.exceptions; ConfigError doubles "
+                "as ValueError)",
+            )
+        self.generic_visit(node)
+
+
+class ExceptionDisciplineRule(Rule):
+    rule_id = "RPR006"
+    title = "no swallowed catch-alls; raise repro exception types"
+    default_scope = Scope(include=("src/repro",))
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        return _Visitor(self, ctx, engine)

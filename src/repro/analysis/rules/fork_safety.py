@@ -1,0 +1,222 @@
+"""RPR004 — work fanned out through the executor must be fork-safe.
+
+:class:`repro.exec.ParallelExecutor` keeps the process-wide counters
+truthful by merging worker-side deltas back into the parent — but only for
+work that flows through it, and only when the submitted function does not
+smuggle state sideways.  Three hazards, three checks:
+
+* **Rogue pools** — importing ``multiprocessing`` or ``concurrent.futures``
+  outside :mod:`repro.exec` creates workers whose counter increments are
+  silently dropped (and whose scans the Lemma tests never see).  All
+  fan-out routes through ``ParallelExecutor``.
+* **Module-state mutation** — a function submitted to
+  ``ParallelExecutor.map`` that mutates module-level mutable state (a
+  ``global`` write, ``CACHE.append(...)``, ``TABLE[k] = v``) behaves
+  differently per backend: forked children mutate a copy that is thrown
+  away, threads race, serial "works".  Metric instruments are exempt —
+  counter deltas are exactly what the executor merges back.
+* **Unpicklable entry points** — a callable handed to a raw
+  ``Pool``/``ProcessPoolExecutor`` ``map``/``submit`` must be a
+  module-level function; lambdas and closures fail to pickle on any
+  non-fork start method.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, RuleVisitor, Scope
+
+__all__ = ["ForkSafetyRule"]
+
+_BANNED_IMPORTS = {"multiprocessing", "concurrent.futures", "concurrent"}
+_MUTATORS = {
+    "append", "add", "update", "extend", "insert", "pop", "popitem",
+    "clear", "setdefault", "remove", "discard", "sort", "reverse",
+}
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "OrderedDict"}
+_POOL_FACTORIES = {"Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
+_POOL_SUBMITS = {"map", "imap", "imap_unordered", "apply", "apply_async", "submit"}
+# Module-level names bound to metric/trace instruments are sanctioned
+# shared state: worker counter increments are merged back by the executor.
+_INSTRUMENT_FACTORIES = {"counter", "gauge", "histogram", "get_registry", "get_tracer"}
+
+
+def _is_mutable_binding(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Visitor(RuleVisitor):
+    def __init__(self, rule, ctx, engine):
+        super().__init__(rule, ctx, engine)
+        tree = ctx.tree
+        self._module_defs: dict[str, ast.AST] = {}
+        self._mutable_globals: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._module_defs[node.name] = node
+            elif isinstance(node, ast.Assign):
+                if _is_mutable_binding(node.value) and not self._is_instrument(
+                    node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self._mutable_globals.add(target.id)
+        # Every function/lambda anywhere in the file, by name where named.
+        self._all_defs: dict[str, ast.AST] = dict(self._module_defs)
+        self._executor_vars: set[str] = set()
+        self._pool_vars: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._all_defs.setdefault(node.name, node)
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = _call_name(node.value.func)
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if callee == "ParallelExecutor":
+                        self._executor_vars.add(target.id)
+                    elif callee in _POOL_FACTORIES:
+                        self._pool_vars.add(target.id)
+
+    @staticmethod
+    def _is_instrument(value: ast.AST) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and _call_name(value.func) in _INSTRUMENT_FACTORIES
+        )
+
+    # ---------------------------------------------------------------- imports
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if alias.name in _BANNED_IMPORTS or top in _BANNED_IMPORTS:
+                self.add(
+                    node,
+                    f"import of {alias.name!r} outside repro.exec: fan-out "
+                    "must use ParallelExecutor so worker counters merge back",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module in _BANNED_IMPORTS or module.split(".")[0] in _BANNED_IMPORTS:
+            self.add(
+                node,
+                f"import from {module!r} outside repro.exec: fan-out "
+                "must use ParallelExecutor so worker counters merge back",
+            )
+
+    # ------------------------------------------------------------ submissions
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and node.args:
+            target = func.value
+            if func.attr == "map" and self._is_executor(target):
+                self._check_submitted(node.args[0])
+            elif func.attr in _POOL_SUBMITS and self._is_pool(target):
+                self._check_picklable(node.args[0])
+        self.generic_visit(node)
+
+    def _is_executor(self, target: ast.AST) -> bool:
+        if isinstance(target, ast.Call):
+            return _call_name(target.func) == "ParallelExecutor"
+        return isinstance(target, ast.Name) and target.id in self._executor_vars
+
+    def _is_pool(self, target: ast.AST) -> bool:
+        if isinstance(target, ast.Call):
+            return _call_name(target.func) in _POOL_FACTORIES
+        return isinstance(target, ast.Name) and target.id in self._pool_vars
+
+    def _check_picklable(self, fn: ast.AST) -> None:
+        if isinstance(fn, ast.Lambda):
+            self.add(
+                fn,
+                "lambda handed to a raw pool cannot pickle; use a "
+                "module-level worker function",
+            )
+        elif isinstance(fn, ast.Name) and fn.id not in self._module_defs:
+            self.add(
+                fn,
+                f"worker entry point {fn.id!r} is not a module-level "
+                "function; nested defs cannot pickle",
+            )
+
+    def _check_submitted(self, fn: ast.AST) -> None:
+        body: ast.AST | None = None
+        if isinstance(fn, ast.Lambda):
+            body = fn
+        elif isinstance(fn, ast.Name):
+            body = self._all_defs.get(fn.id)
+        if body is None:
+            return  # bound methods / imported callables: best-effort skip
+        for sub in ast.walk(body):
+            if isinstance(sub, ast.Global):
+                self.add(
+                    fn,
+                    "function submitted to ParallelExecutor.map writes "
+                    "`global` state; forked workers mutate a discarded copy",
+                )
+                return
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATORS
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in self._mutable_globals
+            ):
+                self.add(
+                    fn,
+                    "function submitted to ParallelExecutor.map mutates "
+                    f"module-level {sub.func.value.id!r}; worker-side "
+                    "mutations are lost (fork) or race (threads)",
+                )
+                return
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in self._mutable_globals
+                    ):
+                        self.add(
+                            fn,
+                            "function submitted to ParallelExecutor.map "
+                            f"writes into module-level "
+                            f"{target.value.id!r}; worker-side mutations "
+                            "are lost (fork) or race (threads)",
+                        )
+                        return
+
+
+class ForkSafetyRule(Rule):
+    rule_id = "RPR004"
+    title = "executor-submitted work must be fork-safe"
+    default_scope = Scope(
+        include=("src/repro",),
+        exclude=("src/repro/exec",),
+    )
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        return _Visitor(self, ctx, engine)

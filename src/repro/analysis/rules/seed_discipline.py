@@ -1,0 +1,106 @@
+"""RPR003 — every random draw flows through an explicitly seeded generator.
+
+The conformance harness replays JSON workload artifacts and promises the
+same numbers every time; experiment figures pin their seeds.  One call into
+the process-global ``numpy.random`` state (or the stdlib ``random`` module)
+quietly breaks that: replayed corpus artifacts stop pinning anything and
+"deterministic" parallel runs diverge per worker.
+
+Generalizes the PR 4 conftest lint (which covered only ``repro.verify`` and
+``repro.datasets``) to all of ``src/repro`` *and* ``tests``, and — being
+AST-based — catches what the old regex could not: ``np.random.default_rng()``
+called **without a seed** draws OS entropy and is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, RuleVisitor, Scope
+
+__all__ = ["SeedDisciplineRule"]
+
+# Constructors/types that take or carry an explicit seed; anything else on
+# np.random touches the unseeded global state.
+_ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _np_random_member(node: ast.Attribute) -> str | None:
+    """``X`` for expressions shaped ``np.random.X`` / ``numpy.random.X``."""
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in _NUMPY_ALIASES
+    ):
+        return node.attr
+    return None
+
+
+class _Visitor(RuleVisitor):
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        member = _np_random_member(node)
+        if member is not None and member not in _ALLOWED:
+            self.add(
+                node,
+                f"np.random.{member} uses the unseeded global RNG; draw "
+                "from np.random.default_rng(seed) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        unseeded = (
+            isinstance(func, ast.Attribute)
+            and _np_random_member(func) == "default_rng"
+            and not node.args
+            and not node.keywords
+        ) or (
+            isinstance(func, ast.Name)
+            and func.id == "default_rng"
+            and not node.args
+            and not node.keywords
+        )
+        if unseeded:
+            self.add(
+                node,
+                "default_rng() without a seed draws OS entropy; pass an "
+                "explicit seed",
+            )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.add(
+                    node,
+                    "stdlib `random` is process-global state; use "
+                    "np.random.default_rng(seed)",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.add(
+                node,
+                "stdlib `random` is process-global state; use "
+                "np.random.default_rng(seed)",
+            )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED:
+                    self.add(
+                        node,
+                        f"numpy.random.{alias.name} uses the unseeded "
+                        "global RNG; draw from default_rng(seed) instead",
+                    )
+
+
+class SeedDisciplineRule(Rule):
+    rule_id = "RPR003"
+    title = "random draws must use explicitly seeded generators"
+    default_scope = Scope(include=("src/repro", "tests"))
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        return _Visitor(self, ctx, engine)

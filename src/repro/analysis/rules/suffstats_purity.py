@@ -1,0 +1,100 @@
+"""RPR005 — suffstats are values: no in-place mutation outside the class.
+
+Theorem 1's algebraic rollup (``g`` merges by component-wise addition, ``q``
+solves from the merged components) is only correct if a
+:class:`~repro.ml.LinearSuffStats` / :class:`~repro.ml.StackedSuffStats`
+handed to a caller is never mutated behind its back: the incremental
+maintainer caches stacks across refreshes and proves bit-for-bit equality
+with scratch builds on the assumption that ``+``/``-``/``rollup`` return
+fresh objects and only :meth:`StackedSuffStats.assign` (on an explicit
+``copy()``) writes in place.
+
+Outside :mod:`repro.ml`, the rule flags writes through the stat component
+attributes (``.ytwy``, ``.xtwx``, ``.xtwy``, ``.sum_w``) — direct
+assignment, slice/index assignment, augmented assignment, or scatter-adds
+via ``np.add.at`` — the only spellings of in-place mutation those arrays
+admit.  Reading the components (the cache serializer does) is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, RuleVisitor, Scope
+
+__all__ = ["SuffStatsPurityRule"]
+
+_STAT_ATTRS = {"ytwy", "xtwx", "xtwy", "sum_w"}
+
+
+def _stat_attribute(node: ast.AST) -> ast.Attribute | None:
+    """The ``X.ytwy``-style attribute inside an assignment target, if any."""
+    if isinstance(node, ast.Attribute) and node.attr in _STAT_ATTRS:
+        return node
+    if isinstance(node, ast.Subscript):
+        return _stat_attribute(node.value)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            found = _stat_attribute(element)
+            if found is not None:
+                return found
+    return None
+
+
+class _Visitor(RuleVisitor):
+    def _flag(self, node: ast.AST, attr: ast.Attribute, how: str) -> None:
+        self.add(
+            node,
+            f"in-place {how} of suffstats component `.{attr.attr}` outside "
+            "repro.ml breaks the value semantics the rollup algebra "
+            "(Theorem 1) and the incremental bit-for-bit proof assume; "
+            "use +/-/rollup/assign on a copy()",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = _stat_attribute(target)
+            if attr is not None:
+                self._flag(node, attr, "assignment")
+                break
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _stat_attribute(node.target)
+        if attr is not None:
+            self._flag(node, attr, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            attr = _stat_attribute(node.target)
+            if attr is not None:
+                self._flag(node, attr, "assignment")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # np.add.at(stats.xtwx, idx, ...) mutates the component in place.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "at"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "add"
+            and node.args
+        ):
+            attr = _stat_attribute(node.args[0])
+            if attr is not None:
+                self._flag(node, attr, "scatter-add")
+        self.generic_visit(node)
+
+
+class SuffStatsPurityRule(Rule):
+    rule_id = "RPR005"
+    title = "no in-place suffstats mutation outside repro.ml"
+    default_scope = Scope(
+        include=("src/repro",),
+        exclude=("src/repro/ml",),
+    )
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        return _Visitor(self, ctx, engine)

@@ -1,0 +1,35 @@
+"""Root exception types shared by every ``repro`` package.
+
+The repo's exception discipline (enforced statically by rule RPR006 in
+:mod:`repro.analysis`) is that public ``repro.*`` APIs raise ``repro``
+exception types, never bare builtins — a caller that writes
+``except ReproError`` is guaranteed to see every failure the reproduction
+itself can produce, while genuine bugs (``AttributeError``, ...) still
+propagate untouched.
+
+Each package keeps its own hierarchy (``StorageError``, ``ModelError``,
+``DimensionError``, ``TableError``, ``BellwetherError``); all of them root
+here.  :class:`ConfigError` additionally subclasses :class:`ValueError`, the
+same dual-inheritance idiom as :class:`repro.table.ColumnNotFoundError`
+(which is also a :class:`KeyError`), so pre-existing callers that catch the
+builtin keep working; :class:`VerificationError` likewise doubles as
+:class:`AssertionError` for the ``verify.assert_same_*`` helpers.
+"""
+
+__all__ = ["ConfigError", "ReproError", "VerificationError"]
+
+
+class ReproError(Exception):
+    """Root of every exception type raised by ``repro`` code."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid argument or configuration value (also a ``ValueError``)."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """Two execution paths disagreed where equivalence is promised.
+
+    Also an ``AssertionError`` so the ``assert_same_*`` diff helpers remain
+    drop-in replacements for inline asserts in tests.
+    """

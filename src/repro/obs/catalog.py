@@ -1,0 +1,79 @@
+"""Central catalog of every metric instrument name in the reproduction.
+
+String-keyed metrics have one classic failure mode: a typo'd name silently
+registers a *second* instrument, and the Lemma 1/2 scan-bound tests (or a
+bench gate) read zeros from the name nobody increments.  This module is the
+single source of truth: every counter/gauge/histogram name is a constant
+here, call sites import the constant, and rule RPR002 in
+:mod:`repro.analysis` statically rejects both
+
+* a name literal passed to ``counter()/gauge()/histogram()/inc()/observe()``
+  that this catalog does not define, and
+* a catalog name re-typed as a raw string literal anywhere else (use the
+  constant, so a rename is one edit plus the type checker's help).
+
+The linter parses this file's AST rather than importing it, so the catalog
+must stay what it is now: flat ``UPPER_CASE = "literal"`` assignments.
+Dynamic families (the per-span histograms ``span.<name>.s`` emitted by
+:mod:`repro.obs.trace`) are intentionally outside the catalog; they are
+derived from span names, not free-typed.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------- storage I/O
+# Folded in from IOStats; these back the Lemma 1/2 scan-accounting tests.
+STORE_REGION_READS = "store.region_reads"
+STORE_FULL_SCANS = "store.full_scans"
+STORE_BYTES_READ = "store.bytes_read"
+
+# ------------------------------------------------------------ linear algebra
+ML_LINEAR_FITS = "ml.linear.fits"
+ML_LINEAR_BATCHED_SOLVES = "ml.linear.batched_solves"
+ML_LINEAR_BATCHED_PROBLEMS = "ml.linear.batched_problems"
+
+# ------------------------------------------------------- incremental layer
+INCR_CACHE_HITS = "incr.cache_hits"
+INCR_CACHE_MISSES = "incr.cache_misses"
+INCR_CELLS_RESOLVED = "incr.cells_resolved"
+INCR_REGIONS_REFRESHED = "incr.regions_refreshed"
+INCR_FULL_REBUILDS = "incr.full_rebuilds"
+
+# ------------------------------------------------------------------- search
+SEARCH_REGIONS_EVALUATED = "search.regions_evaluated"
+
+# --------------------------------------------------------------------- tree
+TREE_SPLIT_EVALS = "tree.split_evals"
+TREE_NODES_SPLIT = "tree.nodes_split"
+
+# --------------------------------------------------------------------- cube
+CUBE_SUBSETS_BUILT = "cube.subsets_built"
+
+
+#: Every registered counter name (all instruments above are counters today;
+#: gauges/histograms added later join their own tuple and ALL_NAMES).
+COUNTERS: tuple[str, ...] = (
+    STORE_REGION_READS,
+    STORE_FULL_SCANS,
+    STORE_BYTES_READ,
+    ML_LINEAR_FITS,
+    ML_LINEAR_BATCHED_SOLVES,
+    ML_LINEAR_BATCHED_PROBLEMS,
+    INCR_CACHE_HITS,
+    INCR_CACHE_MISSES,
+    INCR_CELLS_RESOLVED,
+    INCR_REGIONS_REFRESHED,
+    INCR_FULL_REBUILDS,
+    SEARCH_REGIONS_EVALUATED,
+    TREE_SPLIT_EVALS,
+    TREE_NODES_SPLIT,
+    CUBE_SUBSETS_BUILT,
+)
+
+GAUGES: tuple[str, ...] = ()
+HISTOGRAMS: tuple[str, ...] = ()
+
+
+def all_names() -> frozenset[str]:
+    """Every catalogued instrument name."""
+    return frozenset(COUNTERS) | frozenset(GAUGES) | frozenset(HISTOGRAMS)

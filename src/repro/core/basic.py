@@ -21,6 +21,12 @@ import numpy as np
 from repro.dimensions import Region
 from repro.exec import ParallelConfig, ParallelExecutor
 from repro.ml import ErrorEstimate, LinearRegression
+from repro.obs.catalog import (
+    INCR_CACHE_HITS,
+    INCR_FULL_REBUILDS,
+    INCR_REGIONS_REFRESHED,
+    SEARCH_REGIONS_EVALUATED,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage import StorageError, TrainingDataStore
@@ -29,11 +35,11 @@ from .exceptions import SearchError
 from .task import BellwetherTask, Criterion
 
 _TRACER = get_tracer()
-_REGIONS_EVALUATED = get_registry().counter("search.regions_evaluated")
+_REGIONS_EVALUATED = get_registry().counter(SEARCH_REGIONS_EVALUATED)
 # Shared with repro.incremental (get-or-create returns the same instrument).
-_CACHE_HITS = get_registry().counter("incr.cache_hits")
-_REGIONS_REFRESHED = get_registry().counter("incr.regions_refreshed")
-_FULL_REBUILDS = get_registry().counter("incr.full_rebuilds")
+_CACHE_HITS = get_registry().counter(INCR_CACHE_HITS)
+_REGIONS_REFRESHED = get_registry().counter(INCR_REGIONS_REFRESHED)
+_FULL_REBUILDS = get_registry().counter(INCR_FULL_REBUILDS)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from repro.ml import (
     StackedSuffStats,
     add_intercept,
 )
+from repro.obs.catalog import TREE_NODES_SPLIT, TREE_SPLIT_EVALS
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage import RegionBlock, TrainingDataStore
@@ -48,8 +49,8 @@ from .rowindex import RowIndex
 from .task import BellwetherTask
 
 _TRACER = get_tracer()
-_SPLIT_EVALS = get_registry().counter("tree.split_evals")
-_NODES_SPLIT = get_registry().counter("tree.nodes_split")
+_SPLIT_EVALS = get_registry().counter(TREE_SPLIT_EVALS)
+_NODES_SPLIT = get_registry().counter(TREE_NODES_SPLIT)
 
 
 # --------------------------------------------------------------------- splits

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.catalog import ML_LINEAR_FITS
 from repro.obs.metrics import get_registry
 
 from .exceptions import FitError, NotFittedError
 from .suffstats import LinearSuffStats, add_intercept
 
-_FITS = get_registry().counter("ml.linear.fits")
+_FITS = get_registry().counter(ML_LINEAR_FITS)
 
 
 class LinearRegression:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
+from . import catalog
 from .export import append_jsonl, render_metrics_table, render_span_tree, span_to_dict
 from .metrics import get_registry
 from .trace import Span, get_tracer
@@ -59,9 +60,9 @@ class ObsReport:
     def summary_line(self) -> str:
         """One-line bench summary: elapsed plus the headline counters."""
         keys = (
-            ("store.full_scans", "full_scans"),
-            ("store.region_reads", "region_reads"),
-            ("ml.linear.fits", "fits"),
+            (catalog.STORE_FULL_SCANS, "full_scans"),
+            (catalog.STORE_REGION_READS, "region_reads"),
+            (catalog.ML_LINEAR_FITS, "fits"),
         )
         stats = "  ".join(
             f"{label}={int(self.metrics[k])}" for k, label in keys if k in self.metrics

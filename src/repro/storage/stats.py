@@ -18,11 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.catalog import (
+    STORE_BYTES_READ,
+    STORE_FULL_SCANS,
+    STORE_REGION_READS,
+)
 from repro.obs.metrics import get_registry
 
-_REGION_READS = get_registry().counter("store.region_reads")
-_FULL_SCANS = get_registry().counter("store.full_scans")
-_BYTES_READ = get_registry().counter("store.bytes_read")
+_REGION_READS = get_registry().counter(STORE_REGION_READS)
+_FULL_SCANS = get_registry().counter(STORE_FULL_SCANS)
+_BYTES_READ = get_registry().counter(STORE_BYTES_READ)
 
 
 @dataclass

@@ -36,7 +36,7 @@ from repro.core import (
 )
 from repro.exec import ParallelConfig
 from repro.incremental import window_end
-from repro.obs import get_registry
+from repro.obs import catalog, get_registry
 
 from .diff import (
     APPROX,
@@ -66,9 +66,9 @@ __all__ = [
 
 #: The operation counters the refresh-vs-scratch speedup gates sum over.
 OP_COUNTERS = (
-    "store.full_scans",
-    "ml.linear.batched_problems",
-    "ml.linear.fits",
+    catalog.STORE_FULL_SCANS,
+    catalog.ML_LINEAR_BATCHED_PROBLEMS,
+    catalog.ML_LINEAR_FITS,
 )
 
 
@@ -85,7 +85,8 @@ def ops_delta(before: dict) -> int:
 def scans_delta(before: dict) -> int:
     values = counters_snapshot()
     return int(
-        values.get("store.full_scans", 0) - before.get("store.full_scans", 0)
+        values.get(catalog.STORE_FULL_SCANS, 0)
+        - before.get(catalog.STORE_FULL_SCANS, 0)
     )
 
 
@@ -193,8 +194,8 @@ def _cube_methods(w: Workload) -> list[Mismatch]:
     optimized = builder.build("optimized")
     io = store.stats - io0
     solves = int(
-        counters_snapshot().get("ml.linear.batched_solves", 0)
-        - before.get("ml.linear.batched_solves", 0)
+        counters_snapshot().get(catalog.ML_LINEAR_BATCHED_SOLVES, 0)
+        - before.get(catalog.ML_LINEAR_BATCHED_SOLVES, 0)
     )
     out += diff_cubes(oracle, optimized, EXACT, label="optimized")
     out += _expect("optimized.full_scans", 1, io.full_scans)

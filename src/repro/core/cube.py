@@ -38,6 +38,7 @@ from repro.ml import (
     add_intercept,
     default_model_factory,
 )
+from repro.obs.catalog import CUBE_SUBSETS_BUILT
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage import TrainingDataStore
@@ -47,7 +48,7 @@ from .rowindex import RowIndex
 from .task import BellwetherTask
 
 _TRACER = get_tracer()
-_SUBSETS_BUILT = get_registry().counter("cube.subsets_built")
+_SUBSETS_BUILT = get_registry().counter(CUBE_SUBSETS_BUILT)
 
 
 def _first_strict_min(values: np.ndarray) -> int:
@@ -499,11 +500,7 @@ class BellwetherCubeBuilder:
                 block.y[rows],
                 None if block.weights is None else block.weights[rows],
             )
-            stack.ytwy[cell] = s.ytwy
-            stack.xtwx[cell] = s.xtwx
-            stack.xtwy[cell] = s.xtwy
-            stack.n[cell] = s.n
-            stack.sum_w[cell] = s.sum_w
+            stack.set_row(cell, s)
         return stack
 
     def _rollup_batched(

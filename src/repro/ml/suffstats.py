@@ -23,6 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.catalog import (
+    ML_LINEAR_BATCHED_PROBLEMS,
+    ML_LINEAR_BATCHED_SOLVES,
+)
 from repro.obs.metrics import get_registry
 
 from .exceptions import FitError
@@ -30,8 +34,8 @@ from .exceptions import FitError
 # One increment per *batched* LAPACK call, however many problems it carries.
 # The Theorem 1 efficiency claim is phrased against this counter: the batched
 # optimized cube must issue at most one per lattice level.
-_BATCHED_SOLVES = get_registry().counter("ml.linear.batched_solves")
-_BATCHED_PROBLEMS = get_registry().counter("ml.linear.batched_problems")
+_BATCHED_SOLVES = get_registry().counter(ML_LINEAR_BATCHED_SOLVES)
+_BATCHED_PROBLEMS = get_registry().counter(ML_LINEAR_BATCHED_PROBLEMS)
 
 
 @dataclass(frozen=True)
@@ -347,6 +351,24 @@ class StackedSuffStats:
             self.ytwy.copy(), self.xtwx.copy(), self.xtwy.copy(),
             self.n.copy(), self.sum_w.copy(),
         )
+
+    def set_row(self, i: int, stats: LinearSuffStats) -> None:
+        """Overwrite problem ``i`` in place with scalar statistics.
+
+        The builders fill a zeroed stack one present problem at a time from
+        per-cell :meth:`LinearSuffStats.from_data` results; routing the
+        write through the class keeps component mutation an implementation
+        detail of the stack.
+        """
+        if self.p != stats.p:
+            raise FitError(
+                f"cannot set a p={stats.p} problem into a p={self.p} stack"
+            )
+        self.ytwy[i] = stats.ytwy
+        self.xtwx[i] = stats.xtwx
+        self.xtwy[i] = stats.xtwy
+        self.n[i] = stats.n
+        self.sum_w[i] = stats.sum_w
 
     def assign(self, idx: np.ndarray, other: "StackedSuffStats") -> None:
         """Overwrite problems ``idx`` in place with the other stack's rows.

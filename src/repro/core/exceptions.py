@@ -1,7 +1,9 @@
 """Exceptions for the bellwether core."""
 
+from repro.exceptions import ReproError
 
-class BellwetherError(Exception):
+
+class BellwetherError(ReproError):
     """Base class for bellwether-analysis errors."""
 
 

@@ -1,7 +1,9 @@
 """Exceptions for the cube-space dimension substrate."""
 
+from repro.exceptions import ReproError
 
-class DimensionError(Exception):
+
+class DimensionError(ReproError):
     """Base class for dimension/region/cost errors."""
 
 

@@ -34,6 +34,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigError
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -66,11 +67,11 @@ class ParallelConfig:
 
     def __post_init__(self) -> None:
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.backend not in ("process", "thread", "serial"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+            raise ConfigError(f"unknown backend {self.backend!r}")
         if self.chunk_size is not None and self.chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     @property
     def is_serial(self) -> bool:

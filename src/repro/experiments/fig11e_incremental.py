@@ -29,20 +29,22 @@ from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
 from repro.datasets import make_mailorder
 from repro.incremental import month_append_delta, month_split_store
 from repro.ml import TrainingSetEstimator
+from repro.exceptions import VerificationError
+from repro.obs import catalog
 from repro.obs.bench import BenchJournal
 from repro.obs.metrics import get_registry
 
 from .fig11_scalability import ScalingResult
 
 _WATCHED = (
-    "store.full_scans",
-    "store.region_reads",
-    "ml.linear.fits",
-    "ml.linear.batched_solves",
-    "ml.linear.batched_problems",
-    "incr.cells_resolved",
-    "incr.regions_refreshed",
-    "incr.cache_hits",
+    catalog.STORE_FULL_SCANS,
+    catalog.STORE_REGION_READS,
+    catalog.ML_LINEAR_FITS,
+    catalog.ML_LINEAR_BATCHED_SOLVES,
+    catalog.ML_LINEAR_BATCHED_PROBLEMS,
+    catalog.INCR_CELLS_RESOLVED,
+    catalog.INCR_REGIONS_REFRESHED,
+    catalog.INCR_CACHE_HITS,
 )
 
 
@@ -135,13 +137,13 @@ def run_fig11e(
         full_s, full_metrics = _timed(_rebuild)
         incr_s, incr_metrics = _timed(_refresh)
         if not _same_cube(incr["cube"], scratch["cube"]):
-            raise AssertionError(
+            raise VerificationError(
                 f"incremental cube diverged from rebuild at month {month}"
             )
         if [(r.region, r.rmse) for r in incr["profile"]] != [
             (r.region, r.rmse) for r in scratch["profile"]
         ]:
-            raise AssertionError(
+            raise VerificationError(
                 f"incremental profile diverged from rebuild at month {month}"
             )
         series["full rebuild"].append(full_s)

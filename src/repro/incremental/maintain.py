@@ -41,6 +41,14 @@ from repro.ml import (
     StackedSuffStats,
     add_intercept,
 )
+from repro.exceptions import ConfigError
+from repro.obs.catalog import (
+    INCR_CACHE_HITS,
+    INCR_CACHE_MISSES,
+    INCR_CELLS_RESOLVED,
+    INCR_FULL_REBUILDS,
+    INCR_REGIONS_REFRESHED,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage import StorageError
@@ -50,11 +58,11 @@ from .cache import SuffStatsCache
 __all__ = ["IncrementalCubeMaintainer"]
 
 _TRACER = get_tracer()
-_CACHE_HITS = get_registry().counter("incr.cache_hits")
-_CACHE_MISSES = get_registry().counter("incr.cache_misses")
-_CELLS_RESOLVED = get_registry().counter("incr.cells_resolved")
-_REGIONS_REFRESHED = get_registry().counter("incr.regions_refreshed")
-_FULL_REBUILDS = get_registry().counter("incr.full_rebuilds")
+_CACHE_HITS = get_registry().counter(INCR_CACHE_HITS)
+_CACHE_MISSES = get_registry().counter(INCR_CACHE_MISSES)
+_CELLS_RESOLVED = get_registry().counter(INCR_CELLS_RESOLVED)
+_REGIONS_REFRESHED = get_registry().counter(INCR_REGIONS_REFRESHED)
+_FULL_REBUILDS = get_registry().counter(INCR_FULL_REBUILDS)
 
 
 class IncrementalCubeMaintainer:
@@ -82,9 +90,9 @@ class IncrementalCubeMaintainer:
         mode: str = "exact",
     ):
         if mode not in ("exact", "merge"):
-            raise ValueError(f"unknown refresh mode {mode!r}")
+            raise ConfigError(f"unknown refresh mode {mode!r}")
         if not builder._batchable():
-            raise ValueError(
+            raise ConfigError(
                 "incremental maintenance needs the algebraic (training-set) "
                 "error estimator; this task's estimator is not batchable"
             )

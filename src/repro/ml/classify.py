@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import ConfigError
+
 from .exceptions import FitError, NotFittedError
 from .metrics import ErrorEstimate
 
@@ -160,7 +162,7 @@ class ClassificationCVEstimator:
         model_factory: ClassifierFactory = GaussianNB,
     ):
         if n_folds < 2:
-            raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+            raise ConfigError(f"n_folds must be >= 2, got {n_folds}")
         self.n_folds = n_folds
         self.seed = seed
         self.model_factory = model_factory

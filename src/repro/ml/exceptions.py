@@ -1,7 +1,9 @@
 """Exceptions for the ML substrate."""
 
+from repro.exceptions import ReproError
 
-class ModelError(Exception):
+
+class ModelError(ReproError):
     """Base class for modeling errors."""
 
 

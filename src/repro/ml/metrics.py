@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as sps
 
+from repro.exceptions import ConfigError
+
 from .exceptions import FitError
 from .linear import LinearRegression
 
@@ -60,7 +62,7 @@ class ErrorEstimate:
     def interval(self, confidence: float = 0.95) -> tuple[float, float]:
         """Two-sided confidence interval for the true error."""
         if not 0.0 < confidence < 1.0:
-            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+            raise ConfigError(f"confidence must be in (0, 1), got {confidence}")
         if self.fold_rmses is not None and len(self.fold_rmses) >= 2:
             folds = np.asarray(self.fold_rmses)
             k = len(folds)
@@ -118,7 +120,7 @@ class CrossValidationEstimator(ErrorEstimator):
         model_factory: ModelFactory = default_model_factory,
     ):
         if n_folds < 2:
-            raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+            raise ConfigError(f"n_folds must be >= 2, got {n_folds}")
         self.n_folds = n_folds
         self.seed = seed
         self.model_factory = model_factory

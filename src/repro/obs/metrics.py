@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import math
 
+from repro.exceptions import ConfigError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -41,7 +43,7 @@ class Counter:
 
     def inc(self, n: int | float = 1) -> None:
         if n < 0:
-            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+            raise ConfigError(f"counter {self.name} cannot decrease (inc {n})")
         self.value += n
 
     def reset(self) -> None:
@@ -128,7 +130,7 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate q-quantile (q in [0, 1]) from the bucket counts."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return math.nan
         if q <= 0.0:
@@ -192,7 +194,7 @@ class MetricsRegistry:
     def _check_free(self, name: str, own: dict) -> None:
         for kind in (self._counters, self._gauges, self._histograms):
             if kind is not own and name in kind:
-                raise ValueError(
+                raise ConfigError(
                     f"metric {name!r} already registered with a different type"
                 )
 

@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.dimensions import Region
+from repro.exceptions import ReproError
 from repro.obs.trace import get_tracer
 
 from .stats import IOStats
@@ -42,7 +43,7 @@ from .stats import IOStats
 _TRACER = get_tracer()
 
 
-class StorageError(Exception):
+class StorageError(ReproError):
     """A store was used inconsistently (unknown region, bad directory, ...)."""
 
 

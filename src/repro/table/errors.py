@@ -1,7 +1,9 @@
 """Exceptions raised by the relational engine."""
 
+from repro.exceptions import ReproError
 
-class TableError(Exception):
+
+class TableError(ReproError):
     """Base class for all relational-engine errors."""
 
 

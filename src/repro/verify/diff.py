@@ -13,7 +13,8 @@ Every comparison is expressed against a :class:`Tolerance`:
 
 Comparisons return a list of :class:`Mismatch` records (empty = equivalent)
 so the differential runner can report, shrink, and serialize them; the
-``assert_same_*`` wrappers raise ``AssertionError`` for direct use in tests.
+``assert_same_*`` wrappers raise :class:`~repro.exceptions.VerificationError`
+(also an ``AssertionError``) for direct use in tests.
 
 Winner near-ties: two equivalent-but-not-bitwise paths can legitimately pick
 different bellwether regions when the top candidates' errors agree to within
@@ -29,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.exceptions import VerificationError
 
 __all__ = [
     "APPROX",
@@ -105,7 +108,7 @@ def _mm(path: str, expected, actual) -> Mismatch:
 
 def _raise(mismatches: list[Mismatch]) -> None:
     if mismatches:
-        raise AssertionError(
+        raise VerificationError(
             f"{len(mismatches)} mismatch(es):\n"
             + "\n".join(f"  {m}" for m in mismatches)
         )

@@ -53,7 +53,7 @@ def run_class(cls: OracleClass, workload: Workload) -> ClassResult:
     start = time.perf_counter()
     try:
         mismatches = tuple(cls.run(workload))
-    except Exception as exc:  # noqa: BLE001 - a crash on any path is a finding
+    except Exception as exc:  # lint: ignore[RPR006] - a crash on any path is a finding, not a failure to propagate
         mismatches = (
             Mismatch(f"{cls.name}.exception", "no exception", repr(exc)),
         )

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import build_store
 from repro.datasets import RetailDataset, make_bookstore, make_mailorder
+from repro.exceptions import ConfigError
 from repro.incremental import month_append_delta, month_split_store
 from repro.ml import TrainingSetEstimator
 from repro.storage import BlockDelta, RegionBlock, StoreDelta
@@ -52,7 +53,7 @@ class DeltaOp:
 
     def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
-            raise ValueError(f"unknown delta op kind {self.kind!r}")
+            raise ConfigError(f"unknown delta op kind {self.kind!r}")
 
     def to_dict(self) -> dict:
         return {
@@ -88,13 +89,13 @@ class Workload:
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
-            raise ValueError(f"unknown dataset kind {self.kind!r}")
+            raise ConfigError(f"unknown dataset kind {self.kind!r}")
         if self.n_items < 3:
-            raise ValueError(f"n_items must be >= 3, got {self.n_items}")
+            raise ConfigError(f"n_items must be >= 3, got {self.n_items}")
         if self.n_months < 2:
-            raise ValueError(f"n_months must be >= 2, got {self.n_months}")
+            raise ConfigError(f"n_months must be >= 2, got {self.n_months}")
         if not 1 <= self.base_month <= self.n_months:
-            raise ValueError(
+            raise ConfigError(
                 f"base_month {self.base_month} out of 1..{self.n_months}"
             )
 

@@ -109,7 +109,7 @@ def _probe_error(
     store = gen.generate(regions=list(probe_regions))
     best = np.inf
     for region in probe_regions:
-        block = store._fetch(region)
+        block = store.read(region)
         if block.n_examples < min_examples:
             continue
         est = task.error_estimator.estimate(block.x, block.y)

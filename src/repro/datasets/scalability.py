@@ -41,9 +41,7 @@ class ScalabilityDataset:
 
     @property
     def n_examples_total(self) -> int:
-        return sum(
-            self.store._blocks[r].n_examples for r in self.store.regions()
-        )
+        return self.store.n_examples_total
 
 
 def make_scalability(

@@ -1,0 +1,23 @@
+"""Deliberate RPR001 violations: store internals and raw npz I/O."""
+
+import numpy as np
+
+
+def peek(store, region):
+    return store._blocks[region]  # expect: RPR001
+
+
+def fetch(store, region):
+    return store._fetch(region)  # expect: RPR001
+
+
+def dump(path, block):
+    np.savez(path, x=block.x)  # expect: RPR001
+
+
+def slurp(path):
+    return np.load(path)  # expect: RPR001
+
+
+def fine(store, region):
+    return store.read(region)

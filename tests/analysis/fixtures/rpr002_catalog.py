@@ -1,0 +1,17 @@
+"""Deliberate RPR002 violations: metric names re-typed as raw literals."""
+
+
+def register_known(registry):
+    return registry.counter("store.full_scans")  # expect: RPR002
+
+
+def register_typo(registry):
+    return registry.counter("store.fullscans")  # expect: RPR002
+
+
+def read_site(values):
+    return values.get("ml.linear.fits", 0)  # expect: RPR002
+
+
+def fine(registry, name):
+    return registry.counter(name)

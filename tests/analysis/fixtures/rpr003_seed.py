@@ -1,0 +1,22 @@
+"""Deliberate RPR003 violations: draws from unseeded global RNG state."""
+
+import random  # expect: RPR003
+
+import numpy as np
+from numpy.random import shuffle  # expect: RPR003
+
+
+def draw(n):
+    return np.random.normal(size=n)  # expect: RPR003
+
+
+def reseed_global():
+    np.random.seed(0)  # expect: RPR003
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: RPR003
+
+
+def fine(seed, n):
+    return np.random.default_rng(seed).normal(size=n)

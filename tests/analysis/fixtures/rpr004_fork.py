@@ -1,0 +1,40 @@
+"""Deliberate RPR004 violations: fork-unsafe fan-out."""
+
+from multiprocessing import Pool  # expect: RPR004
+
+RESULTS = []
+TOTALS = {}
+COUNT = 0
+
+
+def _accumulate(item):
+    RESULTS.append(item)
+    return item
+
+
+def _tally(item):
+    TOTALS[item] = item
+    return item
+
+
+def _bump(item):
+    global COUNT
+    COUNT += 1
+    return item
+
+
+def _pure(item):
+    return item + 1
+
+
+def fan_out(executor, config, items):
+    executor = ParallelExecutor(config)  # noqa: F821 - never executed
+    executor.map(_accumulate, items)  # expect: RPR004
+    executor.map(_tally, items)  # expect: RPR004
+    executor.map(_bump, items)  # expect: RPR004
+    return executor.map(_pure, items)
+
+
+def raw_pool(items):
+    pool = Pool(2)
+    return pool.map(lambda i: i + 1, items)  # expect: RPR004

@@ -1,0 +1,19 @@
+"""Deliberate RPR005 violations: in-place suffstats component mutation."""
+
+import numpy as np
+
+
+def clobber(stack, cell, s):
+    stack.ytwy[cell] = s.ytwy  # expect: RPR005
+
+
+def drift(stack, s):
+    stack.xtwx += s.xtwx  # expect: RPR005
+
+
+def scatter(stack, target, other):
+    np.add.at(stack.xtwy, target, other.xtwy)  # expect: RPR005
+
+
+def fine(stack, other):
+    return stack + other

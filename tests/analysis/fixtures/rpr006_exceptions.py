@@ -1,0 +1,33 @@
+"""Deliberate RPR006 violations: exception discipline."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # expect: RPR006
+        return None
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:  # expect: RPR006
+        return None
+
+
+def reject(value):
+    raise ValueError(f"bad {value}")  # expect: RPR006
+
+
+def wrap_with_builtin(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc  # expect: RPR006
+
+
+def fine(fn, error_type):
+    try:
+        return fn()
+    except Exception as exc:
+        raise error_type("wrapped") from exc

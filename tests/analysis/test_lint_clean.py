@@ -1,0 +1,19 @@
+"""The shipped tree is lint-clean — the pytest face of the invariant linter.
+
+This is the successor of the regex seed lint that used to live in
+``tests/conftest.py``: the suite fails the moment ``src/repro`` or ``tests``
+violates any RPR rule, with the offending file:line in the failure message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Engine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_tree_is_lint_clean():
+    findings = Engine(root=REPO_ROOT).run()
+    assert not findings, "invariant lint failures:\n" + "\n".join(
+        f.format() for f in findings
+    )

@@ -1,46 +1,10 @@
 """Suite-wide guards.
 
-The conformance harness is only deterministic if every random draw in
-``repro.verify`` and ``repro.datasets`` flows through an explicitly seeded
-generator.  A static lint fails the whole run the moment someone reaches
-for the global ``numpy.random`` state (``np.random.normal(...)``,
-``np.random.seed(...)``, ...) in those packages — replayed corpus
-artifacts would silently stop pinning anything.
+The seed-clean lint that used to live here (a regex over ``repro.verify`` /
+``repro.datasets``) is now rule RPR003 of the AST-based invariant linter —
+``python -m repro.analysis --rule RPR003`` — which covers all of
+``src/repro`` *and* ``tests`` and catches what the regex could not (e.g. an
+unseeded ``default_rng()`` call).  ``tests/analysis/test_lint_clean.py``
+keeps the pytest failure mode: the suite fails if the tree is not
+lint-clean.
 """
-
-import re
-from pathlib import Path
-
-import pytest
-
-_SRC = Path(__file__).parent.parent / "src" / "repro"
-_SEED_CLEAN_PACKAGES = ("verify", "datasets")
-# Constructors/types that take or carry an explicit seed are fine; anything
-# else on np.random touches the unseeded global state.
-_ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
-_PATTERN = re.compile(r"\bnp\.random\.(\w+)|\bnumpy\.random\.(\w+)")
-
-
-def _strip_comments(line: str) -> str:
-    return line.split("#", 1)[0]
-
-
-def pytest_sessionstart(session):
-    offenders = []
-    for package in _SEED_CLEAN_PACKAGES:
-        for path in sorted((_SRC / package).rglob("*.py")):
-            for lineno, line in enumerate(
-                path.read_text().splitlines(), start=1
-            ):
-                for match in _PATTERN.finditer(_strip_comments(line)):
-                    name = match.group(1) or match.group(2)
-                    if name not in _ALLOWED:
-                        offenders.append(
-                            f"{path.relative_to(_SRC.parent.parent)}:{lineno}: "
-                            f"np.random.{name} uses the unseeded global RNG"
-                        )
-    if offenders:
-        raise pytest.UsageError(
-            "seed-clean lint: repro.verify / repro.datasets must draw only "
-            "from explicitly seeded generators:\n  " + "\n  ".join(offenders)
-        )

@@ -5,22 +5,22 @@ through :class:`repro.obs.BenchJournal` into ``BENCH_figures.json`` at the
 repo root — one JSON line per test per run (elapsed wall-clock plus the
 metric deltas observed: full scans, region reads, model fits), so successive
 PRs accumulate a timing trajectory instead of overwriting a single number.
+Records carry the run identity (``run_id``, git sha, hostname, python — see
+:mod:`repro.obs.runinfo`) plus the worker count, so
+``python -m repro.obs sentinel`` can group and baseline them per run.
 """
 
-import platform
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.exec import get_default_config
 from repro.obs import BenchJournal, get_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-_JOURNAL = BenchJournal(
-    Path(__file__).parent.parent / "BENCH_figures.json",
-    context={"python": platform.python_version()},
-)
+_JOURNAL = BenchJournal(Path(__file__).parent.parent / "BENCH_figures.json")
 
 
 def publish(name: str, text: str) -> None:
@@ -59,4 +59,5 @@ def _journal_bench(request):
         name=request.node.nodeid.split("/")[-1],
         elapsed_s=elapsed,
         metrics=registry.diff(before),
+        workers=get_default_config().workers,
     )

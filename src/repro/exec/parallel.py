@@ -7,18 +7,27 @@ a list of such work items out over a pool and returns results in input
 order, so parallel runs are *deterministic*: the same items produce the
 same results in the same order as a serial run.
 
-Two properties matter for the reproduction:
+Three properties matter for the reproduction:
 
 * **Metric truthfulness** — the process-wide counters (``ml.linear.fits``,
   ``store.full_scans``, …) back the Lemma 1/2 scan-bound tests.  Forked
   workers therefore compute their counter deltas and ship them back with
   the results; the parent merges them, so counts match a serial run.
-  (Thread workers share the registry and need no merging; the scan itself
-  always happens in the parent, so ``store.full_scans`` is parent-only.)
+  Histograms merge the same way — bucket counts, not just sums — so the
+  ``span.*.s`` percentiles stay truthful under ``--workers N``.  (Thread
+  workers share the registry and need no merging; the scan itself always
+  happens in the parent, so ``store.full_scans`` is parent-only.)
+* **Trace continuity** — when tracing is enabled, the fan-out runs inside
+  an ``exec.map`` span; each chunk executes inside an ``exec.chunk`` span
+  *in the worker*, and the worker's finished span trees are serialized
+  back with the deltas and re-parented under ``exec.map``.  A
+  ``--trace --workers N`` run therefore shows the same span tree as a
+  serial run, nested one fan-out level deeper.
 * **No payload pickling** — the process backend uses ``fork``, stashing the
   work function and items in a module global first.  Children inherit the
   parent's memory, so pre-encoded fact arrays and region blocks are never
-  serialized on the way in; only chunk bounds and results cross the pipe.
+  serialized on the way in; only chunk bounds and results (plus the small
+  delta/span payloads) cross the pipe.
 
 On platforms without ``fork`` the process backend degrades to threads, and
 ``workers=1`` (the default everywhere) is exactly the serial code path.
@@ -35,7 +44,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigError
+from repro.obs import catalog
+from repro.obs.export import span_from_dict, span_to_dict
 from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "ParallelConfig",
@@ -43,6 +55,12 @@ __all__ = [
     "get_default_config",
     "set_default_config",
 ]
+
+_WORKER_CHUNKS = get_registry().counter(catalog.EXEC_WORKER_CHUNKS)
+_WORKER_SPANS_MERGED = get_registry().counter(catalog.EXEC_WORKER_SPANS_MERGED)
+_WORKER_HISTOGRAMS_MERGED = get_registry().counter(
+    catalog.EXEC_WORKER_HISTOGRAMS_MERGED
+)
 
 
 @dataclass(frozen=True)
@@ -112,18 +130,33 @@ _PAYLOAD: tuple[Callable, list] | None = None
 _PAYLOAD_LOCK = threading.Lock()
 
 
-def _run_chunk(bounds: tuple[int, int]) -> tuple[list, dict[str, float]]:
-    """Worker body: apply the stashed fn to one chunk, report counter deltas."""
+def _run_chunk(bounds: tuple[int, int]) -> tuple[list, dict, dict, list]:
+    """Worker body: apply the stashed fn to one chunk; report what happened.
+
+    Returns ``(results, counter_deltas, histogram_deltas, span_dicts)``.
+    The tracer state is inherited through fork: if the parent was tracing,
+    the child is too, but its inherited stack/roots are copies of spans the
+    *parent* owns — reset first so the chunk's spans form fresh trees that
+    serialize back whole and re-parent under the submitting ``exec.map``.
+    """
     fn, items = _PAYLOAD
     registry = get_registry()
+    tracer = get_tracer()
+    tracing = tracer.enabled
+    if tracing:
+        tracer.reset()
     before = registry.counter_values()
-    results = [fn(items[i]) for i in range(*bounds)]
+    before_hists = registry.histogram_states()
+    with tracer.span("exec.chunk", lo=bounds[0], hi=bounds[1], pid=os.getpid()):
+        results = [fn(items[i]) for i in range(*bounds)]
     deltas = {
         name: value - before.get(name, 0)
         for name, value in registry.counter_values().items()
         if value != before.get(name, 0)
     }
-    return results, deltas
+    hist_deltas = registry.diff_histogram_states(before_hists)
+    spans = [span_to_dict(s) for s in tracer.take_roots()] if tracing else []
+    return results, deltas, hist_deltas, spans
 
 
 class ParallelExecutor:
@@ -136,8 +169,9 @@ class ParallelExecutor:
         """``[fn(item) for item in items]``, possibly fanned out.
 
         Results come back in input order regardless of backend, and worker
-        counter increments are merged into the parent registry, so callers
-        observe the same results *and the same metrics* as a serial run.
+        counter/histogram increments — and, when tracing, worker span
+        trees — are merged into the parent registry and trace, so callers
+        observe the same results *and the same telemetry* as a serial run.
         """
         items = list(items)
         backend = self.config.resolved_backend()
@@ -148,31 +182,74 @@ class ParallelExecutor:
         if backend == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
         chunks = self._chunks(len(items))
+        _WORKER_CHUNKS.inc(len(chunks))
         if backend == "thread":
+            return self._map_threads(fn, items, chunks)
+        return self._map_forked(fn, items, chunks)
+
+    # ------------------------------------------------------------- backends
+
+    def _map_threads(self, fn: Callable, items: list, chunks: list) -> list:
+        """Thread fan-out: shared registry, per-thread span stacks.
+
+        Each chunk runs inside an ``exec.chunk`` span in its worker thread;
+        with nothing beneath it on that thread's stack the chunk span lands
+        in the tracer's roots, from where it is re-parented under this
+        call's ``exec.map`` span once the pool drains.
+        """
+        tracer = get_tracer()
+
+        def run_chunk(bounds: tuple[int, int]) -> list:
+            with tracer.span("exec.chunk", lo=bounds[0], hi=bounds[1]):
+                return [fn(items[i]) for i in range(*bounds)]
+
+        with tracer.span(
+            "exec.map", backend="thread", workers=self.config.workers,
+            items=len(items),
+        ) as map_span:
+            mark = tracer.mark_roots()
             with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
-                parts = list(
-                    pool.map(
-                        lambda b: [fn(items[i]) for i in range(*b)], chunks
-                    )
-                )
-            return [r for part in parts for r in part]
+                parts = list(pool.map(run_chunk, chunks))
+            if tracer.enabled:
+                adopted = tracer.take_roots_since(mark)
+                adopted.sort(key=lambda s: s.start)
+                tracer.adopt(adopted, map_span)
+                _WORKER_SPANS_MERGED.inc(len(adopted))
+        return [r for part in parts for r in part]
+
+    def _map_forked(self, fn: Callable, items: list, chunks: list) -> list:
+        """Fork fan-out: ship counter/histogram deltas and span trees back."""
         if not _PAYLOAD_LOCK.acquire(blocking=False):
             # another fan-out is in flight in this process (threaded caller)
             return [fn(item) for item in items]
         global _PAYLOAD
         ctx = mp.get_context("fork")
         _PAYLOAD = (fn, items)
+        tracer = get_tracer()
         try:
-            with ctx.Pool(processes=min(self.config.workers, len(chunks))) as pool:
-                parts = pool.map(_run_chunk, chunks)
+            with tracer.span(
+                "exec.map", backend="process", workers=self.config.workers,
+                items=len(items),
+            ) as map_span:
+                with ctx.Pool(
+                    processes=min(self.config.workers, len(chunks))
+                ) as pool:
+                    parts = pool.map(_run_chunk, chunks)
+                registry = get_registry()
+                results: list = []
+                for chunk_results, deltas, hist_deltas, span_dicts in parts:
+                    results.extend(chunk_results)
+                    registry.merge_counter_deltas(deltas)
+                    if hist_deltas:
+                        registry.merge_histogram_deltas(hist_deltas)
+                        _WORKER_HISTOGRAMS_MERGED.inc(len(hist_deltas))
+                    if span_dicts and tracer.enabled:
+                        spans = [span_from_dict(d) for d in span_dicts]
+                        tracer.adopt(spans, map_span)
+                        _WORKER_SPANS_MERGED.inc(len(spans))
         finally:
             _PAYLOAD = None
             _PAYLOAD_LOCK.release()
-        registry = get_registry()
-        results: list = []
-        for chunk_results, deltas in parts:
-            results.extend(chunk_results)
-            registry.merge_counter_deltas(deltas)
         return results
 
     def _chunks(self, n: int) -> list[tuple[int, int]]:

@@ -11,9 +11,12 @@ Usage::
 Observability (see ``repro.obs``)::
 
     python -m repro.experiments fig7 --fast --trace
-        # span tree (per-phase wall-clock) + metrics table on stderr
+        # span tree + critical path + hot spans + metrics on stderr
+    python -m repro.experiments fig7 --fast --profile
+        # like --trace, plus per-span peak-RSS / GC / read-rate samples
     python -m repro.experiments all --fast --metrics-out runs.jsonl
         # one JSON line per figure: elapsed, metric deltas, span tree
+        # (analyze later with `python -m repro.obs report runs.jsonl`)
     python -m repro.experiments all --fast --bench
         # one summary line per figure: elapsed, scan/read/fit counts
 
@@ -156,7 +159,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace",
         action="store_true",
-        help="record tracing spans; print the span tree and metrics to stderr",
+        help="record tracing spans; print the span tree, critical path, "
+        "hot spans, and metrics to stderr",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample peak RSS / GC / store read rate per span "
+        "(implies --trace)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -187,22 +197,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers != 1:
         set_default_config(ParallelConfig(workers=args.workers))
+    tracing = args.trace or args.profile
     names = list(FIGURES) if "all" in args.figures else args.figures
     for name in names:
         start = time.perf_counter()
-        with observe(name, trace=args.trace) as report:
+        with observe(name, trace=tracing, profile=args.profile) as report:
             if name == "fig11e":
                 rendered = _fig11e(args.fast, args.append_months)
             else:
                 rendered = FIGURES[name](args.fast)
         print(rendered)
         print(f"[{name} in {time.perf_counter() - start:.1f}s]\n")
-        if args.trace:
+        if tracing:
             print(report.render(), file=sys.stderr)
         if args.bench:
             print(report.summary_line(), file=sys.stderr)
         if args.metrics_out:
-            report.append_to(args.metrics_out, include_spans=args.trace)
+            report.append_to(args.metrics_out, include_spans=tracing)
     return 0
 
 

@@ -171,7 +171,7 @@ def run_fig11d(
     is appended to ``journal_path`` (pass ``None`` to skip journalling).
     """
     journal = (
-        BenchJournal(journal_path, context={"figure": "fig11d"})
+        BenchJournal(journal_path, context={"figure": "fig11d", "workers": workers})
         if journal_path is not None
         else None
     )

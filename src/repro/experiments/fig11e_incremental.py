@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
 from repro.datasets import make_mailorder
+from repro.exec import get_default_config
 from repro.incremental import month_append_delta, month_split_store
 from repro.ml import TrainingSetEstimator
 from repro.exceptions import VerificationError
@@ -92,7 +93,13 @@ def run_fig11e(
     """
     n_months = base_months + append_months
     journal = (
-        BenchJournal(journal_path, context={"figure": "fig11e"})
+        BenchJournal(
+            journal_path,
+            context={
+                "figure": "fig11e",
+                "workers": get_default_config().workers,
+            },
+        )
         if journal_path is not None
         else None
     )

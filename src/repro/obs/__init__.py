@@ -16,12 +16,21 @@ counts, into measurements:
 * :mod:`repro.obs.export` — human-readable span-tree / metrics tables for
   stderr, and JSON-lines records for files.
 * :mod:`repro.obs.bench` — append-only journal of structured benchmark
-  entries (``BENCH_*.json``), giving the repo a timing trajectory across PRs.
+  entries (``BENCH_*.json``), giving the repo a timing trajectory across
+  PRs; every record is stamped with the :mod:`repro.obs.runinfo` identity
+  (``run_id``, git sha, hostname, python).
+* :mod:`repro.obs.profile` — :class:`ResourceProfiler`, the per-span hook
+  sampling peak RSS, GC collections, and store read rate.
+* :mod:`repro.obs.report` — trace analytics over span exports: self/total
+  time, critical-path extraction, top-k hot spans
+  (``python -m repro.obs report``).
+* :mod:`repro.obs.journal` — schema'd parsing of the bench trajectory and
+  the noise-aware regression sentinel (``python -m repro.obs sentinel``).
 * :mod:`repro.obs.context` — :func:`observe`, the one-stop session used by
   ``python -m repro.experiments ... --trace --metrics-out``.
 
-Nothing here imports the rest of :mod:`repro`; every other package may
-depend on this one.
+Nothing here imports the rest of :mod:`repro` (beyond the shared root
+:mod:`repro.exceptions`); every other package may depend on this one.
 """
 
 from .bench import BenchJournal
@@ -30,9 +39,14 @@ from .export import (
     append_jsonl,
     render_metrics_table,
     render_span_tree,
+    span_from_dict,
     span_to_dict,
 )
+from .journal import JournalRecord, Sentinel, SentinelReport, load_journal
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .profile import ResourceProfiler
+from .report import render_trace_report
+from .runinfo import current_run_id, run_context
 from .trace import Span, Tracer, get_tracer, span
 
 __all__ = [
@@ -40,16 +54,25 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JournalRecord",
     "MetricsRegistry",
     "ObsReport",
+    "ResourceProfiler",
+    "Sentinel",
+    "SentinelReport",
     "Span",
     "Tracer",
     "append_jsonl",
+    "current_run_id",
     "get_registry",
     "get_tracer",
+    "load_journal",
     "observe",
     "render_metrics_table",
     "render_span_tree",
+    "render_trace_report",
+    "run_context",
     "span",
+    "span_from_dict",
     "span_to_dict",
 ]

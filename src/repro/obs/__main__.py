@@ -1,0 +1,143 @@
+"""Observability CLI: trace reports and the bench-regression sentinel.
+
+Usage::
+
+    python -m repro.obs report runs.jsonl              # span analytics
+    python -m repro.obs report runs.jsonl --top 10 --name fig7
+
+    python -m repro.obs sentinel                       # gate BENCH_figures.json
+    python -m repro.obs sentinel --journal path.json --verbose
+    python -m repro.obs sentinel --list                # show runs, no gating
+
+``report`` loads a ``--metrics-out`` JSON-lines export and prints, per
+record, the span tree with self/total time, the critical path, and the
+top-k hot spans.
+
+``sentinel`` loads a bench journal, baselines each bench over its trailing
+history (median ± MAD bands, see :mod:`repro.obs.journal`), checks the
+newest record, and exits 1 on any regression — the blocking CI contract
+that keeps the trajectory honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .journal import Sentinel, group_by_run, load_journal
+from .report import load_records, render_record_report
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = load_records(args.path)
+    print(render_record_report(records, top=args.top, name=args.name))
+    return 0
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    records = load_journal(args.journal)
+    if args.list:
+        for run_id, group in group_by_run(records).items():
+            first = group[0]
+            where = first.hostname or "?"
+            sha = first.git_sha or "?"
+            print(
+                f"{run_id or '(pre-run-id)'}  {len(group)} record(s)  "
+                f"git={sha}  host={where}  python={first.python or '?'}"
+            )
+        return 0
+    sentinel = Sentinel(
+        window=args.window,
+        min_history=args.min_history,
+        mad_k=args.mad_k,
+        elapsed_rel=args.elapsed_rel,
+        elapsed_abs=args.elapsed_abs,
+        ops_rel=args.ops_rel,
+        ops_abs=args.ops_abs,
+    )
+    report = sentinel.check(records)
+    print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace reports and the bench-regression sentinel.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="analyze a --metrics-out JSON-lines trace export"
+    )
+    report.add_argument("path", help="JSON-lines export to analyze")
+    report.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="hot spans to list per record (default 5)",
+    )
+    report.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="only report records with this name (e.g. fig7)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    sentinel = sub.add_parser(
+        "sentinel", help="gate the newest bench records against the trajectory"
+    )
+    sentinel.add_argument(
+        "--journal", default="BENCH_figures.json", metavar="PATH",
+        help="bench journal to check (default BENCH_figures.json)",
+    )
+    sentinel.add_argument(
+        "--window", type=int, default=10, metavar="N",
+        help="trailing records forming each baseline (default 10)",
+    )
+    sentinel.add_argument(
+        "--min-history", type=int, default=3, metavar="N",
+        help="prior records required before a bench is gated (default 3)",
+    )
+    sentinel.add_argument(
+        "--mad-k", type=float, default=4.0, metavar="K",
+        help="MAD multiplier in the tolerance band (default 4.0)",
+    )
+    sentinel.add_argument(
+        "--elapsed-rel", type=float, default=0.5, metavar="F",
+        help="relative slack floor on elapsed_s (default 0.5)",
+    )
+    sentinel.add_argument(
+        "--elapsed-abs", type=float, default=0.25, metavar="S",
+        help="absolute slack floor on elapsed_s, seconds (default 0.25)",
+    )
+    sentinel.add_argument(
+        "--ops-rel", type=float, default=0.10, metavar="F",
+        help="relative slack floor on op counters (default 0.10)",
+    )
+    sentinel.add_argument(
+        "--ops-abs", type=float, default=2.0, metavar="N",
+        help="absolute slack floor on op counters (default 2.0)",
+    )
+    sentinel.add_argument(
+        "--verbose", action="store_true",
+        help="print ok/skipped findings, not just regressions",
+    )
+    sentinel.add_argument(
+        "--list", action="store_true",
+        help="list the journal's runs (run_id, git sha, host) and exit",
+    )
+    sentinel.set_defaults(func=_cmd_sentinel)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (| head, a closed pager): exit quietly instead
+        # of tracebacking; re-point stdout at devnull so the interpreter's
+        # shutdown flush doesn't raise again
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

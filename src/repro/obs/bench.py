@@ -4,6 +4,13 @@ Each entry is one JSON line: what ran, how long it took, and the metric
 deltas observed while it ran.  Benchmarks append to the same file across
 PRs, so the repo accumulates a timing trajectory instead of a single
 overwritten number.
+
+Every record is stamped with the :mod:`repro.obs.runinfo` identity keys —
+``run_id`` (stable per process), ``git_sha``, ``hostname``, ``python`` —
+so :mod:`repro.obs.journal` can group the trajectory per run and the
+sentinel can compare like with like.  Callers that fan out should include
+``workers`` via ``context`` or a per-record extra (the obs package cannot
+read :mod:`repro.exec` defaults itself — it is a leaf).
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from .export import append_jsonl, timestamp
+from .runinfo import run_context
 
 __all__ = ["BenchJournal"]
 
@@ -24,11 +32,23 @@ class BenchJournal:
         Journal file; created (with parents) on the first record.  The
         conventional location is a ``BENCH_<suite>.json`` at the repo root.
     context:
-        Constant key/values merged into every entry (e.g. python version).
+        Constant key/values merged into every entry; these override the
+        automatic run-identity stamp on key collision (a harness may pin
+        its own ``python`` or ``workers``).
+    stamp_run:
+        Stamp ``run_id``/``git_sha``/``hostname``/``python`` onto every
+        record (default).  Disable only for fixtures that need bytes-stable
+        output.
     """
 
-    def __init__(self, path: str | Path, context: dict | None = None):
+    def __init__(
+        self,
+        path: str | Path,
+        context: dict | None = None,
+        stamp_run: bool = True,
+    ):
         self.path = Path(path)
+        self.stamp_run = stamp_run
         self.context = dict(context or {})
 
     def record(
@@ -43,6 +63,7 @@ class BenchJournal:
             "name": name,
             "elapsed_s": round(float(elapsed_s), 6),
             "timestamp": timestamp(),
+            **(run_context() if self.stamp_run else {}),
             **self.context,
             **extra,
         }

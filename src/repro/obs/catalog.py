@@ -49,6 +49,20 @@ TREE_NODES_SPLIT = "tree.nodes_split"
 # --------------------------------------------------------------------- cube
 CUBE_SUBSETS_BUILT = "cube.subsets_built"
 
+# ------------------------------------------------------------- worker fan-out
+# Counted by repro.exec.ParallelExecutor when work leaves the parent process:
+# chunks dispatched, plus the trace/histogram payloads merged back so parallel
+# runs stay observably identical to serial ones.
+EXEC_WORKER_CHUNKS = "exec.worker.chunks"
+EXEC_WORKER_SPANS_MERGED = "exec.worker.spans_merged"
+EXEC_WORKER_HISTOGRAMS_MERGED = "exec.worker.histograms_merged"
+
+# ------------------------------------------------------- resource profiling
+# Gauges sampled per span by repro.obs.profile.ResourceProfiler.
+OBS_RSS_PEAK_BYTES = "obs.rss_peak_bytes"
+OBS_GC_COLLECTIONS = "obs.gc_collections"
+OBS_READ_RATE_BPS = "obs.read_rate_bps"
+
 
 #: Every registered counter name (all instruments above are counters today;
 #: gauges/histograms added later join their own tuple and ALL_NAMES).
@@ -68,9 +82,16 @@ COUNTERS: tuple[str, ...] = (
     TREE_SPLIT_EVALS,
     TREE_NODES_SPLIT,
     CUBE_SUBSETS_BUILT,
+    EXEC_WORKER_CHUNKS,
+    EXEC_WORKER_SPANS_MERGED,
+    EXEC_WORKER_HISTOGRAMS_MERGED,
 )
 
-GAUGES: tuple[str, ...] = ()
+GAUGES: tuple[str, ...] = (
+    OBS_RSS_PEAK_BYTES,
+    OBS_GC_COLLECTIONS,
+    OBS_READ_RATE_BPS,
+)
 HISTOGRAMS: tuple[str, ...] = ()
 
 

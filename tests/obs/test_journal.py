@@ -1,0 +1,252 @@
+"""Journal analytics and the bench-regression sentinel."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.obs.journal import (
+    Band,
+    JournalRecord,
+    Sentinel,
+    group_by_name,
+    group_by_run,
+    load_journal,
+    noise_band,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def _record(name="bench", elapsed=1.0, metrics=None, **identity):
+    return JournalRecord(
+        name=name, elapsed_s=elapsed, metrics=metrics or {}, **identity
+    )
+
+
+def _series(name, elapsed_values, metrics_list=None):
+    metrics_list = metrics_list or [None] * len(elapsed_values)
+    return [
+        _record(name, e, m) for e, m in zip(elapsed_values, metrics_list)
+    ]
+
+
+class TestLoading:
+    def test_parses_schema_fields(self, tmp_path):
+        journal = tmp_path / "b.json"
+        journal.write_text(json.dumps({
+            "name": "fig7.cube", "elapsed_s": 1.5, "run_id": "abc",
+            "git_sha": "d34db33f", "hostname": "h", "python": "3.11.9",
+            "workers": 2, "metrics": {"store.full_scans": 3},
+            "figure": "fig7",
+        }) + "\n")
+        (rec,) = load_journal(journal)
+        assert rec.name == "fig7.cube"
+        assert rec.elapsed_s == 1.5
+        assert rec.run_id == "abc"
+        assert rec.workers == 2
+        assert rec.metrics == {"store.full_scans": 3.0}
+        assert rec.extra == {"figure": "fig7"}
+
+    def test_tolerates_pre_runid_history(self, tmp_path):
+        """Older journal lines predate run stamping; they parse as None."""
+        journal = tmp_path / "b.json"
+        journal.write_text(json.dumps({"name": "old", "elapsed_s": 0.5}) + "\n")
+        (rec,) = load_journal(journal)
+        assert rec.run_id is None
+        assert rec.git_sha is None
+        assert rec.workers is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_journal(tmp_path / "absent.json")
+
+    def test_nameless_record_raises_with_location(self, tmp_path):
+        journal = tmp_path / "b.json"
+        journal.write_text('{"elapsed_s": 1.0}\n')
+        with pytest.raises(ConfigError, match="b.json:1"):
+            load_journal(journal)
+
+    def test_grouping(self):
+        records = [
+            _record("a", run_id="r1"),
+            _record("b", run_id="r1"),
+            _record("a", run_id=None),
+        ]
+        assert [len(v) for v in group_by_name(records).values()] == [2, 1]
+        by_run = group_by_run(records)
+        assert len(by_run["r1"]) == 2
+        assert len(by_run[None]) == 1
+
+    def test_real_repo_journal_parses(self):
+        records = load_journal(REPO_ROOT / "BENCH_figures.json")
+        assert records
+        assert all(r.name for r in records)
+
+
+class TestNoiseBand:
+    def test_mad_band_around_median(self):
+        band = noise_band([1.0, 1.1, 0.9, 1.05, 0.95], mad_k=4.0)
+        assert band.center == pytest.approx(1.0)
+        # MAD = 0.05 -> half-width 4 * 1.4826 * 0.05
+        assert band.hi == pytest.approx(1.0 + 4 * 1.4826 * 0.05)
+        assert band.contains(1.2)
+        assert not band.contains(1.4)
+
+    def test_rel_floor_widens_flat_history(self):
+        band = noise_band([10.0] * 5, rel_floor=0.1)
+        assert band.lo == pytest.approx(9.0)
+        assert band.hi == pytest.approx(11.0)
+
+    def test_abs_floor_dominates_near_zero(self):
+        band = noise_band([0.001] * 5, rel_floor=0.1, abs_floor=0.25)
+        assert band.hi == pytest.approx(0.251)
+
+    def test_one_outlier_cannot_inflate_the_band(self):
+        """Robustness: the MAD ignores a single historic spike."""
+        calm = noise_band([1.0, 1.01, 0.99, 1.0, 1.02])
+        spiky = noise_band([1.0, 1.01, 0.99, 5.0, 1.02])
+        assert spiky.hi < 2.0  # a stddev-based band would blow past this
+        assert spiky.center == pytest.approx(calm.center, abs=0.02)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ConfigError):
+            noise_band([])
+
+    def test_band_contains_edges(self):
+        band = Band(lo=1.0, hi=2.0, center=1.5, n=3)
+        assert band.contains(1.0) and band.contains(2.0)
+        assert not band.contains(0.999) and not band.contains(2.001)
+
+
+class TestSentinel:
+    def test_stable_trajectory_passes(self):
+        report = Sentinel().check(
+            _series("b", [1.0, 0.98, 1.02, 1.01, 0.99, 1.01])
+        )
+        assert report.ok
+        assert report.checked == 1
+
+    def test_double_slowdown_fails(self):
+        report = Sentinel().check(
+            _series("b", [1.0, 0.98, 1.02, 1.01, 0.99, 2.05])
+        )
+        assert not report.ok
+        (finding,) = report.regressions
+        assert finding.metric == "elapsed_s"
+        assert "REGRESSION" in finding.line()
+
+    def test_speedup_is_not_a_regression(self):
+        """elapsed_s gates one-sided: faster is always fine."""
+        report = Sentinel().check(
+            _series("b", [1.0, 0.98, 1.02, 1.01, 0.99, 0.01])
+        )
+        assert report.ok
+
+    def test_op_count_jump_fails_both_ways(self):
+        metrics = [{"store.full_scans": 10.0}] * 5
+        grew = Sentinel().check(_series(
+            "b", [1.0] * 6, metrics + [{"store.full_scans": 20.0}]
+        ))
+        assert [f.metric for f in grew.regressions] == ["store.full_scans"]
+        shrank = Sentinel().check(_series(
+            "b", [1.0] * 6, metrics + [{"store.full_scans": 0.0}]
+        ))
+        assert [f.metric for f in shrank.regressions] == ["store.full_scans"]
+
+    def test_op_count_within_floor_passes(self):
+        metrics = [{"ml.linear.fits": 120.0}] * 5
+        report = Sentinel().check(_series(
+            "b", [1.0] * 6, metrics + [{"ml.linear.fits": 121.0}]
+        ))
+        assert report.ok
+
+    def test_uncatalogued_metrics_not_gated(self):
+        """Histogram summaries and friends are not op contracts."""
+        metrics = [{"span.scan.s.p95": 0.1}] * 5
+        report = Sentinel().check(_series(
+            "b", [1.0] * 6, metrics + [{"span.scan.s.p95": 99.0}]
+        ))
+        assert report.ok
+
+    def test_thin_history_skipped_not_failed(self):
+        report = Sentinel(min_history=3).check(_series("b", [1.0, 9.0]))
+        assert report.ok
+        assert report.skipped == 1
+        assert report.checked == 0
+
+    def test_window_forgets_ancient_history(self):
+        """Only the trailing window baselines: an old fast era can't haunt
+        a bench that has legitimately re-baselined slower."""
+        series = _series("b", [0.1] * 10 + [5.0] * 10 + [5.1])
+        report = Sentinel(window=5).check(series)
+        assert report.ok
+
+    def test_each_bench_gated_independently(self):
+        records = (
+            _series("fast", [0.1, 0.1, 0.1, 0.1, 0.1])
+            + _series("slow", [1.0, 1.0, 1.0, 1.0, 2.5])
+        )
+        report = Sentinel().check(records)
+        assert [f.bench for f in report.regressions] == ["slow"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            Sentinel(window=0)
+        with pytest.raises(ConfigError):
+            Sentinel(min_history=0)
+
+    def test_render_summarizes(self):
+        report = Sentinel().check(
+            _series("b", [1.0, 0.98, 1.02, 1.01, 0.99, 2.05])
+        )
+        out = report.render()
+        assert "1 regressions" in out
+        assert "REGRESSION b :: elapsed_s" in out
+        verbose = Sentinel().check(_series("b", [1.0] * 6)).render(verbose=True)
+        assert "ok" in verbose
+
+
+class TestFixturesAndCli:
+    """The exact contracts CI enforces, via the committed fixtures."""
+
+    def test_regression_fixture_fails(self):
+        from repro.obs.__main__ import main
+
+        code = main(
+            ["sentinel", "--journal", str(FIXTURES / "journal_regression.jsonl")]
+        )
+        assert code == 1
+
+    def test_stable_fixture_passes(self, capsys):
+        from repro.obs.__main__ import main
+
+        code = main(
+            ["sentinel", "--journal", str(FIXTURES / "journal_stable.jsonl")]
+        )
+        assert code == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_repo_journal_passes(self):
+        """The committed trajectory must satisfy its own sentinel — the
+        blocking-CI invariant."""
+        from repro.obs.__main__ import main
+
+        code = main(
+            ["sentinel", "--journal", str(REPO_ROOT / "BENCH_figures.json")]
+        )
+        assert code == 0
+
+    def test_list_mode_shows_runs(self, capsys):
+        from repro.obs.__main__ import main
+
+        code = main([
+            "sentinel", "--list",
+            "--journal", str(FIXTURES / "journal_regression.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aaaaaaaaaaa1" in out
+        assert "git=1111111" in out

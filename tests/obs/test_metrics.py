@@ -77,6 +77,146 @@ class TestHistograms:
         assert math.isnan(reg.histogram("h").quantile(0.5))
 
 
+class TestQuantileEdges:
+    def test_single_bucket_all_quantiles_agree(self):
+        """Every observation in one bucket: any q returns a value in range."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for __ in range(100):
+            h.observe(0.005)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert h.min <= h.quantile(q) <= h.max
+        assert h.quantile(0.5) == pytest.approx(0.005, rel=0.2)
+
+    def test_q0_and_q1_are_exact_extremes(self):
+        """q=0/q=1 bypass bucket interpolation and return true min/max."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (0.0012, 0.9, 42.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0012
+        assert h.quantile(1.0) == 42.0
+
+    def test_single_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(3.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(3.0)
+
+    def test_underflow_values_collapse_into_bucket_zero(self):
+        """Values below 1e-9 (and negatives, clamped to 0) share bucket 0."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(0.0)
+        h.observe(1e-12)
+        h.observe(-5.0)  # clamps to 0
+        assert h.count == 3
+        assert h.min == 0.0
+        assert h._buckets == {0: 3}
+        # quantiles stay within the true observed range despite the shared
+        # bucket's upper edge being 10**(-9 + 1/8)
+        assert h.quantile(0.5) <= h.max
+
+    def test_overflow_values_clamp_to_last_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1e12)  # beyond the 1e9 grid ceiling
+        h.observe(5e9)
+        assert len(h._buckets) == 1  # both land in the final bucket
+        assert h.quantile(0.5) <= h.max == 1e12
+        assert h.quantile(1.0) == 1e12
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_quantiles_monotone_in_q(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for i in range(1, 200):
+            h.observe(i * 1e-3)
+        qs = [h.quantile(q) for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+
+class TestHistogramStates:
+    def test_state_roundtrip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (0.001, 0.01, 0.1):
+            h.observe(v)
+        state = h.state()
+        assert state["count"] == 3
+        assert state["total"] == pytest.approx(0.111)
+        assert sum(state["buckets"].values()) == 3
+
+    def test_diff_states_isolates_the_window(self):
+        from repro.obs.metrics import Histogram
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(0.5)
+        before = h.state()
+        h.observe(0.005)  # new min
+        h.observe(0.7)    # new max
+        delta = Histogram.diff_states(before, h.state())
+        assert delta["count"] == 2
+        assert delta["total"] == pytest.approx(0.705)
+        assert delta["min"] == 0.005
+        assert delta["max"] == 0.7
+        assert sum(delta["buckets"].values()) == 2
+
+    def test_diff_states_none_when_no_observations(self):
+        from repro.obs.metrics import Histogram
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        assert Histogram.diff_states(h.state(), h.state()) is None
+
+    def test_merge_matches_direct_observation(self):
+        """observe(a..) ∥ observe(b..) then merge ≡ observe(a.. + b..)."""
+        a_vals = [0.001, 0.02, 0.3, 0.004]
+        b_vals = [0.05, 0.6, 0.0007]
+        serial = MetricsRegistry()
+        for v in a_vals + b_vals:
+            serial.observe("h", v)
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        for v in a_vals:
+            parent.observe("h", v)
+        before = worker.histogram_states()  # empty: fresh registry
+        for v in b_vals:
+            worker.observe("h", v)
+        parent.merge_histogram_deltas(worker.diff_histogram_states(before))
+        hs, hp = serial.histogram("h"), parent.histogram("h")
+        assert hp.count == hs.count
+        assert hp.total == pytest.approx(hs.total)
+        assert hp.min == hs.min and hp.max == hs.max
+        assert hp._buckets == hs._buckets
+        for q in (0.5, 0.95, 0.99):
+            assert hp.quantile(q) == hs.quantile(q)
+
+    def test_merge_into_inherited_state(self):
+        """Fork semantics: the worker inherits the parent's buckets; only
+        the window's observations merge back."""
+        parent = MetricsRegistry()
+        parent.observe("h", 0.1)
+        # simulate fork: worker starts with identical state
+        worker = MetricsRegistry()
+        worker.observe("h", 0.1)
+        before = worker.histogram_states()
+        worker.observe("h", 0.2)
+        parent.merge_histogram_deltas(worker.diff_histogram_states(before))
+        assert parent.histogram("h").count == 2  # not 3
+
+
 class TestSnapshots:
     def test_diff_reports_counter_deltas_only(self):
         reg = MetricsRegistry()
@@ -93,6 +233,30 @@ class TestSnapshots:
         d = reg.as_dict()
         assert d["h.count"] == 1
         assert "h.p95" in d and "h.sum" in d
+
+    def test_diff_reports_histogram_summaries_when_changed(self):
+        """Histogram summary keys report current values (not deltas) and
+        appear only when the summary actually moved."""
+        reg = MetricsRegistry()
+        reg.observe("h", 0.5)
+        before = reg.as_dict()
+        delta = reg.diff(before)
+        assert delta == {}  # nothing changed since the snapshot
+        reg.observe("h", 0.5)
+        delta = reg.diff(before)
+        assert delta["h.count"] == 2  # current value, not the +1 delta
+        assert delta["h.sum"] == pytest.approx(1.0)
+        # p50 of two identical observations equals the p50 before, so the
+        # quantile keys only show up if their value moved
+        assert set(delta) <= {"h.count", "h.sum", "h.p50", "h.p95", "h.p99"}
+
+    def test_diff_histogram_appears_from_nothing(self):
+        reg = MetricsRegistry()
+        before = reg.as_dict()
+        reg.observe("h", 0.25)
+        delta = reg.diff(before)
+        assert delta["h.count"] == 1
+        assert delta["h.p50"] > 0
 
     def test_render_table_contains_names(self):
         reg = MetricsRegistry()

@@ -1,0 +1,108 @@
+"""Per-span resource profiling: annotations, gauges, and the observe hook."""
+
+import pytest
+
+from repro.obs import ResourceProfiler, get_registry, observe
+from repro.obs.catalog import (
+    OBS_GC_COLLECTIONS,
+    OBS_READ_RATE_BPS,
+    OBS_RSS_PEAK_BYTES,
+    STORE_BYTES_READ,
+)
+from repro.obs.profile import peak_rss_bytes
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    t.set_profiler(ResourceProfiler())
+    return t
+
+
+def test_peak_rss_is_positive():
+    assert peak_rss_bytes() > 0
+
+
+class TestSpanAnnotations:
+    def test_rss_annotated_on_exit(self, tracer):
+        with tracer.span("work"):
+            pass
+        (root,) = tracer.take_roots()
+        assert root.attrs["rss_peak_mb"] > 0
+
+    def test_read_rate_annotated_when_bytes_flow(self, tracer):
+        bytes_read = get_registry().counter(STORE_BYTES_READ)
+        with tracer.span("scan.like"):
+            bytes_read.inc(1_000_000)
+        (root,) = tracer.take_roots()
+        assert root.attrs["read_mb_s"] > 0
+
+    def test_no_read_rate_without_reads(self, tracer):
+        with tracer.span("idle"):
+            pass
+        (root,) = tracer.take_roots()
+        assert "read_mb_s" not in root.attrs
+
+    def test_gc_collections_annotated_when_gc_runs(self, tracer):
+        import gc
+
+        with tracer.span("alloc"):
+            gc.collect()
+        (root,) = tracer.take_roots()
+        assert root.attrs.get("gc_collections", 0) >= 1
+
+    def test_nested_spans_profile_independently(self, tracer):
+        bytes_read = get_registry().counter(STORE_BYTES_READ)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                bytes_read.inc(500_000)
+        (root,) = tracer.take_roots()
+        inner = root.children[0]
+        assert inner.attrs["read_mb_s"] > 0
+        assert root.attrs["rss_peak_mb"] > 0
+
+
+class TestGauges:
+    def test_gauges_track_latest_sample(self, tracer):
+        registry = get_registry()
+        with tracer.span("work"):
+            registry.counter(STORE_BYTES_READ).inc(2_000_000)
+        assert registry.gauge(OBS_RSS_PEAK_BYTES).value > 0
+        assert registry.gauge(OBS_GC_COLLECTIONS).value >= 0
+        assert registry.gauge(OBS_READ_RATE_BPS).value > 0
+
+
+class TestObserveIntegration:
+    def test_profile_implies_trace_and_annotates(self):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        with observe("profiled", profile=True) as report:
+            with tracer.span("step"):
+                pass
+        assert tracer.profiler is None  # uninstalled on exit
+        (span,) = [s for s in report.spans if s.name == "step"]
+        assert span.attrs["rss_peak_mb"] > 0
+
+    def test_plain_trace_does_not_profile(self):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        with observe("traced", trace=True) as report:
+            with tracer.span("step"):
+                pass
+        (span,) = [s for s in report.spans if s.name == "step"]
+        assert "rss_peak_mb" not in span.attrs
+
+
+def test_profiler_tolerates_spans_opened_before_install():
+    t = Tracer()
+    t.enable()
+    span = t.span("early")
+    span.__enter__()
+    t.set_profiler(ResourceProfiler())
+    span.__exit__(None, None, None)  # no entry snapshot: must not raise
+    (root,) = t.take_roots()
+    assert "rss_peak_mb" not in root.attrs

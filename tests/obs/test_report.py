@@ -1,0 +1,171 @@
+"""Trace analytics: self time, critical path, hot spans, record reports."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.obs.report import (
+    aggregate_span_stats,
+    critical_path,
+    load_records,
+    render_critical_path,
+    render_hot_spans,
+    render_record_report,
+    render_trace_report,
+    self_time,
+    top_spans,
+)
+
+
+def _span(name, duration, children=(), **attrs):
+    return {
+        "name": name,
+        "duration_s": duration,
+        "attrs": attrs,
+        "children": list(children),
+    }
+
+
+@pytest.fixture
+def tree():
+    """driver(1.0) -> [scan(0.6) -> solve(0.5), render(0.1)]"""
+    return _span(
+        "driver",
+        1.0,
+        [
+            _span("scan", 0.6, [_span("solve", 0.5)]),
+            _span("render", 0.1),
+        ],
+    )
+
+
+class TestSelfTime:
+    def test_leaf_self_is_total(self, tree):
+        leaf = tree["children"][1]
+        assert self_time(leaf) == pytest.approx(0.1)
+
+    def test_parent_self_excludes_children(self, tree):
+        assert self_time(tree) == pytest.approx(0.3)  # 1.0 - 0.6 - 0.1
+
+    def test_self_floored_at_zero(self):
+        # clock skew can make children sum past the parent
+        span = _span("p", 0.1, [_span("c", 0.2)])
+        assert self_time(span) == 0.0
+
+
+class TestAggregation:
+    def test_stats_cover_every_span(self, tree):
+        stats = aggregate_span_stats([tree])
+        assert set(stats) == {"driver", "scan", "solve", "render"}
+        assert stats["solve"].count == 1
+        assert stats["solve"].self_s == pytest.approx(0.5)
+
+    def test_same_name_spans_pool(self):
+        roots = [_span("unit", 0.2), _span("unit", 0.3)]
+        stats = aggregate_span_stats(roots)
+        assert stats["unit"].count == 2
+        assert stats["unit"].total_s == pytest.approx(0.5)
+
+    def test_top_spans_ranked_by_self_time(self, tree):
+        ranked = top_spans([tree], k=2)
+        assert [s.name for s in ranked] == ["solve", "driver"]
+
+    def test_top_spans_k_bounds(self, tree):
+        assert len(top_spans([tree], k=100)) == 4
+        assert top_spans([tree], k=0) == []
+
+
+class TestCriticalPath:
+    def test_descends_heaviest_child(self, tree):
+        path = critical_path(tree)
+        assert [s["name"] for s in path] == ["driver", "scan", "solve"]
+
+    def test_single_span_path(self):
+        assert [s["name"] for s in critical_path(_span("only", 0.1))] == ["only"]
+
+
+class TestRendering:
+    def test_tree_groups_siblings(self):
+        root = _span("map", 0.4, [_span("chunk", 0.2), _span("chunk", 0.15)])
+        out = render_trace_report([root])
+        assert "chunk  x2" in out
+        assert "-- span tree" in out
+        assert "-- critical path --" in out
+        assert "-- top 5 hot spans" in out
+
+    def test_critical_path_picks_heaviest_root(self):
+        roots = [_span("light", 0.1), _span("heavy", 0.9, [_span("inner", 0.8)])]
+        out = render_critical_path(roots)
+        assert "heavy" in out and "inner" in out and "light" not in out
+
+    def test_hot_spans_limit(self, tree):
+        out = render_hot_spans([tree], top=2)
+        body = [l for l in out.splitlines()[1:]]
+        assert len(body) == 2
+
+    def test_empty_roots(self):
+        assert render_trace_report([]) == "(no spans recorded)"
+        assert render_critical_path([]) == "(no spans recorded)"
+
+
+class TestRecordReports:
+    def test_loads_and_renders_export(self, tmp_path):
+        export = tmp_path / "runs.jsonl"
+        record = {
+            "name": "fig7",
+            "elapsed_s": 1.5,
+            "spans": [_span("driver", 1.4, [_span("scan", 1.0)])],
+        }
+        export.write_text(json.dumps(record) + "\n")
+        records = load_records(export)
+        out = render_record_report(records)
+        assert "== fig7: 1.50s ==" in out
+        assert "driver" in out and "scan" in out
+
+    def test_metrics_only_record_gets_summary_line(self, tmp_path):
+        export = tmp_path / "runs.jsonl"
+        export.write_text(json.dumps({"name": "fig9", "elapsed_s": 0.25}) + "\n")
+        out = render_record_report(load_records(export))
+        assert "== fig9: 250.0ms ==" in out
+
+    def test_name_filter(self, tmp_path):
+        export = tmp_path / "runs.jsonl"
+        export.write_text(
+            json.dumps({"name": "fig7", "elapsed_s": 1.0}) + "\n"
+            + json.dumps({"name": "fig9", "elapsed_s": 2.0}) + "\n"
+        )
+        records = load_records(export)
+        assert "fig9" not in render_record_report(records, name="fig7")
+        assert render_record_report(records, name="nope") == "(no records named 'nope')"
+
+    def test_missing_file_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_records(tmp_path / "absent.jsonl")
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        export = tmp_path / "runs.jsonl"
+        export.write_text('{"name": "ok", "elapsed_s": 1}\n{broken\n')
+        with pytest.raises(ConfigError, match="runs.jsonl:2"):
+            load_records(export)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        export = tmp_path / "runs.jsonl"
+        export.write_text('\n{"name": "ok", "elapsed_s": 1}\n\n')
+        assert len(load_records(export)) == 1
+
+
+class TestCli:
+    def test_report_command_exit_zero(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        export = tmp_path / "runs.jsonl"
+        export.write_text(
+            json.dumps(
+                {"name": "fig7", "elapsed_s": 1.0, "spans": [_span("driver", 0.9)]}
+            )
+            + "\n"
+        )
+        assert main(["report", str(export), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "driver" in out

@@ -116,6 +116,118 @@ class TestExport:
         assert parsed["duration_s"] >= 0
 
 
+class TestThreadLocalStacks:
+    def test_worker_thread_spans_root_independently(self, tracer):
+        """A span opened on another thread must not nest under this
+        thread's open span — each thread owns its own stack."""
+        import threading
+
+        def worker():
+            with tracer.span("worker.op"):
+                pass
+
+        with tracer.span("main.op"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            # the worker span finished with nothing beneath it on ITS
+            # stack, so it landed in roots while main.op is still open
+            assert [s.name for s in tracer.roots] == ["worker.op"]
+        names = sorted(s.name for s in tracer.take_roots())
+        assert names == ["main.op", "worker.op"]
+
+    def test_current_span_is_per_thread(self, tracer):
+        import threading
+
+        seen = {}
+
+        def worker():
+            seen["worker"] = tracer.current_span()
+
+        with tracer.span("outer") as outer:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert tracer.current_span() is outer
+        assert seen["worker"] is None
+        assert tracer.current_span() is None
+
+
+class TestAdoption:
+    def test_mark_and_take_roots_since(self, tracer):
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark_roots()
+        with tracer.span("after.a"):
+            pass
+        with tracer.span("after.b"):
+            pass
+        since = tracer.take_roots_since(mark)
+        assert [s.name for s in since] == ["after.a", "after.b"]
+        assert [s.name for s in tracer.take_roots()] == ["before"]
+
+    def test_adopt_under_parent(self, tracer):
+        with tracer.span("orphan"):
+            pass
+        (orphan,) = tracer.take_roots()
+        with tracer.span("map") as map_span:
+            tracer.adopt([orphan], map_span)
+        (root,) = tracer.take_roots()
+        assert [c.name for c in root.children] == ["orphan"]
+
+    def test_adopt_as_roots(self, tracer):
+        with tracer.span("x"):
+            pass
+        (x,) = tracer.take_roots()
+        tracer.adopt([x])
+        assert [s.name for s in tracer.take_roots()] == ["x"]
+
+    def test_adopt_does_not_reobserve_histograms(self, tracer):
+        """Re-parenting must not double-count span.*.s — the observations
+        already arrived (shared registry or merged worker deltas)."""
+        from repro.obs import get_registry
+
+        hist = get_registry().histogram("span.adoptee.s")
+        before = hist.count
+        with tracer.span("adoptee"):
+            pass
+        (adoptee,) = tracer.take_roots()
+        assert hist.count == before + 1
+        with tracer.span("map") as map_span:
+            tracer.adopt([adoptee], map_span)
+        tracer.take_roots()
+        assert hist.count == before + 1  # the adoptee was not replayed
+
+    def test_reset_clears_stack_and_roots(self, tracer):
+        with tracer.span("done"):
+            pass
+        open_span = tracer.span("open")
+        open_span.__enter__()
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current_span() is None
+        open_span.__exit__(None, None, None)  # exits quietly post-reset
+        assert tracer.roots == []
+
+
+class TestSpanRoundtrip:
+    def test_span_from_dict_rebuilds_the_tree(self, tracer):
+        from repro.obs import span_from_dict
+
+        with tracer.span("outer", method="rf"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.take_roots()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.name == "outer"
+        assert rebuilt.attrs == {"method": "rf"}
+        assert rebuilt.duration == pytest.approx(root.duration)
+        assert [c.name for c in rebuilt.children] == ["inner"]
+        # a rebuilt span is adoptable by any tracer
+        tracer.adopt([rebuilt])
+        assert [s.name for s in tracer.take_roots()] == ["outer"]
+
+
 class TestObserveSession:
     def test_observe_captures_spans_and_metrics(self):
         from repro.obs import get_registry, observe

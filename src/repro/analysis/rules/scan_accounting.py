@@ -12,7 +12,10 @@ Outside the storage layer (and :mod:`repro.obs`, which renders stats), the
 rule flags:
 
 * attribute access on the store's private internals, and
-* direct ``np.load`` / ``np.savez`` / ``np.savez_compressed`` calls.
+* direct ``np.load`` / ``np.savez`` / ``np.savez_compressed`` /
+  ``np.memmap`` calls (``np.memmap`` is how the columnar backend maps its
+  raw column files; outside ``repro.storage`` a mapping bypasses
+  ``store.columnar.chunks_read`` and the byte counters).
 
 Legitimate non-store ``.npz`` persistence (the suffstats cache) carries an
 inline ``# lint: ignore[RPR001]`` with its justification.
@@ -27,7 +30,7 @@ from ..engine import FileContext, Rule, RuleVisitor, Scope
 __all__ = ["ScanAccountingRule"]
 
 _STORE_INTERNALS = {"_blocks", "_fetch", "_files"}
-_NPZ_CALLS = {"load", "savez", "savez_compressed"}
+_NPZ_CALLS = {"load", "savez", "savez_compressed", "memmap"}
 _NUMPY_ALIASES = {"np", "numpy"}
 
 

@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.dimensions import Region
 from repro.exec import ParallelConfig, ParallelExecutor
-from repro.ml import ErrorEstimate, LinearRegression
+from repro.ml import (
+    ErrorEstimate,
+    LinearRegression,
+    TrainingSetEstimator,
+    default_model_factory,
+)
 from repro.obs.catalog import (
     INCR_CACHE_HITS,
     INCR_FULL_REBUILDS,
@@ -196,10 +201,85 @@ class BasicBellwetherSearch:
             self._profile_version = self.store.version
         return results
 
+    def evaluate_from_tables(self, tables) -> list[RegionResult]:
+        """The all-items profile from materialized cube tables — no scan.
+
+        ``tables`` is what :func:`repro.incremental.build_cube_tables`
+        returned for a cube builder over this store at its *current* version
+        (the caller's contract); the root lattice level — the single
+        all-items subset — holds exactly one rolled suffstats problem per
+        region, so the whole profile is one batched solve with
+        ``store.full_scans``/``store.region_reads`` untouched.  Errors equal
+        :meth:`evaluate_all`'s training-set estimates up to float
+        associativity (rolled per-cell sums versus whole-block products).
+
+        Requires the algebraic (plain training-set) error estimator; any
+        other estimator needs the raw rows and raises
+        :class:`~repro.core.exceptions.SearchError`.
+        """
+        est = self.task.error_estimator
+        if not (
+            isinstance(est, TrainingSetEstimator)
+            and est.model_factory is default_model_factory
+        ):
+            raise SearchError(
+                "cube tables answer the algebraic training-set error only; "
+                "this task's estimator needs raw rows — use evaluate_all()"
+            )
+        root = next(
+            (
+                t
+                for t in tables
+                if all(x == 0 for x in t.level) and t.n_subsets == 1
+            ),
+            None,
+        )
+        if root is None:
+            raise SearchError(
+                "no root-level (all-items) cube table; the builder's "
+                "min_subset_size must admit the full item set"
+            )
+        results: list[RegionResult] = []
+        with _TRACER.span("search.from_tables", regions=root.n_regions) as sp:
+            cand = np.flatnonzero(root.stats.n >= self.min_examples)
+            if len(cand):
+                stats = root.stats.select(cand)
+                sse = stats.sse()
+                denom = stats.n - stats.p
+                denom = np.where(denom <= 0, stats.n, denom)
+                rmse = np.sqrt(sse / denom)
+                dof = stats.dof
+                for k, idx in enumerate(cand):
+                    region = root.regions[int(idx)]
+                    n = int(stats.n[k])
+                    results.append(
+                        RegionResult(
+                            region=region,
+                            cost=self._costs.setdefault(
+                                region, self.task.cost(region)
+                            ),
+                            coverage=n / self.task.n_items,
+                            n_items=n,
+                            error=ErrorEstimate(
+                                rmse=float(rmse[k]),
+                                kind="training",
+                                sse=float(sse[k]),
+                                dof=int(dof[k]),
+                            ),
+                        )
+                    )
+            sp.annotate(evaluated=len(results))
+        _REGIONS_EVALUATED.inc(len(results))
+        self._profile[None] = results
+        self._profile_version = self.store.version
+        return results
+
     # -------------------------------------------------------------- refresh
 
     def refresh(
-        self, parallel: ParallelConfig | None = None
+        self,
+        parallel: ParallelConfig | None = None,
+        tables=None,
     ) -> list[RegionResult]:
         """Bring the all-items profile up to the store's current version.
 
@@ -212,8 +292,16 @@ class BasicBellwetherSearch:
 
         Restricted-item profiles are invalidated — their membership may
         shift under the delta — and lazily recomputed on next use.
+
+        ``tables`` (materialized cube tables at the store's current version)
+        short-circuits the cold path: a search with no cached profile loads
+        the warm profile from them (:meth:`evaluate_from_tables`) instead of
+        scanning.  A warm search ignores them — changelog replay over the
+        touched regions is already scan-free.
         """
         if None not in self._profile:
+            if tables is not None:
+                return self.evaluate_from_tables(tables)
             return self.evaluate_all(parallel=parallel)
         try:
             deltas = self.store.deltas_since(self._profile_version)

@@ -22,6 +22,7 @@ containing the item, pick the one whose bellwether model has the lowest
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -315,6 +316,98 @@ class BellwetherCubeBuilder:
         from repro.incremental import IncrementalCubeMaintainer
 
         return IncrementalCubeMaintainer(self, cache_dir=cache_dir, mode=mode)
+
+    # ------------------------------------------------------------ cube tables
+
+    def geometry_signature(self) -> dict:
+        """A JSON-stable fingerprint of everything the cube's shape depends on.
+
+        Materialized cube tables are keyed on this (plus the store version):
+        two builders with equal signatures produce identical table layouts —
+        same lattice levels, same significant subsets in the same order, same
+        base-cell -> subset rollup maps, same item set, same thresholds.
+        """
+
+        def digest(arr: np.ndarray) -> str:
+            arr = np.ascontiguousarray(arr)
+            return hashlib.sha256(
+                arr.dtype.str.encode() + arr.tobytes()
+            ).hexdigest()
+
+        return {
+            "n_cells": len(self._cells),
+            "p": len(self.store.feature_names) + 1,
+            "min_examples": int(self.min_examples),
+            "min_subset_size": int(self.min_subset_size),
+            "items": digest(self._ids),
+            "levels": [
+                {
+                    "level": list(level),
+                    "keep": [int(s_idx) for s_idx, __s, __n in keep],
+                    "rollup": digest(rm.subset_of_base),
+                }
+                for level, rm, keep in self._levels
+            ],
+        }
+
+    def build_from_tables(self, tables: Sequence) -> BellwetherCubeResult:
+        """The optimized cube from materialized per-level suffstats tables.
+
+        ``tables`` is one :class:`~repro.storage.cubetables.LevelTable` per
+        significant lattice level, in this builder's level order (what
+        :func:`repro.incremental.build_cube_tables` returns for a matching
+        geometry signature).  No facts are read — ``store.full_scans`` and
+        ``store.region_reads`` stay untouched — yet the result is
+        bit-for-bit what ``build("optimized")`` computes at the same store
+        version: the tables hold the same rolled statistics, the batched
+        solve is deterministic per matrix, and the winner replay walks
+        candidates in the same store-region order.
+        """
+        if len(tables) != len(self._levels):
+            raise TaskError(
+                f"got {len(tables)} cube tables for {len(self._levels)} "
+                "significant levels; rebuild the tables for this geometry"
+            )
+        best: dict[CubeSubset, tuple[Region, ErrorEstimate]] = {}
+        with _TRACER.span(
+            "cube.build",
+            method="tables",
+            subsets=len(self.significant_subsets),
+        ):
+            for (level, __rm, keep), table in zip(self._levels, tables):
+                if tuple(table.level) != tuple(level) or table.n_subsets != len(
+                    keep
+                ):
+                    raise TaskError(
+                        f"cube table for level {table.level} does not match "
+                        f"builder level {level}; rebuild the tables"
+                    )
+                n_regions = table.n_regions
+                if n_regions == 0:
+                    continue
+                n_mat = table.stats.n.reshape(n_regions, len(keep))
+                cand = n_mat >= self.min_examples  # (n_regions, n_keep)
+                if not cand.any():
+                    continue
+                rmse, sse, dof = self._training_errors(
+                    table.stats.select(np.flatnonzero(cand.ravel()))
+                )
+                reg_pos, keep_pos = np.nonzero(cand)
+                for j, (__s_idx, subset, __n) in enumerate(keep):
+                    hits = np.flatnonzero(keep_pos == j)
+                    if not len(hits):
+                        continue
+                    k = hits[_first_strict_min(rmse[hits])]
+                    est = ErrorEstimate(
+                        rmse=float(rmse[k]),
+                        kind="training",
+                        sse=float(sse[k]),
+                        dof=int(dof[k]),
+                    )
+                    best[subset] = (table.regions[reg_pos[k]], est)
+        entries = self._entries_from_best(best)
+        _SUBSETS_BUILT.inc(len(entries))
+        return BellwetherCubeResult(entries, self.hierarchies, self.confidence)
 
     # ------------------------------------------------------------------ naive
 

@@ -11,12 +11,18 @@ from .mailorder import (
     make_mailorder,
 )
 from .retail import RetailDataset, generate_retail
-from .scalability import ScalabilityDataset, make_scalability
+from .scalability import (
+    OutOfCoreScalability,
+    ScalabilityDataset,
+    make_scalability,
+    write_scalability,
+)
 from .simulation import SimulationDataset, make_simulation
 
 __all__ = [
     "DEFAULT_PLANT",
     "HETEROGENEOUS_PLANT",
+    "OutOfCoreScalability",
     "RetailDataset",
     "STATE_WEIGHTS",
     "ScalabilityDataset",
@@ -28,4 +34,5 @@ __all__ = [
     "make_scalability",
     "make_simulation",
     "us_location_dimension",
+    "write_scalability",
 ]

@@ -20,13 +20,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core import DirectTask
 from repro.dimensions import HierarchicalDimension, ItemHierarchies, Region
+from repro.exceptions import ConfigError
 from repro.ml import ErrorEstimator, TrainingSetEstimator
-from repro.storage import MemoryStore, RegionBlock
+from repro.storage import (
+    ColumnarStore,
+    DiskStore,
+    MemoryStore,
+    RegionBlock,
+    TrainingDataStore,
+)
 from repro.table import Table
 
 
@@ -129,4 +137,138 @@ def make_scalability(
         store=store,
         hierarchies=hierarchies,
         planted_regions=planted_regions,
+    )
+
+
+@dataclass
+class OutOfCoreScalability:
+    """A scalability instance whose training data lives on disk."""
+
+    task: DirectTask
+    store: TrainingDataStore
+    hierarchies: ItemHierarchies
+    planted_regions: list[Region]
+    directory: Path
+
+    @property
+    def n_examples_total(self) -> int:
+        return self.store.n_examples_total
+
+
+def _region_rng(seed: int, r_idx: int) -> np.random.Generator:
+    # Each region draws its features from its own child stream, so a block's
+    # bytes depend only on (seed, r_idx) — never on generation order or on
+    # which backend is writing.  npz and columnar stores built from the same
+    # seed therefore hold bit-identical arrays.
+    return np.random.default_rng((seed, 1_000 + r_idx))
+
+
+def write_scalability(
+    directory: str | Path,
+    n_items: int = 2_500,
+    n_regions: int = 4_032,
+    n_item_hierarchies: int = 2,
+    hierarchy_leaves: int = 3,
+    n_numeric_features: int = 2,
+    n_regional_features: int = 4,
+    noise: float = 0.1,
+    seed: int = 0,
+    backend: str = "columnar",
+    error_estimator: ErrorEstimator | None = None,
+) -> OutOfCoreScalability:
+    """Stream a scalability instance to disk, one region block at a time.
+
+    Unlike :func:`make_scalability`, the per-region feature matrices are never
+    all resident: peak memory is one ``(n_items, p)`` block regardless of
+    ``n_regions``, which is what makes the paper's 10M-example Figure 11 run
+    fit on a laptop.  ``backend`` selects the on-disk layout (``"npz"`` or
+    ``"columnar"``); both produce bit-identical training data for a given
+    ``seed``.
+    """
+    directory = Path(directory)
+    rng = np.random.default_rng(seed)
+    # ---------------------------------------------------------------- items
+    columns: dict = {"item": np.arange(1, n_items + 1)}
+    hier_attrs = [f"h{j}" for j in range(n_item_hierarchies)]
+    for attr in hier_attrs:
+        columns[attr] = rng.choice(
+            [f"{attr}v{v}" for v in range(hierarchy_leaves)], n_items
+        ).astype(object)
+    num_attrs = [f"n{j}" for j in range(n_numeric_features)]
+    for attr in num_attrs:
+        columns[attr] = rng.normal(size=n_items)
+    item_table = Table(columns)
+    # -------------------------------------------------------------- regions
+    side1 = max(2, int(math.isqrt(n_regions)))
+    side2 = max(1, n_regions // side1)
+    regions = [
+        Region((f"d1n{a:02d}", f"d2n{b:02d}"))
+        for a in range(side1)
+        for b in range(side2)
+    ][:n_regions]
+    # ------------------------------------------------------------- targets
+    planted = list(rng.choice(len(regions), size=min(4, len(regions)), replace=False))
+    planted_regions = [regions[k] for k in planted]
+    group_of_item = rng.integers(0, len(planted_regions), n_items)
+    betas = rng.uniform(-2.0, 2.0, size=(len(planted_regions), n_regional_features))
+    y = np.empty(n_items)
+    for g, r_idx in enumerate(planted):
+        mask = group_of_item == g
+        planted_x = _region_rng(seed, r_idx).normal(
+            size=(n_items, n_regional_features)
+        )
+        y[mask] = planted_x[mask] @ betas[g]
+    y += rng.normal(0.0, noise, n_items)
+    # ----------------------------------------------------------------- task
+    task = DirectTask(
+        item_table,
+        "item",
+        targets=y,
+        item_feature_attrs=tuple(num_attrs),
+        error_estimator=error_estimator or TrainingSetEstimator(),
+    )
+    item_x = task.item_encoder.matrix(item_table["item"])
+    ids = np.asarray(item_table["item"])
+    store_names = task.item_encoder.feature_names + tuple(
+        f"x{k}" for k in range(n_regional_features)
+    )
+    # ---------------------------------------------------------------- store
+    if backend == "npz":
+        writer_cm = DiskStore.writer(directory, store_names)
+    elif backend == "columnar":
+        writer_cm = ColumnarStore.writer(directory, store_names)
+    else:
+        raise ConfigError(
+            f"unknown scalability backend {backend!r}; use 'npz' or 'columnar'"
+        )
+    with writer_cm as writer:
+        for r_idx, region in enumerate(regions):
+            region_x = _region_rng(seed, r_idx).normal(
+                size=(n_items, n_regional_features)
+            )
+            writer.add(
+                region,
+                RegionBlock(
+                    item_ids=ids,
+                    x=np.column_stack([item_x, region_x]),
+                    y=y,
+                ),
+            )
+    hierarchies = ItemHierarchies(
+        [
+            HierarchicalDimension.from_spec(
+                attr,
+                {f"{attr}side": [f"{attr}v{v}" for v in range(hierarchy_leaves)]},
+                level_names=("Any", "Side", "Value"),
+                root_name="Any",
+            )
+            for attr in hier_attrs
+        ]
+    )
+    return OutOfCoreScalability(
+        task=task,
+        store=writer.store,
+        hierarchies=hierarchies,
+        planted_regions=planted_regions,
+        directory=directory,
     )

@@ -10,6 +10,7 @@ from .fig11_scalability import (
     run_fig11b,
     run_fig11c,
     run_fig11d,
+    run_fig11f,
 )
 from .fig11e_incremental import run_fig11e
 from .fig12_characteristics import CharacteristicResult, run_fig12a, run_fig12b
@@ -34,6 +35,7 @@ __all__ = [
     "run_fig11c",
     "run_fig11d",
     "run_fig11e",
+    "run_fig11f",
     "run_fig12a",
     "run_fig12b",
 ]

@@ -44,6 +44,7 @@ from . import (
     run_fig11c,
     run_fig11d,
     run_fig11e,
+    run_fig11f,
     run_fig12a,
     run_fig12b,
 )
@@ -114,6 +115,14 @@ def _fig11e(fast: bool, append_months: int | None = None):
     return run_fig11e(**kwargs).render()
 
 
+def _fig11f(fast: bool, backend: str = "both"):
+    backends = ("npz", "columnar") if backend == "both" else (backend,)
+    # Fast mode is a smoke test at toy scale; journalling it would mix
+    # 3.6k-example timings into the 10M-example sentinel baselines.
+    kwargs = dict(n_items=300, n_regions=12, journal_path=None) if fast else {}
+    return run_fig11f(backends=backends, **kwargs).render()
+
+
 def _fig12a(fast: bool):
     kwargs = dict(leaf_counts=(2, 4), n_items=300) if fast else {}
     return run_fig12a(**kwargs).render()
@@ -135,6 +144,7 @@ FIGURES = {
     "fig11c": _fig11c,
     "fig11d": _fig11d,
     "fig11e": _fig11e,
+    "fig11f": _fig11f,
     "fig12a": _fig12a,
     "fig12b": _fig12b,
 }
@@ -187,6 +197,13 @@ def main(argv: list[str] | None = None) -> int:
         "results are identical, only wall-clock changes)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("npz", "columnar", "both"),
+        default="both",
+        help="fig11f only: which out-of-core storage backend(s) to sweep "
+        "(default: both)",
+    )
+    parser.add_argument(
         "--append-months",
         type=int,
         default=None,
@@ -204,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         with observe(name, trace=tracing, profile=args.profile) as report:
             if name == "fig11e":
                 rendered = _fig11e(args.fast, args.append_months)
+            elif name == "fig11f":
+                rendered = _fig11f(args.fast, args.backend)
             else:
                 rendered = FIGURES[name](args.fast)
         print(rendered)

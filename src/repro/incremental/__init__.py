@@ -18,6 +18,10 @@ Submodules
     by store version; :class:`StaleCacheError` on version mismatch.
 ``deltas``
     Month-append stream construction for the experiment configs.
+``tables``
+    :func:`build_cube_tables` — load-or-materialize the persistent per-level
+    suffstats cube tables (:mod:`repro.storage.cubetables`) with
+    ``--skip-existing`` incremental builds.
 
 Counters (in :mod:`repro.obs`): ``incr.cache_hits``, ``incr.cache_misses``,
 ``incr.cells_resolved``, ``incr.regions_refreshed``, ``incr.full_rebuilds``.
@@ -28,11 +32,13 @@ the same instruments.
 from .cache import StaleCacheError, SuffStatsCache
 from .deltas import month_append_delta, month_split_store, window_end
 from .maintain import IncrementalCubeMaintainer
+from .tables import build_cube_tables
 
 __all__ = [
     "IncrementalCubeMaintainer",
     "StaleCacheError",
     "SuffStatsCache",
+    "build_cube_tables",
     "month_append_delta",
     "month_split_store",
     "window_end",

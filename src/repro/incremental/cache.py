@@ -21,11 +21,11 @@ from repro.dimensions import Region
 from repro.ml import StackedSuffStats
 from repro.storage import StorageError
 
+# StaleCacheError moved to repro.storage.cubetables (the materialized cube
+# tables raise it too); re-exported here for compatibility.
+from repro.storage import StaleCacheError
+
 __all__ = ["StaleCacheError", "SuffStatsCache"]
-
-
-class StaleCacheError(StorageError):
-    """The cached statistics were written against another store version."""
 
 
 class SuffStatsCache:
@@ -90,6 +90,26 @@ class SuffStatsCache:
         different store version (or a different lattice geometry), and
         :class:`StorageError` when the files are missing or unreadable.
         """
+        version, stacks = self.load_versioned(n_cells, p)
+        if version != expected_version:
+            raise StaleCacheError(
+                f"suffstats cache is at store version {version}, "
+                f"store is at {expected_version}"
+            )
+        return stacks
+
+    def load_versioned(
+        self,
+        n_cells: int,
+        p: int,
+    ) -> tuple[int, dict[Region, StackedSuffStats]]:
+        """The cached stacks plus the store version they were written at.
+
+        Geometry is still verified (:class:`StaleCacheError` on mismatch),
+        but any version is accepted — the maintainer uses this to warm-start
+        from an older snapshot and patch forward through the store's
+        changelog instead of rescanning.
+        """
         if not self.meta_path.exists():
             raise StorageError(f"no suffstats cache at {self._dir}")
         try:
@@ -103,11 +123,6 @@ class SuffStatsCache:
             raise StorageError(
                 f"corrupt suffstats-cache metadata {self.meta_path}: {exc!r}"
             ) from exc
-        if version != expected_version:
-            raise StaleCacheError(
-                f"suffstats cache is at store version {version}, "
-                f"store is at {expected_version}"
-            )
         if meta.get("n_cells") != n_cells or meta.get("p") != p:
             raise StaleCacheError(
                 "suffstats cache was built for another lattice geometry "
@@ -135,7 +150,7 @@ class SuffStatsCache:
                 f"suffstats cache {self.data_path} has {len(flat)} problems, "
                 f"expected {len(regions) * n_cells}"
             )
-        return {
+        return version, {
             region: flat.select(slice(i * n_cells, (i + 1) * n_cells))
             for i, region in enumerate(regions)
         }

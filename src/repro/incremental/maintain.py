@@ -155,15 +155,30 @@ class IncrementalCubeMaintainer:
         return self._result_from_cache()
 
     def _try_cache_load(self) -> bool:
+        store = self.builder.store
         try:
-            self._stacks = self._cache.load(
-                self.builder.store.version, self._n_cells, self._p
-            )
+            version, stacks = self._cache.load_versioned(self._n_cells, self._p)
         except StorageError:
             _CACHE_MISSES.inc()
             return False
+        if version != store.version:
+            # An older snapshot is still a warm start when the changelog
+            # covering the gap survives: adopt it and patch the dirty cells
+            # forward instead of rescanning.  A gap (reopened store, version
+            # ahead of the log) stays a miss -> full rebuild.
+            try:
+                deltas = store.deltas_since(version)
+            except StorageError:
+                _CACHE_MISSES.inc()
+                return False
+            self._stacks = stacks
+            self._solve_all_levels()
+            self._version = version
+            self._apply_deltas(deltas)
+            return True
+        self._stacks = stacks
         self._solve_all_levels()
-        self._version = self.builder.store.version
+        self._version = store.version
         return True
 
     def _save_cache(self) -> None:
@@ -395,6 +410,50 @@ class IncrementalCubeMaintainer:
         return StackedSuffStats.from_groups(
             add_intercept(sub.x), sub.y, sub.weights, cells, self._n_cells
         )
+
+    # ------------------------------------------------------------ cube tables
+
+    def level_tables(self) -> list:
+        """The cached statistics as materialized per-level cube tables.
+
+        One :class:`~repro.storage.cubetables.LevelTable` per significant
+        lattice level: every cached region's base cells rolled up to the
+        level's significant subsets, region-major — bit-identical to the
+        rollup ``build("optimized")`` performs, so a cube built from these
+        tables (:meth:`BellwetherCubeBuilder.build_from_tables`) matches a
+        scratch build exactly.  Requires a refreshed maintainer.
+        """
+        from repro.storage import LevelTable
+
+        if self._version is None:
+            raise ConfigError("refresh() the maintainer before level_tables()")
+        builder = self.builder
+        regions = tuple(self._ordered_regions())
+        tables: list = []
+        for level, rm, keep in builder._levels:
+            keep_sidx = np.array(
+                [s_idx for s_idx, __s, __n in keep], dtype=np.int64
+            )
+            per = [
+                self._stacks[r]
+                .rollup(rm.subset_of_base, len(rm.subsets))
+                .select(keep_sidx)
+                for r in regions
+            ]
+            stats = (
+                StackedSuffStats.concatenate(per)
+                if per
+                else StackedSuffStats.zeros(0, self._p)
+            )
+            tables.append(
+                LevelTable(
+                    level=tuple(level),
+                    regions=regions,
+                    keep_sidx=keep_sidx,
+                    stats=stats,
+                )
+            )
+        return tables
 
     # ----------------------------------------------------------------- result
 

@@ -27,6 +27,14 @@ STORE_REGION_READS = "store.region_reads"
 STORE_FULL_SCANS = "store.full_scans"
 STORE_BYTES_READ = "store.bytes_read"
 
+# ----------------------------------------------------------- columnar backend
+# Counted by repro.storage.columnar: bounded-memory chunk reads (each chunk's
+# bytes also land in store.bytes_read, keeping the Lemma accounting truthful)
+# and column-file write traffic.
+STORE_COLUMNAR_CHUNKS_READ = "store.columnar.chunks_read"
+STORE_COLUMNAR_BYTES_WRITTEN = "store.columnar.bytes_written"
+STORE_COLUMNAR_REGIONS_WRITTEN = "store.columnar.regions_written"
+
 # ------------------------------------------------------------ linear algebra
 ML_LINEAR_FITS = "ml.linear.fits"
 ML_LINEAR_BATCHED_SOLVES = "ml.linear.batched_solves"
@@ -49,6 +57,16 @@ TREE_NODES_SPLIT = "tree.nodes_split"
 # --------------------------------------------------------------------- cube
 CUBE_SUBSETS_BUILT = "cube.subsets_built"
 
+# ------------------------------------------------------- materialized tables
+# Counted by repro.storage.cubetables / repro.incremental.tables: warm loads
+# vs. stale misses vs. from-facts builds of the persisted per-level suffstats
+# cube tables, plus their (derived-statistics, non-store) byte traffic.
+CUBE_TABLES_BUILDS = "cube.tables.builds"
+CUBE_TABLES_HITS = "cube.tables.hits"
+CUBE_TABLES_MISSES = "cube.tables.misses"
+CUBE_TABLES_BYTES_WRITTEN = "cube.tables.bytes_written"
+CUBE_TABLES_BYTES_READ = "cube.tables.bytes_read"
+
 # ------------------------------------------------------------- worker fan-out
 # Counted by repro.exec.ParallelExecutor when work leaves the parent process:
 # chunks dispatched, plus the trace/histogram payloads merged back so parallel
@@ -70,6 +88,9 @@ COUNTERS: tuple[str, ...] = (
     STORE_REGION_READS,
     STORE_FULL_SCANS,
     STORE_BYTES_READ,
+    STORE_COLUMNAR_CHUNKS_READ,
+    STORE_COLUMNAR_BYTES_WRITTEN,
+    STORE_COLUMNAR_REGIONS_WRITTEN,
     ML_LINEAR_FITS,
     ML_LINEAR_BATCHED_SOLVES,
     ML_LINEAR_BATCHED_PROBLEMS,
@@ -82,6 +103,11 @@ COUNTERS: tuple[str, ...] = (
     TREE_SPLIT_EVALS,
     TREE_NODES_SPLIT,
     CUBE_SUBSETS_BUILT,
+    CUBE_TABLES_BUILDS,
+    CUBE_TABLES_HITS,
+    CUBE_TABLES_MISSES,
+    CUBE_TABLES_BYTES_WRITTEN,
+    CUBE_TABLES_BYTES_READ,
     EXEC_WORKER_CHUNKS,
     EXEC_WORKER_SPANS_MERGED,
     EXEC_WORKER_HISTOGRAMS_MERGED,

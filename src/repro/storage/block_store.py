@@ -26,6 +26,7 @@ rather than silently serving stale numbers.
 
 from __future__ import annotations
 
+import os
 import pickle
 import zipfile
 from collections.abc import Iterator, Mapping, Sequence
@@ -45,6 +46,17 @@ _TRACER = get_tracer()
 
 class StorageError(ReproError):
     """A store was used inconsistently (unknown region, bad directory, ...)."""
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash mid-write leaves either the old file or the new one, never a torn
+    hybrid — the property both backends rely on for their manifests.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -202,6 +214,12 @@ class TrainingDataStore:
 
     @property
     def n_examples_total(self) -> int:
+        """Total training rows across every region.
+
+        This fallback fetches each block just to count rows; concrete stores
+        override it with manifest/metadata row counts so sizing a workload
+        never costs a full scan's worth of I/O.
+        """
         return sum(self._fetch(r).n_examples for r in self.regions())
 
 
@@ -247,6 +265,10 @@ class MemoryStore(TrainingDataStore):
         block = self._fetch(region)
         self.stats.record_region_read(block.nbytes)
         return block
+
+    @property
+    def n_examples_total(self) -> int:
+        return sum(block.n_examples for block in self._blocks.values())
 
 
 class FilteredStore(TrainingDataStore):
@@ -303,6 +325,9 @@ class DiskStore(TrainingDataStore):
             self.feature_names = tuple(manifest["feature_names"])
             # Manifests written before versioning count as version 0.
             self.version = int(manifest.get("version", 0))
+            # Manifests written before row counts fall back to fetching
+            # blocks in n_examples_total (None, not {}).
+            self._rows: dict[Region, int] | None = manifest.get("rows")
         except StorageError:
             raise
         except Exception as exc:
@@ -323,15 +348,19 @@ class DiskStore(TrainingDataStore):
         np.savez(path, **arrays)
 
     def _write_manifest(self) -> None:
-        with (self._dir / self._MANIFEST).open("wb") as f:
-            pickle.dump(
+        # Atomic: a crash between two block rewrites of apply_delta can leave
+        # the old manifest or the new one, but never a torn pickle.
+        _atomic_write(
+            self._dir / self._MANIFEST,
+            pickle.dumps(
                 {
                     "files": self._files,
                     "feature_names": self.feature_names,
                     "version": self.version,
-                },
-                f,
-            )
+                    "rows": self._rows,
+                }
+            ),
+        )
 
     @classmethod
     def create(
@@ -339,21 +368,36 @@ class DiskStore(TrainingDataStore):
         directory: str | Path,
         blocks: Mapping[Region, RegionBlock],
         feature_names: Sequence[str],
-    ) -> "DiskStore":
-        """Write all blocks and the manifest, then open the store."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        files: dict[Region, str] = {}
-        for i, (region, block) in enumerate(blocks.items()):
-            name = f"region_{i:06d}.npz"
-            cls._write_block(directory / name, block)
-            files[region] = name
-        with (directory / cls._MANIFEST).open("wb") as f:
-            pickle.dump(
-                {"files": files, "feature_names": tuple(feature_names), "version": 0},
-                f,
-            )
-        return cls(directory)
+        backend: str = "npz",
+    ) -> TrainingDataStore:
+        """Write all blocks and the manifest, then open the store.
+
+        ``backend="npz"`` (default) spills one ``.npz`` per region;
+        ``backend="columnar"`` delegates to
+        :class:`repro.storage.columnar.ColumnarStore` (same directory layout
+        contract, different file format — see :func:`open_store`).
+        """
+        if backend == "columnar":
+            from .columnar import ColumnarStore
+
+            return ColumnarStore.create(directory, blocks, feature_names)
+        if backend != "npz":
+            raise StorageError(f"unknown storage backend {backend!r}")
+        with cls.writer(directory, feature_names) as w:
+            for region, block in blocks.items():
+                w.add(region, block)
+        return w.store
+
+    @classmethod
+    def writer(
+        cls, directory: str | Path, feature_names: Sequence[str]
+    ) -> "BlockWriter":
+        """Streaming creation: blocks added one at a time, manifest last.
+
+        Lets out-of-core generators build stores far larger than RAM — each
+        block is written and dropped before the next is generated.
+        """
+        return BlockWriter(directory, feature_names)
 
     def apply_delta(self, delta) -> int:
         """Apply a delta, rewriting touched ``.npz`` blocks and the manifest.
@@ -368,6 +412,8 @@ class DiskStore(TrainingDataStore):
         self._apply_delta_to_blocks(delta, touched)
         for region in delta.drop_regions:
             (self._dir / self._files.pop(region)).unlink(missing_ok=True)
+            if self._rows is not None:
+                self._rows.pop(region, None)
         next_idx = 1 + max(
             (int(name[len("region_"):-len(".npz")]) for name in self._files.values()),
             default=-1,
@@ -379,15 +425,20 @@ class DiskStore(TrainingDataStore):
                 next_idx += 1
                 self._files[region] = name
             self._write_block(self._dir / name, touched[region])
+            if self._rows is not None:
+                self._rows[region] = touched[region].n_examples
         self._write_manifest()
         return self.version
 
     @classmethod
-    def from_memory(cls, directory: str | Path, store: MemoryStore) -> "DiskStore":
+    def from_memory(
+        cls, directory: str | Path, store: MemoryStore, backend: str = "npz"
+    ) -> TrainingDataStore:
         return cls.create(
             directory,
             {r: store._fetch(r) for r in store.regions()},
             store.feature_names,
+            backend=backend,
         )
 
     def regions(self) -> list[Region]:
@@ -416,3 +467,85 @@ class DiskStore(TrainingDataStore):
         block = self._fetch(region)
         self.stats.record_region_read(block.nbytes)
         return block
+
+    @property
+    def n_examples_total(self) -> int:
+        if self._rows is not None:
+            return sum(self._rows.values())
+        # Pre-row-count manifest: the slow fallback is the only honest answer.
+        return super().n_examples_total
+
+
+class BlockWriter:
+    """Streaming :class:`DiskStore` creation (one block in RAM at a time).
+
+    Use as a context manager; the manifest is written (atomically) only on a
+    clean exit, so an interrupted build never looks like a complete store::
+
+        with DiskStore.writer(directory, feature_names) as w:
+            for region, block in generate():
+                w.add(region, block)
+        store = w.store
+    """
+
+    def __init__(self, directory: str | Path, feature_names: Sequence[str]):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.feature_names = tuple(feature_names)
+        self._files: dict[Region, str] = {}
+        self._rows: dict[Region, int] = {}
+        self.store: DiskStore | None = None
+
+    def add(self, region: Region, block: RegionBlock) -> None:
+        if self.store is not None:
+            raise StorageError("writer already finished")
+        if region in self._files:
+            raise StorageError(f"duplicate region {region}")
+        if block.n_features != len(self.feature_names):
+            raise StorageError(
+                f"block has {block.n_features} features, "
+                f"writer declares {len(self.feature_names)}"
+            )
+        name = f"region_{len(self._files):06d}.npz"
+        DiskStore._write_block(self._dir / name, block)
+        self._files[region] = name
+        self._rows[region] = block.n_examples
+
+    def finish(self) -> DiskStore:
+        if self.store is None:
+            _atomic_write(
+                self._dir / DiskStore._MANIFEST,
+                pickle.dumps(
+                    {
+                        "files": self._files,
+                        "feature_names": self.feature_names,
+                        "version": 0,
+                        "rows": self._rows,
+                    }
+                ),
+            )
+            self.store = DiskStore(self._dir)
+        return self.store
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finish()
+
+
+def open_store(directory: str | Path) -> TrainingDataStore:
+    """Open an on-disk store, sniffing which backend wrote it.
+
+    A JSON manifest means :class:`repro.storage.columnar.ColumnarStore`; a
+    pickle manifest means :class:`DiskStore`.
+    """
+    directory = Path(directory)
+    from .columnar import ColumnarStore
+
+    if (directory / ColumnarStore.MANIFEST).exists():
+        return ColumnarStore(directory)
+    if (directory / DiskStore._MANIFEST).exists():
+        return DiskStore(directory)
+    raise StorageError(f"{directory} holds no npz or columnar manifest")

@@ -146,3 +146,42 @@ class TestScalability:
         search = BasicBellwetherSearch(ds.task, ds.store)
         result = search.run()
         assert result.bellwether.region in ds.planted_regions
+
+
+class TestOutOfCoreScalability:
+    def test_backends_bit_identical(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets import write_scalability
+
+        a = write_scalability(
+            tmp_path / "col", n_items=80, n_regions=8, seed=5,
+            backend="columnar",
+        )
+        b = write_scalability(
+            tmp_path / "npz", n_items=80, n_regions=8, seed=5, backend="npz"
+        )
+        assert a.planted_regions == b.planted_regions
+        assert a.n_examples_total == b.n_examples_total == 80 * 8
+        for region in a.store.regions():
+            x, y = a.store.read(region), b.store.read(region)
+            assert np.array_equal(x.x, y.x)
+            assert np.array_equal(x.y, y.y)
+
+    def test_planted_regions_win_out_of_core(self, tmp_path):
+        from repro.datasets import write_scalability
+
+        ds = write_scalability(
+            tmp_path / "s", n_items=300, n_regions=16, noise=0.05, seed=2
+        )
+        result = BasicBellwetherSearch(ds.task, ds.store).run()
+        assert result.bellwether.region in ds.planted_regions
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        from repro.exceptions import ConfigError
+
+        from repro.datasets import write_scalability
+
+        with pytest.raises(ConfigError, match="backend"):
+            write_scalability(tmp_path / "s", n_items=10, n_regions=4,
+                              backend="tape")

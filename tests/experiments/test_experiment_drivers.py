@@ -10,6 +10,7 @@ from repro.experiments import (
     run_fig8,
     run_fig10a,
     run_fig11b,
+    run_fig11f,
     run_fig12b,
 )
 
@@ -77,6 +78,32 @@ class TestScalingDrivers:
         result = run_fig12b(feature_counts=(2, 4), n_items=150, n_regions=6)
         assert result.xs == [2, 4]
         assert all(s > 0 for s in result.seconds)
+
+    def test_fig11f_sweeps_both_backends(self, tmp_path):
+        # run_fig11f itself asserts the warm path reads zero facts and
+        # reproduces the cold optimized cube bit-for-bit.
+        result = run_fig11f(
+            backends=("npz", "columnar"),
+            n_items=120,
+            n_regions=6,
+            scratch_dir=tmp_path,
+            journal_path=None,
+        )
+        assert result.xs == ("npz", "columnar")
+        assert set(result.series) == {
+            "generate", "cold optimized cube", "table build", "warm build"
+        }
+        assert all(
+            len(v) == 2 and all(s > 0 for s in v)
+            for v in result.series.values()
+        )
+
+    def test_fig11f_rejects_unknown_backend(self, tmp_path):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="backend"):
+            run_fig11f(backends=("tape",), scratch_dir=tmp_path,
+                       journal_path=None)
 
 
 class TestCli:

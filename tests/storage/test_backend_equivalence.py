@@ -1,0 +1,100 @@
+"""npz and columnar backends are interchangeable, bit for bit.
+
+The same training data written through either backend must round-trip to
+identical arrays, and every algorithm downstream — the bellwether cube, the
+RF tree, the basic search — must produce *exactly* the same answers
+(``EXACT`` tolerance, not approximate), because both backends feed the same
+floats to the same deterministic kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicBellwetherSearch,
+    BellwetherCubeBuilder,
+    BellwetherTreeBuilder,
+)
+from repro.core.training_data import build_store
+from repro.datasets import make_mailorder
+from repro.ml import TrainingSetEstimator
+from repro.storage import ColumnarStore, DiskStore
+from repro.verify import (
+    EXACT,
+    assert_same_cube,
+    assert_same_store,
+    assert_same_tree,
+    diff_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_mailorder(
+        n_items=60, n_months=6, seed=0, error_estimator=TrainingSetEstimator()
+    )
+
+
+@pytest.fixture(scope="module")
+def stores(dataset, tmp_path_factory):
+    base = tmp_path_factory.mktemp("backends")
+    mem, __, __ = build_store(dataset.task)
+    npz = DiskStore.from_memory(base / "npz", mem, backend="npz")
+    col = DiskStore.from_memory(base / "col", mem, backend="columnar")
+    assert isinstance(col, ColumnarStore)
+    return mem, npz, col
+
+
+class TestStoreEquivalence:
+    def test_stores_identical(self, stores):
+        mem, npz, col = stores
+        assert_same_store(mem, npz, tol=EXACT)
+        assert_same_store(mem, col, tol=EXACT)
+
+    def test_scan_order_matches(self, stores):
+        __, npz, col = stores
+        assert [r for r, __b in npz.scan()] == [r for r, __b in col.scan()]
+
+    def test_raw_bytes_round_trip(self, stores):
+        __, npz, col = stores
+        for region in npz.regions():
+            a, b = npz.read(region), col.read(region)
+            assert a.x.tobytes() == b.x.tobytes()
+            assert a.y.tobytes() == b.y.tobytes()
+
+
+class TestAlgorithmEquivalence:
+    """The fig7/fig9 pipelines give bit-identical answers on both backends."""
+
+    def test_cube_exact(self, dataset, stores):
+        __, npz, col = stores
+        cube_npz = BellwetherCubeBuilder(
+            dataset.task, npz, dataset.hierarchies
+        ).build("optimized")
+        cube_col = BellwetherCubeBuilder(
+            dataset.task, col, dataset.hierarchies
+        ).build("optimized")
+        assert_same_cube(cube_npz, cube_col, tol=EXACT)
+
+    def test_tree_exact(self, dataset, stores):
+        __, npz, col = stores
+
+        def tree(store):
+            return BellwetherTreeBuilder(
+                dataset.task,
+                store,
+                split_attrs=dataset.task.item_feature_attrs,
+                min_items=20,
+                max_depth=2,
+            ).build("rf")
+
+        assert_same_tree(tree(npz).root, tree(col).root)
+
+    def test_basic_search_profile_exact(self, dataset, stores):
+        __, npz, col = stores
+        prof_npz = BasicBellwetherSearch(dataset.task, npz).evaluate_all()
+        prof_col = BasicBellwetherSearch(dataset.task, col).evaluate_all()
+        assert diff_profiles(prof_npz, prof_col, tol=EXACT) == []
+        assert np.array_equal(
+            [r.rmse for r in prof_npz], [r.rmse for r in prof_col]
+        )

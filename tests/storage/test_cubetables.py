@@ -1,0 +1,214 @@
+"""Materialized suffstats cube tables: warm builds, staleness, incrementality.
+
+The contract under test (ISSUE 7's tentpole): ``build_cube_tables`` persists
+per-level :class:`~repro.storage.LevelTable` sets keyed on the store version
+and the builder's lattice geometry; ``build_from_tables`` replays them into
+a cube **bit-for-bit equal** to ``build("optimized")`` without touching a
+single fact row; stale tables (version bump, different geometry) are
+detected, and a version bump is patched forward through the store changelog
+instead of rescanning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
+from repro.core.exceptions import TaskError
+from repro.core.training_data import build_store
+from repro.datasets import make_mailorder
+from repro.incremental import build_cube_tables
+from repro.ml import TrainingSetEstimator
+from repro.obs import get_registry
+from repro.storage import (
+    BlockDelta,
+    CubeTableStore,
+    RegionBlock,
+    StaleCacheError,
+    StorageError,
+    StoreDelta,
+)
+from repro.verify import APPROX, EXACT, assert_same_cube, diff_profiles
+
+
+@pytest.fixture()
+def setup(tmp_path):
+    ds = make_mailorder(
+        n_items=60, n_months=6, seed=0, error_estimator=TrainingSetEstimator()
+    )
+    store, __, __ = build_store(ds.task)
+    builder = BellwetherCubeBuilder(ds.task, store, ds.hierarchies)
+    return ds, store, builder, tmp_path / "tables"
+
+
+def _append_delta(store, n_rows: int = 5) -> StoreDelta:
+    """Extra observations for existing items in the store's first region."""
+    region = store.regions()[0]
+    block = store.read(region)
+    rng = np.random.default_rng(42)
+    append = RegionBlock(
+        item_ids=block.item_ids[:n_rows].copy(),
+        x=rng.normal(size=(n_rows, block.x.shape[1])),
+        y=rng.normal(size=n_rows),
+        weights=None if block.weights is None else np.ones(n_rows),
+    )
+    return StoreDelta(blocks={region: BlockDelta(append=append)})
+
+
+class TestWarmBuild:
+    def test_tables_reproduce_optimized_cube_exactly(self, setup):
+        ds, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        warm = builder.build_from_tables(tables)
+        scratch = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies
+        ).build("optimized")
+        assert_same_cube(scratch, warm, tol=EXACT)
+
+    def test_second_call_is_a_hit_with_zero_store_io(self, setup):
+        __, store, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        registry = get_registry()
+        before = registry.counter_values()
+        scans0, reads0 = store.stats.full_scans, store.stats.region_reads
+        tables = build_cube_tables(builder, table_dir)
+        builder.build_from_tables(tables)
+        after = registry.counter_values()
+        assert store.stats.full_scans == scans0
+        assert store.stats.region_reads == reads0
+        assert after.get("cube.tables.hits", 0) - before.get("cube.tables.hits", 0) == 1
+        assert after.get("cube.tables.builds", 0) == before.get("cube.tables.builds", 0)
+
+    def test_skip_existing_false_forces_rebuild(self, setup):
+        __, __s, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        before = get_registry().counter_values()
+        build_cube_tables(builder, table_dir, skip_existing=False)
+        after = get_registry().counter_values()
+        assert after.get("cube.tables.builds", 0) - before.get("cube.tables.builds", 0) == 1
+
+
+class TestStaleness:
+    def test_version_bump_patches_without_full_scan(self, setup):
+        ds, store, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        store.apply_delta(_append_delta(store))
+        before = get_registry().counter_values()
+        scans0 = store.stats.full_scans
+        tables = build_cube_tables(builder, table_dir)
+        warm = builder.build_from_tables(tables)
+        after = get_registry().counter_values()
+        # stale tables miss, but the rebuild patches the dirty cells forward
+        # through the changelog — no second full scan.
+        assert store.stats.full_scans == scans0
+        assert after.get("cube.tables.misses", 0) - before.get("cube.tables.misses", 0) == 1
+        scratch = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies
+        ).build("optimized")
+        assert_same_cube(scratch, warm, tol=EXACT)
+
+    def test_load_rejects_version_mismatch(self, setup):
+        __, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        table_store = CubeTableStore(table_dir)
+        signature = builder.geometry_signature()
+        assert len(table_store.load(signature, store.version)) == len(tables)
+        with pytest.raises(StaleCacheError):
+            table_store.load(signature, store.version + 3)
+
+    def test_load_rejects_geometry_mismatch(self, setup):
+        ds, store, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        other = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies, min_subset_size=7
+        )
+        with pytest.raises(StaleCacheError, match="geometry"):
+            CubeTableStore(table_dir).load(
+                other.geometry_signature(), store.version
+            )
+
+    def test_geometry_mismatch_triggers_rebuild(self, setup):
+        ds, store, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        other = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies, min_subset_size=7
+        )
+        before = get_registry().counter_values()
+        tables = build_cube_tables(other, table_dir)
+        after = get_registry().counter_values()
+        assert after.get("cube.tables.misses", 0) - before.get("cube.tables.misses", 0) == 1
+        assert_same_cube(
+            other.build_from_tables(tables),
+            BellwetherCubeBuilder(
+                ds.task, store, ds.hierarchies, min_subset_size=7
+            ).build("optimized"),
+            tol=EXACT,
+        )
+
+    def test_missing_tables_raise_storage_error(self, setup, tmp_path):
+        __, store, builder, __t = setup
+        with pytest.raises(StorageError):
+            CubeTableStore(tmp_path / "empty").load(
+                builder.geometry_signature(), store.version
+            )
+
+    def test_corrupt_meta_raises_storage_error(self, setup):
+        __, store, builder, table_dir = setup
+        build_cube_tables(builder, table_dir)
+        (table_dir / CubeTableStore._META).write_text("{broken")
+        with pytest.raises(StorageError):
+            CubeTableStore(table_dir).load(
+                builder.geometry_signature(), store.version
+            )
+
+
+class TestSearchFromTables:
+    def test_profile_matches_evaluate_all(self, setup):
+        ds, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        search = BasicBellwetherSearch(ds.task, store)
+        oracle = search.evaluate_all()
+        candidate = BasicBellwetherSearch(ds.task, store).evaluate_from_tables(
+            tables
+        )
+        assert diff_profiles(oracle, candidate, tol=APPROX) == []
+
+    def test_refresh_cold_path_uses_tables_without_scanning(self, setup):
+        ds, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        search = BasicBellwetherSearch(ds.task, store)
+        scans0, reads0 = store.stats.full_scans, store.stats.region_reads
+        search.refresh(tables=tables)
+        assert store.stats.full_scans == scans0
+        assert store.stats.region_reads == reads0
+
+    def test_wrong_estimator_rejected(self, setup):
+        from repro.core.exceptions import SearchError
+        from repro.ml import CrossValidationEstimator
+
+        __, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        cv_ds = make_mailorder(
+            n_items=60,
+            n_months=6,
+            seed=0,
+            error_estimator=CrossValidationEstimator(n_folds=3),
+        )
+        with pytest.raises(SearchError, match="training-set"):
+            BasicBellwetherSearch(cv_ds.task, store).evaluate_from_tables(tables)
+
+
+class TestBuildFromTablesValidation:
+    def test_wrong_table_count_rejected(self, setup):
+        __, __s, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        with pytest.raises(TaskError):
+            builder.build_from_tables(tables[:-1])
+
+    def test_foreign_geometry_rejected(self, setup):
+        ds, store, builder, table_dir = setup
+        tables = build_cube_tables(builder, table_dir)
+        other = BellwetherCubeBuilder(
+            ds.task, store, ds.hierarchies, min_subset_size=7
+        )
+        with pytest.raises(TaskError):
+            other.build_from_tables(tables)

@@ -179,11 +179,13 @@ class TestStaleCacheRecovery:
         with pytest.raises(StaleCacheError):
             cache.load(store.version + 1, maintainer._n_cells, maintainer._p)
 
-    def test_recovery_rebuilds_instead_of_serving_stale(
+    def test_recovery_patches_instead_of_serving_stale(
         self, singular_task, singular_hierarchies, tmp_path
     ):
-        """After a store delta, a fresh maintainer must treat the on-disk
-        cache as stale (cache_misses) and agree with a scratch build."""
+        """After a store delta, a fresh maintainer must never serve the
+        on-disk snapshot as-is: it adopts it as a warm start, patches the
+        dirty cells forward through the changelog (cache hit, **no full
+        scan**), and agrees with a scratch build bit for bit."""
         store, __, __ = build_store(singular_task)
 
         def make_builder():
@@ -202,10 +204,13 @@ class TestStaleCacheRecovery:
         store.apply_delta(StoreDelta({region: BlockDelta(retract_ids=victim)}))
 
         before = counters_snapshot()
+        scans0 = store.stats.full_scans
         cold = make_builder().incremental(cache_dir=tmp_path)
         refreshed = cold.refresh()
         after = counters_snapshot()
-        assert after["incr.cache_misses"] - before.get("incr.cache_misses", 0) == 1
+        assert after["incr.cache_hits"] - before.get("incr.cache_hits", 0) == 1
+        assert after.get("incr.cache_misses", 0) == before.get("incr.cache_misses", 0)
+        assert store.stats.full_scans == scans0
 
         scratch_builder = make_builder()
         assert_same_cube(scratch_builder.build("optimized"), refreshed, EXACT)

@@ -137,6 +137,23 @@ class BasicBellwetherSearch:
         # asks the store what changed since then.
         self._profile_version: int = store.version
 
+    # --------------------------------------------------------------- warmth
+
+    @property
+    def profile_version(self) -> int:
+        """Store version the cached all-items profile was evaluated at."""
+        return self._profile_version
+
+    def has_profile(self, item_ids: Sequence | None = None) -> bool:
+        """Is a profile cached for this item restriction (``None`` = all)?
+
+        Lets callers (e.g. the query service) distinguish the warm path —
+        :meth:`evaluate_all` returning a cached list without touching the
+        store — from a cold evaluation, without triggering either.
+        """
+        key = frozenset(item_ids) if item_ids is not None else None
+        return key in self._profile
+
     # -------------------------------------------------------------- evaluate
 
     def evaluate_all(

@@ -14,6 +14,7 @@ from .fig11_scalability import (
 )
 from .fig11e_incremental import run_fig11e
 from .fig12_characteristics import CharacteristicResult, run_fig12a, run_fig12b
+from .fig13_serve import Fig13Result, run_fig13
 from .tables import render_grid, render_series
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "Fig8Result",
     "Fig9Result",
     "Fig10Result",
+    "Fig13Result",
     "ScalingResult",
     "render_grid",
     "render_series",
@@ -38,4 +40,5 @@ __all__ = [
     "run_fig11f",
     "run_fig12a",
     "run_fig12b",
+    "run_fig13",
 ]

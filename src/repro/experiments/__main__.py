@@ -47,6 +47,7 @@ from . import (
     run_fig11f,
     run_fig12a,
     run_fig12b,
+    run_fig13,
 )
 
 
@@ -133,6 +134,21 @@ def _fig12b(fast: bool):
     return run_fig12b(**kwargs).render()
 
 
+def _fig13(fast: bool):
+    kwargs = (
+        dict(
+            clients=8,
+            requests_per_client=3,
+            n_items=24,
+            n_months=4,
+            journal_path=None,
+        )
+        if fast
+        else {}
+    )
+    return run_fig13(**kwargs).render()
+
+
 FIGURES = {
     "fig7": _fig7,
     "fig8": _fig8,
@@ -147,6 +163,7 @@ FIGURES = {
     "fig11f": _fig11f,
     "fig12a": _fig12a,
     "fig12b": _fig12b,
+    "fig13": _fig13,
 }
 
 

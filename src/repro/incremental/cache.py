@@ -8,11 +8,21 @@ scan — but only when the on-disk version matches the store's, and only when
 the files decode cleanly; anything else raises :class:`StaleCacheError` /
 :class:`~repro.storage.StorageError` so the caller rebuilds instead of
 serving stale or garbled statistics.
+
+Thread safety: the query service (:mod:`repro.serve`) saves and loads this
+cache from concurrent request threads.  Both files are written atomically
+(temp + ``os.replace``), an instance lock serializes save/load, and the
+store version is embedded in the data file and cross-checked against the
+metadata on load — a meta/data pair torn by a concurrent save (same
+geometry, different versions, previously adopted *silently* and then
+patched forward twice) now raises :class:`~repro.storage.StorageError`.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +30,7 @@ import numpy as np
 from repro.dimensions import Region
 from repro.ml import StackedSuffStats
 from repro.storage import StorageError
+from repro.storage.block_store import _atomic_write
 
 # StaleCacheError moved to repro.storage.cubetables (the materialized cube
 # tables raise it too); re-exported here for compatibility.
@@ -36,6 +47,7 @@ class SuffStatsCache:
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
+        self._io_lock = threading.RLock()
 
     @property
     def meta_path(self) -> Path:
@@ -52,30 +64,41 @@ class SuffStatsCache:
         n_cells: int,
         p: int,
     ) -> None:
-        """Write all stacks (each exactly ``n_cells`` problems) and metadata."""
-        self._dir.mkdir(parents=True, exist_ok=True)
-        regions = list(stacks)
-        if regions:
-            flat = StackedSuffStats.concatenate([stacks[r] for r in regions])
-        else:
-            flat = StackedSuffStats.zeros(0, p)
-        # Derived-statistics persistence, not training-data I/O: cache
-        # traffic is accounted through incr.cache_hits / incr.cache_misses,
-        # never through the store scan counters the Lemmas are phrased in.
-        np.savez(  # lint: ignore[RPR001]
-            self.data_path,
-            ytwy=flat.ytwy, xtwx=flat.xtwx, xtwy=flat.xtwy,
-            n=flat.n, sum_w=flat.sum_w,
-        )
-        with self.meta_path.open("wb") as f:
-            pickle.dump(
-                {
-                    "version": version,
-                    "regions": regions,
-                    "n_cells": n_cells,
-                    "p": p,
-                },
-                f,
+        """Write all stacks (each exactly ``n_cells`` problems) and metadata.
+
+        Data first (atomically, with the version embedded), metadata last
+        (atomically) — the metadata is the commit point, and the embedded
+        version lets :meth:`load_versioned` detect a torn pair.
+        """
+        with self._io_lock:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            regions = list(stacks)
+            if regions:
+                flat = StackedSuffStats.concatenate([stacks[r] for r in regions])
+            else:
+                flat = StackedSuffStats.zeros(0, p)
+            # Derived-statistics persistence, not training-data I/O: cache
+            # traffic is accounted through incr.cache_hits / incr.cache_misses,
+            # never through the store scan counters the Lemmas are phrased in.
+            tmp = self.data_path.with_name(self.data_path.name + ".tmp")
+            with tmp.open("wb") as f:
+                np.savez(  # lint: ignore[RPR001]
+                    f,
+                    ytwy=flat.ytwy, xtwx=flat.xtwx, xtwy=flat.xtwy,
+                    n=flat.n, sum_w=flat.sum_w,
+                    version=np.asarray([int(version)], dtype=np.int64),
+                )
+            os.replace(tmp, self.data_path)
+            _atomic_write(
+                self.meta_path,
+                pickle.dumps(
+                    {
+                        "version": version,
+                        "regions": regions,
+                        "n_cells": n_cells,
+                        "p": p,
+                    }
+                ),
             )
 
     def load(
@@ -110,6 +133,14 @@ class SuffStatsCache:
         from an older snapshot and patch forward through the store's
         changelog instead of rescanning.
         """
+        with self._io_lock:
+            return self._load_versioned_locked(n_cells, p)
+
+    def _load_versioned_locked(
+        self,
+        n_cells: int,
+        p: int,
+    ) -> tuple[int, dict[Region, StackedSuffStats]]:
         if not self.meta_path.exists():
             raise StorageError(f"no suffstats cache at {self._dir}")
         try:
@@ -133,6 +164,9 @@ class SuffStatsCache:
             # Counterpart of save() above: suffstats-cache reads are tracked
             # by the incr.* counters, not the store scan accounting.
             with np.load(self.data_path) as data:  # lint: ignore[RPR001]
+                data_version = (
+                    int(data["version"][0]) if "version" in data.files else None
+                )
                 flat = StackedSuffStats(
                     data["ytwy"], data["xtwx"], data["xtwy"],
                     data["n"], data["sum_w"],
@@ -143,6 +177,11 @@ class SuffStatsCache:
             raise StorageError(
                 f"unreadable suffstats cache {self.data_path}: {exc!r}"
             ) from exc
+        if data_version is not None and data_version != version:
+            raise StorageError(
+                f"torn suffstats cache at {self._dir}: metadata says store "
+                f"version {version}, data file was written at {data_version}"
+            )
         if len(flat) != len(regions) * n_cells or (
             len(flat) and flat.p != p
         ):

@@ -81,6 +81,26 @@ OBS_RSS_PEAK_BYTES = "obs.rss_peak_bytes"
 OBS_GC_COLLECTIONS = "obs.gc_collections"
 OBS_READ_RATE_BPS = "obs.read_rate_bps"
 
+# ------------------------------------------------------------- query service
+# Counted by repro.serve: requests answered (and how many errored), warm
+# profile hits vs. cold recomputes, store-version adoptions picked up from
+# the changelog, and queries proven to have touched zero facts.  The
+# registry itself is single-threaded by design, so the service updates these
+# under its own instrument lock (see repro.serve.state).
+SERVE_REQUESTS = "serve.requests"
+SERVE_ERRORS = "serve.errors"
+SERVE_CACHE_HITS = "serve.cache_hits"
+SERVE_CACHE_MISSES = "serve.cache_misses"
+SERVE_VERSION_ADOPTIONS = "serve.version_adoptions"
+SERVE_ZERO_SCAN_QUERIES = "serve.zero_scan_queries"
+
+# Per-endpoint latency histograms (seconds), observed by repro.serve.app.
+SERVE_LATENCY_MODEL = "serve.latency.model.s"
+SERVE_LATENCY_REGIONS = "serve.latency.regions.s"
+SERVE_LATENCY_CUBE = "serve.latency.cube.s"
+SERVE_LATENCY_BELLWETHER = "serve.latency.bellwether.s"
+SERVE_LATENCY_PREDICT = "serve.latency.predict.s"
+
 
 #: Every registered counter name (all instruments above are counters today;
 #: gauges/histograms added later join their own tuple and ALL_NAMES).
@@ -111,6 +131,12 @@ COUNTERS: tuple[str, ...] = (
     EXEC_WORKER_CHUNKS,
     EXEC_WORKER_SPANS_MERGED,
     EXEC_WORKER_HISTOGRAMS_MERGED,
+    SERVE_REQUESTS,
+    SERVE_ERRORS,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_VERSION_ADOPTIONS,
+    SERVE_ZERO_SCAN_QUERIES,
 )
 
 GAUGES: tuple[str, ...] = (
@@ -118,7 +144,13 @@ GAUGES: tuple[str, ...] = (
     OBS_GC_COLLECTIONS,
     OBS_READ_RATE_BPS,
 )
-HISTOGRAMS: tuple[str, ...] = ()
+HISTOGRAMS: tuple[str, ...] = (
+    SERVE_LATENCY_MODEL,
+    SERVE_LATENCY_REGIONS,
+    SERVE_LATENCY_CUBE,
+    SERVE_LATENCY_BELLWETHER,
+    SERVE_LATENCY_PREDICT,
+)
 
 
 def all_names() -> frozenset[str]:

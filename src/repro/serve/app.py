@@ -1,0 +1,205 @@
+"""The HTTP layer: a stdlib ``ThreadingHTTPServer`` over a ServerState.
+
+Endpoints (all JSON; see DESIGN.md §9):
+
+* ``GET /model`` — datasets, lattice geometry, store version.
+* ``GET /regions`` — region addressing for browse/drill-down.
+* ``GET /cube[?level=i,j]`` — lattice levels / one level's cells.
+* ``POST /bellwether`` — ``{"budget": B, "items": [ids...]}``.
+* ``POST /predict`` — ``{"items": [...], "region": key, "budget": B}``.
+* ``GET /healthz`` / ``GET /metricsz`` — liveness / registry snapshot.
+
+One thread per request (``ThreadingHTTPServer``); every handler funnels
+through :meth:`_Handler._dispatch`, which maps any
+:class:`~repro.exceptions.ReproError` onto the structured JSON error
+payload of :mod:`repro.serve.errors` and keeps the thread alive on any
+other failure.  Latency/request counters are recorded through
+:func:`repro.serve.state.record_request` under the instrument lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ReproError
+
+from .errors import BadRequestError, MethodNotAllowedError, NotFoundError, error_payload
+from .state import ServerState, record_request
+
+__all__ = ["BellwetherHTTPServer", "ServerHandle", "make_server", "serve_in_thread"]
+
+_GET_ROUTES = ("/model", "/regions", "/cube", "/healthz", "/metricsz")
+_POST_ROUTES = ("/bellwether", "/predict")
+
+
+class BellwetherHTTPServer(ThreadingHTTPServer):
+    """Thread-per-request server sharing one :class:`ServerState`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # Hold a 256-client connection burst instead of refusing at the
+    # default backlog of 5.
+    request_queue_size = 512
+
+    def __init__(self, address, state: ServerState):
+        super().__init__(address, _Handler)
+        self.state = state
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: BellwetherHTTPServer
+
+    # ------------------------------------------------------------ dispatching
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        endpoint = "unknown"
+        error = False
+        try:
+            path, params = self._split_path()
+            endpoint = path.lstrip("/") or "unknown"
+            status, payload = 200, self._route(method, path, params)
+        except ReproError as exc:
+            error = True
+            status, payload = error_payload(exc)
+        except Exception as exc:  # lint: ignore[RPR006] — a request thread answers 500, it must not die
+            error = True
+            status, payload = error_payload(exc, status=500)
+        self._send_json(status, payload)
+        record_request(endpoint, time.perf_counter() - start, error)
+
+    def _route(self, method: str, path: str, params: dict) -> dict:
+        state = self.server.state
+        if path in _GET_ROUTES:
+            if method != "GET":
+                raise MethodNotAllowedError(f"{path} answers GET only")
+            if path == "/model":
+                return state.model_info()
+            if path == "/regions":
+                return state.regions_info()
+            if path == "/cube":
+                return state.cube_info(self._level_param(params))
+            if path == "/healthz":
+                return state.healthz()
+            return state.metricsz()
+        if path in _POST_ROUTES:
+            if method != "POST":
+                raise MethodNotAllowedError(f"{path} answers POST only")
+            body = self._read_json()
+            if path == "/bellwether":
+                return state.bellwether(
+                    budget=body.get("budget"), items=body.get("items")
+                )
+            return state.predict(
+                items=body.get("items"),
+                region=body.get("region"),
+                budget=body.get("budget"),
+            )
+        raise NotFoundError(f"no endpoint {path!r}")
+
+    # --------------------------------------------------------------- parsing
+
+    def _split_path(self) -> tuple[str, dict]:
+        parts = urlsplit(self.path)
+        return parts.path.rstrip("/") or "/", parse_qs(parts.query)
+
+    @staticmethod
+    def _level_param(params: dict) -> tuple[int, ...] | None:
+        values = params.get("level")
+        if not values:
+            return None
+        try:
+            return tuple(int(x) for x in values[0].split(",") if x != "")
+        except ValueError as exc:
+            raise BadRequestError(
+                f"level must be comma-separated integers: {values[0]!r}"
+            ) from exc
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequestError("request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return body
+
+    # --------------------------------------------------------------- replies
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client hung up mid-reply; nothing to answer anymore.
+            self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the per-request stderr line (metrics cover it)."""
+
+
+def make_server(
+    state: ServerState, host: str = "127.0.0.1", port: int = 0
+) -> BellwetherHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port."""
+    return BellwetherHTTPServer((host, port), state)
+
+
+class ServerHandle:
+    """A server running in a daemon thread, for tests and the load harness."""
+
+    def __init__(self, server: BellwetherHTTPServer):
+        self.server = server
+        self.thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_in_thread(
+    state: ServerState, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start an in-process server on a free port; ``close()`` when done."""
+    return ServerHandle(make_server(state, host, port))

@@ -1,0 +1,275 @@
+"""Synthetic load harness: N concurrent clients with seeded query mixes.
+
+Each client thread owns one keep-alive :class:`~repro.serve.client.ServeClient`
+and walks a pre-generated (seeded) query plan — a weighted mix of
+``/bellwether`` budget queries (some over item subsets), ``/predict``,
+``/regions``, ``/model`` and ``/cube`` — so the measured loop is pure
+request I/O.  A warm-up pass touches every distinct query first; the
+measured pass then exercises the server's warm, zero-scan read path the
+way a fleet of interactive analysts would.
+
+Per-request latencies merge into exact (not bucketed) p50/p99, and the
+fig13 harness (:mod:`repro.experiments.fig13_serve`) journals them to
+``BENCH_figures.json`` under the PR 6 sentinel.
+
+CLI — aim it at a running ``python -m repro.serve``::
+
+    python -m repro.serve.loadgen --port 8000 --clients 64 --requests 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+from .client import ServeClient, ServeHTTPError
+
+__all__ = ["LoadgenResult", "build_plans", "run_loadgen"]
+
+#: Query-kind weights for the synthetic mix.
+_MIX = (
+    ("bellwether", 0.45),
+    ("bellwether_subset", 0.15),
+    ("predict", 0.20),
+    ("regions", 0.10),
+    ("model", 0.05),
+    ("cube", 0.05),
+)
+
+
+@dataclass
+class LoadgenResult:
+    """One measured load-generation pass."""
+
+    clients: int
+    requests_per_client: int
+    n_requests: int
+    n_errors: int
+    n_infeasible: int
+    elapsed_s: float
+    p50_ms: float
+    p99_ms: float
+    rps: float
+    mix: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        mix = " ".join(f"{k}={v}" for k, v in sorted(self.mix.items()))
+        return (
+            f"loadgen: {self.clients} clients x {self.requests_per_client} "
+            f"requests -> {self.n_requests} answered in {self.elapsed_s:.2f}s "
+            f"({self.rps:.0f} req/s), p50={self.p50_ms:.2f}ms "
+            f"p99={self.p99_ms:.2f}ms, errors={self.n_errors}, "
+            f"infeasible={self.n_infeasible} [{mix}]"
+        )
+
+
+def _exact_percentile(sorted_ms: list[float], q: float) -> float:
+    if not sorted_ms:
+        return float("nan")
+    rank = int(q * (len(sorted_ms) - 1) + 0.5)
+    return sorted_ms[min(rank, len(sorted_ms) - 1)]
+
+
+def build_plans(
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    item_ids: list[int],
+    budgets: tuple[float, ...],
+    levels: list[tuple[int, ...]],
+    n_subsets: int = 4,
+) -> tuple[list[list[tuple]], list[tuple]]:
+    """Per-client query plans plus the warm-up plan covering every query.
+
+    The subset/budget pools are small by design: a warm pool means the
+    measured pass hits the server's cached, zero-scan path, which is the
+    interactive regime fig13 reports on.
+    """
+    if not item_ids:
+        raise ConfigError("loadgen needs the served item ids (/model)")
+    pool_rng = np.random.default_rng([seed, 0])
+    subset_pool = []
+    for k in range(n_subsets):
+        size = max(3, len(item_ids) // 2 - k)
+        size = min(size, len(item_ids))
+        pick = pool_rng.choice(len(item_ids), size=size, replace=False)
+        subset_pool.append(sorted(int(item_ids[i]) for i in pick))
+    kinds = [k for k, __ in _MIX]
+    weights = np.asarray([w for __, w in _MIX])
+    weights = weights / weights.sum()
+    plans: list[list[tuple]] = []
+    for c in range(clients):
+        rng = np.random.default_rng([seed, 1, c])
+        plan: list[tuple] = []
+        for __ in range(requests_per_client):
+            kind = kinds[int(rng.choice(len(kinds), p=weights))]
+            if kind == "bellwether":
+                plan.append(("bellwether", float(rng.choice(budgets)), None))
+            elif kind == "bellwether_subset":
+                items = subset_pool[int(rng.integers(len(subset_pool)))]
+                plan.append(("bellwether", float(rng.choice(budgets)), items))
+            elif kind == "predict":
+                items = subset_pool[int(rng.integers(len(subset_pool)))]
+                plan.append(("predict", float(max(budgets)), items))
+            elif kind == "cube" and levels:
+                level = levels[int(rng.integers(len(levels)))]
+                plan.append(("cube", level))
+            elif kind == "regions":
+                plan.append(("regions",))
+            else:
+                plan.append(("model",))
+        plans.append(plan)
+    warmup: list[tuple] = [("model",), ("regions",)]
+    warmup += [("cube", level) for level in levels]
+    for budget in budgets:
+        warmup.append(("bellwether", float(budget), None))
+        for items in subset_pool:
+            warmup.append(("bellwether", float(budget), items))
+    for items in subset_pool:
+        warmup.append(("predict", float(max(budgets)), items))
+    return plans, warmup
+
+
+def _issue(client: ServeClient, query: tuple) -> None:
+    kind = query[0]
+    if kind == "bellwether":
+        client.bellwether(budget=query[1], items=query[2])
+    elif kind == "predict":
+        client.predict(items=query[2], budget=query[1])
+    elif kind == "cube":
+        client.cube(level=query[1])
+    elif kind == "regions":
+        client.regions()
+    else:
+        client.model()
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    item_ids: list[int] | None = None,
+    budgets: tuple[float, ...] = (20.0, 50.0, 90.0),
+    timeout: float = 120.0,
+) -> LoadgenResult:
+    """Warm the server, then fan ``clients`` seeded query streams at it."""
+    with ServeClient(host, port, timeout=timeout) as probe:
+        model = probe.model()
+        if item_ids is None:
+            item_ids = [int(i) for i in model["item_ids"]]
+        levels = []
+        if model.get("lattice"):
+            levels = [
+                tuple(entry["level"]) for entry in probe.cube()["levels"]
+            ]
+        plans, warmup = build_plans(
+            clients, requests_per_client, seed, list(item_ids), budgets, levels
+        )
+        for query in warmup:
+            try:
+                _issue(probe, query)
+            except ServeHTTPError as exc:
+                if exc.status != 409:
+                    raise
+    latencies: list[list[float]] = [[] for __ in range(clients)]
+    mixes: list[dict[str, int]] = [{} for __ in range(clients)]
+    errors = [0] * clients
+    infeasible = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        plan = plans[index]
+        with ServeClient(host, port, timeout=timeout) as client:
+            barrier.wait()
+            for query in plan:
+                t0 = time.perf_counter()
+                try:
+                    _issue(client, query)
+                except ServeHTTPError as exc:
+                    if exc.status == 409:
+                        infeasible[index] += 1
+                    else:
+                        errors[index] += 1
+                latencies[index].append(
+                    (time.perf_counter() - t0) * 1000.0
+                )
+                key = query[0]
+                mixes[index][key] = mixes[index].get(key, 0) + 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    merged = sorted(ms for chunk in latencies for ms in chunk)
+    mix: dict[str, int] = {}
+    for m in mixes:
+        for k, v in m.items():
+            mix[k] = mix.get(k, 0) + v
+    n_requests = len(merged)
+    return LoadgenResult(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        n_requests=n_requests,
+        n_errors=sum(errors),
+        n_infeasible=sum(infeasible),
+        elapsed_s=elapsed,
+        p50_ms=_exact_percentile(merged, 0.50),
+        p99_ms=_exact_percentile(merged, 0.99),
+        rps=n_requests / elapsed if elapsed > 0 else float("nan"),
+        mix=mix,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Fan seeded synthetic clients at a running repro.serve.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--items",
+        type=int,
+        nargs="+",
+        default=None,
+        help="served item ids (defaults to the /model listing)",
+    )
+    parser.add_argument("--budgets", type=float, nargs="+",
+                        default=(20.0, 50.0, 90.0))
+    args = parser.parse_args(argv)
+    result = run_loadgen(
+        args.host,
+        args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        item_ids=args.items,
+        budgets=tuple(args.budgets),
+    )
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""A writer-preferring read/write lock for the query service.
+
+The serving state (:class:`~repro.serve.state.ServerState`) is read-mostly:
+warm queries only *look at* the cached profile / cube tables, while version
+adoptions and cold evaluations rewrite them.  A plain mutex would serialize
+every warm query; this RW lock lets any number of warm readers proceed
+concurrently and gives writers exclusive access.
+
+Writer preference — a waiting writer blocks *new* readers — keeps a stream
+of cheap warm queries from starving the adoption of a store delta forever.
+
+The lock is deliberately not reentrant and not upgradable: a thread holding
+the read lock must release it before taking the write lock (the server's
+warm/cold two-phase pattern — check warm under read, recheck and recompute
+under write — does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Many concurrent readers xor one writer, writers preferred."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------- primitives
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------- context managers
+
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------ diagnostics
+
+    @property
+    def readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        with self._cond:
+            return self._writer_active

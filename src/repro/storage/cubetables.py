@@ -26,6 +26,8 @@ maintainer's dirty-cell patching to avoid full scans on version bumps).
 from __future__ import annotations
 
 import json
+import os
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -100,6 +102,13 @@ class CubeTableStore:
     component arrays, keyed ``L{i}_{component}``).  The metadata is written
     last and atomically — it is the commit point; a crash mid-save leaves
     the old table set or none, never a torn one.
+
+    Thread safety: save/load serialize on an instance lock (the query
+    service calls both from request threads), the data file is also written
+    atomically, and the store version is embedded in it (``__version__``)
+    and cross-checked against the metadata on load — a pair torn by a
+    concurrent save raises :class:`~repro.storage.StorageError` instead of
+    silently mixing versions.
     """
 
     _META = "cube_tables_meta.json"
@@ -107,6 +116,7 @@ class CubeTableStore:
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
+        self._io_lock = threading.RLock()
 
     @property
     def meta_path(self) -> Path:
@@ -123,8 +133,19 @@ class CubeTableStore:
         version: int,
     ) -> None:
         """Persist the tables, keyed on geometry ``signature`` + ``version``."""
+        with self._io_lock:
+            self._save_locked(tables, signature, version)
+
+    def _save_locked(
+        self,
+        tables: Sequence[LevelTable],
+        signature: dict,
+        version: int,
+    ) -> None:
         self._dir.mkdir(parents=True, exist_ok=True)
-        arrays: dict[str, np.ndarray] = {}
+        arrays: dict[str, np.ndarray] = {
+            "__version__": np.asarray([int(version)], dtype=np.int64)
+        }
         p = int(signature.get("p", 0))
         for i, t in enumerate(tables):
             if len(t.stats):
@@ -134,7 +155,10 @@ class CubeTableStore:
             arrays[f"L{i}_xtwy"] = t.stats.xtwy
             arrays[f"L{i}_n"] = t.stats.n
             arrays[f"L{i}_sum_w"] = t.stats.sum_w
-        np.savez(self.data_path, **arrays)
+        tmp = self.data_path.with_name(self.data_path.name + ".tmp")
+        with tmp.open("wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, self.data_path)
         meta_payload = json.dumps(
             {
                 "format": _FORMAT,
@@ -165,6 +189,14 @@ class CubeTableStore:
         Raises :class:`StaleCacheError` on a version or geometry mismatch
         and :class:`StorageError` when the files are missing or unreadable.
         """
+        with self._io_lock:
+            return self._load_locked(signature, expected_version)
+
+    def _load_locked(
+        self,
+        signature: dict,
+        expected_version: int,
+    ) -> list[LevelTable]:
         if not self.meta_path.exists():
             raise StorageError(f"no cube tables at {self._dir}")
         try:
@@ -202,6 +234,14 @@ class CubeTableStore:
             )
         try:
             with np.load(self.data_path) as data:
+                if "__version__" in data.files:
+                    data_version = int(data["__version__"][0])
+                    if data_version != version:
+                        raise StorageError(
+                            f"torn cube tables at {self._dir}: metadata says "
+                            f"store version {version}, data file was written "
+                            f"at {data_version}"
+                        )
                 tables: list[LevelTable] = []
                 for i, entry in enumerate(levels):
                     regions = tuple(

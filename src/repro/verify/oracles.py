@@ -17,6 +17,9 @@ every class also checks its operation counters against the paper's bounds:
   from-scratch rebuild with zero full scans; the maintainer's cached
   suffstats stacks are additionally audited against a scratch recompute
   (the integer ``n`` component catches dropped retractions at any size).
+* ``serve-endpoints`` — every live HTTP ``/bellwether`` and ``/predict``
+  response equals the in-process search answer at the same store version,
+  before and after a delta stream lands mid-flight.
 * ``store-delta`` — an append-only delta stream reproduces a from-scratch
   generation bit for bit.
 """
@@ -395,6 +398,180 @@ def _cube_refresh(w: Workload) -> list[Mismatch]:
             tol,
             label=f"{mode}.stacks",
         )
+    return out
+
+
+# ----------------------------------------------------------- serve endpoints
+
+
+def _direct_predict(search, store, region, ids):
+    """The in-process reference for a /predict response over ``region``.
+
+    Mirrors the serving semantics exactly — model fit on the region's rows
+    restricted to ``ids``, one representative row per item, training-set
+    mean for items without rows, plain left-to-right accumulation — so a
+    bit-level diff against the HTTP payload is meaningful.
+    """
+    model = search.fit_model(region, item_ids=ids)
+    block = store.read(region)
+    train = block.restrict_to(np.asarray(ids))
+    train_mean = float(train.y.mean()) if train.n_examples else 0.0
+    values = []
+    total = 0.0
+    for item in ids:
+        hit = np.flatnonzero(block.item_ids == item)
+        value = (
+            float(model.predict(block.x[hit[0]])[0]) if hit.size else train_mean
+        )
+        total += value
+        values.append(value)
+    return model, values, float(total)
+
+
+def _serve_round(w: Workload, ds, store, client, subset, label) -> list[Mismatch]:
+    """Diff one round of live HTTP answers against fresh in-process calls.
+
+    The all-items reference profile is evaluated from scratch-built exact
+    cube tables — the server's warm path answers from its own (persisted,
+    patched-forward) tables, and the Theorem 1 rollup carries float
+    cancellation a raw refit does not, so a raw-scan reference would flag
+    that known noise instead of real serving bugs.  Exact-mode tables are
+    bit-for-bit (the ``cube-refresh`` class proves it), which keeps this
+    diff EXACT.  Subset profiles and models are raw-path on both sides.
+    """
+    from repro.serve import ServeHTTPError
+
+    version = int(store.version)
+    direct = BasicBellwetherSearch(ds.task, store, min_examples=w.min_examples)
+    scratch_builder = BellwetherCubeBuilder(
+        ds.task,
+        store,
+        ds.hierarchies,
+        min_subset_size=w.min_subset_size,
+        min_examples=w.min_examples,
+    )
+    maintainer = scratch_builder.incremental(mode="exact")
+    maintainer.refresh()
+    direct.evaluate_from_tables(maintainer.level_tables())
+    out: list[Mismatch] = []
+    for budget in w.budgets:
+        for items in (None, subset):
+            tag = (
+                f"{label}.budget[{budget:g}]"
+                + ("" if items is None else f".subset{len(items)}")
+            )
+            expected = direct.run(budget=budget, item_ids=items)
+            try:
+                got = client.bellwether(budget=budget, items=items)
+            except ServeHTTPError as exc:
+                if expected.bellwether is not None:
+                    out += _expect(
+                        f"{tag}.outcome",
+                        str(expected.bellwether.region),
+                        f"HTTP {exc.status}",
+                    )
+                elif exc.status != 409:
+                    out += _expect(f"{tag}.status", 409, exc.status)
+                continue
+            if expected.bellwether is None:
+                out += _expect(
+                    f"{tag}.outcome",
+                    "HTTP 409",
+                    got["bellwether"]["region_str"],
+                )
+                continue
+            out += _expect(f"{tag}.store_version", version, got["store_version"])
+            win = got["bellwether"]
+            if str(expected.bellwether.region) != win["region_str"]:
+                out += _expect(
+                    f"{tag}.region",
+                    str(expected.bellwether.region),
+                    win["region_str"],
+                )
+                continue
+            if float(expected.bellwether.rmse) != float(win["rmse"]):
+                out += _expect(
+                    f"{tag}.rmse", expected.bellwether.rmse, win["rmse"]
+                )
+            out += _expect(
+                f"{tag}.feasible",
+                [str(r.region) for r in expected.feasible],
+                [e["region_str"] for e in got["feasible"]],
+            )
+            if items is None:
+                continue
+            # /predict, budget-resolved region: must pick the same region
+            # and reproduce the direct model + per-item values bit for bit.
+            try:
+                pred = client.predict(items=items, budget=budget)
+            except ServeHTTPError as exc:
+                out += _expect(f"{tag}.predict.outcome", "200", exc.status)
+                continue
+            out += _expect(
+                f"{tag}.predict.region",
+                str(expected.bellwether.region),
+                pred["region_str"],
+            )
+            out += _expect(
+                f"{tag}.predict.store_version", version, pred["store_version"]
+            )
+            model, values, total = _direct_predict(
+                direct, store, expected.bellwether.region, items
+            )
+            out += diff_coefs(
+                model.coef, pred["coef"], EXACT, label=f"{tag}.predict.coef"
+            )
+            got_values = [float(p["value"]) for p in pred["predictions"]]
+            if values != got_values:
+                out += _expect(f"{tag}.predict.values", values, got_values)
+            if total != float(pred["aggregate"]):
+                out += _expect(f"{tag}.predict.aggregate", total, pred["aggregate"])
+            # Explicit-region path: echoing the returned key back must
+            # reproduce the budget-resolved answer identically.
+            echoed = client.predict(items=items, region=pred["region"])
+            for field in ("region_str", "coef", "predictions", "aggregate"):
+                if echoed[field] != pred[field]:
+                    out += _expect(
+                        f"{tag}.predict.echo.{field}", pred[field], echoed[field]
+                    )
+    return out
+
+
+@_oracle_class(
+    "serve-endpoints",
+    "live HTTP /bellwether and /predict responses vs in-process search "
+    "answers at the same store version, across a mid-flight delta stream",
+)
+def _serve_endpoints(w: Workload) -> list[Mismatch]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import ServeClient, ServerState, serve_in_thread
+
+    ds, gen, regions, store = w.deployed()
+    rng = np.random.default_rng([w.seed, 977])
+    ids = sorted(int(i) for i in ds.task.item_ids)
+    size = min(len(ids), max(3, len(ids) // 2))
+    subset = sorted(
+        int(ids[i]) for i in rng.choice(len(ids), size=size, replace=False)
+    )
+    out: list[Mismatch] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-oracle-") as tmp:
+        state = ServerState(
+            ds.task,
+            store,
+            ds.hierarchies,
+            tables_dir=Path(tmp) / "tables",
+            min_subset_size=w.min_subset_size,
+            min_examples=w.min_examples,
+        )
+        with serve_in_thread(state) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                out += _serve_round(w, ds, store, client, subset, label="base")
+                # The stream mutates the server's own store mid-flight; the
+                # next queries must adopt the new version, never mix two.
+                w.apply_stream(gen, regions, store)
+                out += _serve_round(w, ds, store, client, subset, label="stream")
     return out
 
 

@@ -1,0 +1,52 @@
+"""Shared live-server fixtures for the serve blitz.
+
+Each test module gets its own in-process server (module scope) over a
+small mail-order deployment, so mutation tests cannot leak state across
+modules, and each test function gets a fresh keep-alive client.
+"""
+
+import pytest
+
+from repro.core import build_store
+from repro.datasets import make_mailorder
+from repro.ml import TrainingSetEstimator
+from repro.serve import ServeClient, ServerState, serve_in_thread
+
+N_ITEMS = 20
+N_MONTHS = 5
+# Restricting a ~20-row region block to too few items starves the fit
+# below min_examples everywhere; 12 of 20 items keeps plenty of regions
+# feasible at every month split the tests use.
+SUBSET = [1, 2, 4, 6, 8, 9, 10, 12, 14, 15, 17, 20]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_mailorder(
+        n_items=N_ITEMS,
+        n_months=N_MONTHS,
+        seed=0,
+        error_estimator=TrainingSetEstimator(),
+    )
+
+
+@pytest.fixture(scope="module")
+def served(dataset, tmp_path_factory):
+    store, costs, __ = build_store(dataset.task)
+    state = ServerState(
+        dataset.task,
+        store,
+        dataset.hierarchies,
+        tables_dir=tmp_path_factory.mktemp("tables"),
+        costs=costs,
+        dataset_name="mailorder",
+        min_subset_size=3,
+    )
+    with serve_in_thread(state) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(served):
+    with ServeClient(served.host, served.port) as c:
+        yield c

@@ -1,0 +1,76 @@
+"""The load harness: seeded plan determinism and a live mini-run."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.serve import run_loadgen
+from repro.serve.loadgen import _MIX, build_plans
+
+
+def _freeze(query):
+    return tuple(
+        tuple(part) if isinstance(part, list) else part for part in query
+    )
+
+
+def test_build_plans_is_seed_deterministic():
+    args = dict(
+        clients=6,
+        requests_per_client=5,
+        item_ids=list(range(1, 21)),
+        budgets=(20.0, 50.0),
+        levels=[(0, 0), (1, 0)],
+    )
+    plans_a, warmup_a = build_plans(seed=3, **args)
+    plans_b, warmup_b = build_plans(seed=3, **args)
+    plans_c, __ = build_plans(seed=4, **args)
+    assert plans_a == plans_b
+    assert warmup_a == warmup_b
+    assert plans_a != plans_c
+
+
+def test_warmup_covers_every_measured_query():
+    """The measured pass must run entirely on server-warm queries."""
+    plans, warmup = build_plans(
+        clients=16,
+        requests_per_client=10,
+        seed=0,
+        item_ids=list(range(1, 21)),
+        budgets=(20.0, 50.0, 90.0),
+        levels=[(0, 0)],
+    )
+    warm = {_freeze(q) for q in warmup}
+    measured = {_freeze(q) for plan in plans for q in plan}
+    assert measured <= warm
+
+
+def test_mix_weights_are_normalized():
+    assert abs(sum(w for __, w in _MIX) - 1.0) < 1e-12
+
+
+def test_empty_item_ids_is_a_config_error():
+    with pytest.raises(ConfigError):
+        build_plans(
+            clients=1,
+            requests_per_client=1,
+            seed=0,
+            item_ids=[],
+            budgets=(10.0,),
+            levels=[],
+        )
+
+
+def test_live_mini_run(served):
+    result = run_loadgen(
+        served.host,
+        served.port,
+        clients=4,
+        requests_per_client=3,
+        seed=1,
+    )
+    assert result.n_requests == 12
+    assert result.n_errors == 0
+    assert result.p50_ms <= result.p99_ms
+    assert result.rps > 0
+    assert sum(result.mix.values()) == 12
+    assert "loadgen: 4 clients" in result.render()

@@ -1,0 +1,86 @@
+"""serve.* instrumentation: catalogued, populated, and the zero-scan claim.
+
+The decisive assertion: a warm /bellwether leaves ``store.full_scans``
+untouched (the materialized-tables serving claim), measured through the
+server's own /metricsz endpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import catalog
+from repro.serve import ServeHTTPError
+from repro.storage import BlockDelta, StoreDelta
+
+from .conftest import SUBSET
+
+SERVE_COUNTERS = (
+    catalog.SERVE_REQUESTS,
+    catalog.SERVE_ERRORS,
+    catalog.SERVE_CACHE_HITS,
+    catalog.SERVE_CACHE_MISSES,
+    catalog.SERVE_VERSION_ADOPTIONS,
+    catalog.SERVE_ZERO_SCAN_QUERIES,
+)
+SERVE_HISTOGRAMS = (
+    catalog.SERVE_LATENCY_MODEL,
+    catalog.SERVE_LATENCY_REGIONS,
+    catalog.SERVE_LATENCY_CUBE,
+    catalog.SERVE_LATENCY_BELLWETHER,
+    catalog.SERVE_LATENCY_PREDICT,
+)
+
+
+def test_serve_instruments_are_catalogued():
+    """RPR002's precondition: every serve metric name is in the catalog."""
+    for name in SERVE_COUNTERS:
+        assert name in catalog.COUNTERS
+    for name in SERVE_HISTOGRAMS:
+        assert name in catalog.HISTOGRAMS
+
+
+def _metric(client, name):
+    return client.metricsz()["metrics"][name]
+
+
+def test_requests_and_latency_populate(client):
+    client.bellwether(budget=50.0)
+    client.model()
+    metrics = client.metricsz()["metrics"]
+    assert metrics[catalog.SERVE_REQUESTS] >= 2
+    assert metrics[f"{catalog.SERVE_LATENCY_BELLWETHER}.count"] >= 1
+    assert metrics[f"{catalog.SERVE_LATENCY_MODEL}.count"] >= 1
+    assert metrics[f"{catalog.SERVE_LATENCY_BELLWETHER}.p99"] >= 0
+
+
+def test_errors_counter_increments(client):
+    before = _metric(client, catalog.SERVE_ERRORS)
+    with pytest.raises(ServeHTTPError):
+        client.bellwether(budget="not-a-number")
+    assert _metric(client, catalog.SERVE_ERRORS) == before + 1
+
+
+def test_warm_bellwether_performs_zero_full_scans(client):
+    """The tentpole metrics claim, asserted through the service itself."""
+    # First touch of this subset may scan (cold profile build).
+    client.bellwether(budget=50.0, items=SUBSET)
+    scans = _metric(client, catalog.STORE_FULL_SCANS)
+    zero_scan = _metric(client, catalog.SERVE_ZERO_SCAN_QUERIES)
+    hits = _metric(client, catalog.SERVE_CACHE_HITS)
+    for __ in range(3):
+        client.bellwether(budget=50.0, items=SUBSET)
+        client.bellwether(budget=50.0)
+    assert _metric(client, catalog.STORE_FULL_SCANS) == scans
+    assert _metric(client, catalog.SERVE_ZERO_SCAN_QUERIES) == zero_scan + 6
+    assert _metric(client, catalog.SERVE_CACHE_HITS) == hits + 6
+
+
+def test_version_adoption_counted_once_per_delta(served, client):
+    before = _metric(client, catalog.SERVE_VERSION_ADOPTIONS)
+    state = served.state
+    region = state.store.regions()[0]
+    block = state.store.read(region)
+    victim = np.unique(block.item_ids)[:1]
+    state.apply_delta(StoreDelta({region: BlockDelta(retract_ids=victim)}))
+    client.bellwether(budget=50.0)
+    assert _metric(client, catalog.SERVE_VERSION_ADOPTIONS) == before + 1

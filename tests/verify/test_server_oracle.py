@@ -1,0 +1,43 @@
+"""The serve-endpoints oracle: live HTTP answers equal in-process search."""
+
+import pytest
+
+from repro.verify import Workload, get_class, registry, run_class
+from repro.verify.workload import DeltaOp
+
+WORKLOADS = [
+    Workload(
+        name="serve-mailorder",
+        seed=3,
+        kind="mailorder",
+        n_items=16,
+        n_months=4,
+        base_month=3,
+        deltas=(DeltaOp("retract_reappend", region_rank=0, n_victims=2),),
+        budgets=(10.0, 40.0),
+        min_subset_size=2,
+        min_examples=3,
+    ),
+    Workload(
+        name="serve-bookstore",
+        seed=11,
+        kind="bookstore",
+        n_items=12,
+        n_months=3,
+        base_month=2,
+        deltas=(DeltaOp("retract", region_rank=1, n_victims=1),),
+        budgets=(5.0, 30.0, 80.0),
+        min_subset_size=2,
+        min_examples=3,
+    ),
+]
+
+
+def test_serve_endpoints_is_registered_for_corpus_and_fuzz():
+    assert "serve-endpoints" in registry()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_serve_endpoints_oracle_is_green(workload):
+    result = run_class(get_class("serve-endpoints"), workload)
+    assert result.ok, "\n".join(str(m) for m in result.mismatches)

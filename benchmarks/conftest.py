@@ -30,6 +30,12 @@ def publish(name: str, text: str) -> None:
     print(f"\n{text}\n")
 
 
+def pytest_collection_modifyitems(items):
+    """Every test under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

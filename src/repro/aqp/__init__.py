@@ -1,0 +1,37 @@
+"""Query-driven approximate answering (the learned AQP tier).
+
+The exact serving stack (:mod:`repro.serve` over the PR 7 cube tables)
+answers warm queries without fact scans but still pays a rollup-sized
+compute bill per query.  This package adds the ML-AQP tier on top (Savva
+et al., 2020; adaptive variant 2019): every exact evaluation the server
+performs is journaled as workload (:class:`WorkloadJournal`), a
+deterministic learned surface is trained on that workload
+(:func:`train_surface` / :class:`SurfaceModel`), and subsequent
+``mode=approx`` queries are answered from the surface with a declared
+tolerance — falling back to the exact path on any miss
+(:class:`ApproxMiss`) and retraining when the store version or the
+workload drifts (:class:`AqpEngine`).
+"""
+
+from .engine import AqpEngine
+from .features import SubsetEncoder
+from .journal import SCHEMA, WorkloadJournal
+from .surface import (
+    ApproxMiss,
+    AqpBellwetherAnswer,
+    AqpConfig,
+    SurfaceModel,
+    train_surface,
+)
+
+__all__ = [
+    "ApproxMiss",
+    "AqpBellwetherAnswer",
+    "AqpConfig",
+    "AqpEngine",
+    "SCHEMA",
+    "SubsetEncoder",
+    "SurfaceModel",
+    "train_surface",
+    "WorkloadJournal",
+]

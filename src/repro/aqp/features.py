@@ -1,0 +1,119 @@
+"""Quantized subset features for the learned error surface.
+
+The approximate tier (ML-AQP style: Savva et al., 2020) never touches the
+fact data at query time, so an item-subset query S must be described by a
+small, fixed-width feature vector.  :class:`SubsetEncoder` maps S onto the
+item hierarchies' *base cells* (the finest lattice level of Section 6.1):
+one inclusion fraction per base cell — what share of that cell's items the
+query covers — plus the overall subset fraction, every coordinate snapped
+to a ``1/quantization`` grid.
+
+Quantization is what makes the workload learnable and the model honest:
+
+* similar subsets collide onto the same **key** (the tuple of quantized
+  codes), so a handful of journaled queries cover a whole neighbourhood of
+  future ones;
+* the trained key set is finite (``(q+1)^d``), so the serving gate can ask
+  "was this key observed in training?" and fall back to the exact path on
+  a miss instead of extrapolating.
+
+The encoding is a pure function of the item table and the hierarchies —
+no randomness, no data scan — so two encoders built from the same task are
+interchangeable and a model round-trips across processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["SubsetEncoder"]
+
+
+class SubsetEncoder:
+    """Encode item subsets as quantized per-base-cell inclusion fractions.
+
+    Parameters
+    ----------
+    task:
+        The problem definition; supplies the item ids (column order of the
+        encoding) and the item table.
+    hierarchies:
+        Optional :class:`~repro.dimensions.ItemHierarchies`; with them each
+        item lands in its base cell (finest lattice level), without them
+        the whole item set is one cell and the encoding degenerates to the
+        subset-size fraction alone.
+    quantization:
+        Grid resolution q: fractions are snapped to multiples of ``1/q``.
+    """
+
+    def __init__(self, task, hierarchies=None, quantization: int = 8):
+        if quantization < 1:
+            raise ConfigError(
+                f"quantization must be >= 1, got {quantization}"
+            )
+        self.quantization = int(quantization)
+        ids = np.asarray(task.item_ids)
+        self._ids = ids.astype(np.int64)
+        self._col_of_id = {int(i): j for j, i in enumerate(self._ids)}
+        if hierarchies is not None:
+            cell_of_item, cells = hierarchies.encode_items(task.item_table)
+            self._cell_of_item = cell_of_item.astype(np.int64)
+            self.n_cells = len(cells)
+        else:
+            self._cell_of_item = np.zeros(len(ids), dtype=np.int64)
+            self.n_cells = 1
+        self._cell_sizes = np.bincount(
+            self._cell_of_item, minlength=self.n_cells
+        ).astype(np.float64)
+
+    @property
+    def n_items(self) -> int:
+        return len(self._ids)
+
+    @property
+    def n_features(self) -> int:
+        """Feature width d: one fraction per base cell + the size fraction."""
+        return self.n_cells + 1
+
+    # ------------------------------------------------------------- encoding
+
+    def columns_of(self, items) -> np.ndarray:
+        """Item-table column indices of the given ids (validated)."""
+        try:
+            return np.asarray(
+                [self._col_of_id[int(i)] for i in items], dtype=np.int64
+            )
+        except KeyError as exc:
+            raise ConfigError(f"unknown item id {exc.args[0]}") from exc
+
+    def codes(self, items) -> np.ndarray:
+        """Quantized integer codes in ``0..q`` per feature coordinate."""
+        q = self.quantization
+        if items is None:
+            fracs = np.ones(self.n_features, dtype=np.float64)
+        else:
+            cols = self.columns_of(items)
+            per_cell = np.bincount(
+                self._cell_of_item[cols], minlength=self.n_cells
+            ).astype(np.float64)
+            sizes = np.where(self._cell_sizes > 0, self._cell_sizes, 1.0)
+            fracs = np.append(per_cell / sizes, len(cols) / self.n_items)
+        return np.rint(np.clip(fracs, 0.0, 1.0) * q).astype(np.int64)
+
+    def key(self, items) -> tuple[int, ...]:
+        """The hashable quantized key the serving gate checks for warmth."""
+        return tuple(int(c) for c in self.codes(items))
+
+    def encode(self, items) -> np.ndarray:
+        """The float feature vector (quantized codes back on the unit grid)."""
+        return self.codes(items).astype(np.float64) / self.quantization
+
+    def signature(self) -> dict:
+        """Geometry stamp: models trained under one signature interoperate."""
+        return {
+            "n_items": int(self.n_items),
+            "n_cells": int(self.n_cells),
+            "quantization": int(self.quantization),
+        }

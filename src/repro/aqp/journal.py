@@ -1,0 +1,161 @@
+"""Versioned workload journal: the training data of the approximate tier.
+
+Every exact (region, subset, budget) -> (error, winner) evaluation the
+server performs is appended here as one JSON line, stamped with the store
+version it was computed at.  The learned surface trains on these records;
+the adaptive-retraining literature (Savva et al., 2019) calls this the
+*query workload stream*.
+
+Format: line 1 is a header ``{"schema": "aqp-workload-v1"}``; each further
+line is one record.  The file is append-only and the append is guarded by
+an internal lock, because journal writes happen on the server's read path
+(many concurrent reader threads may be journalling at once).  Reads are
+strict: a truncated tail or an undecodable line raises
+:class:`~repro.storage.StorageError` — the engine reacts by degrading to
+exact-only serving rather than training on garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.obs import get_registry
+from repro.obs.catalog import AQP_JOURNAL_ERRORS, AQP_JOURNAL_RECORDS
+from repro.storage import StorageError
+
+__all__ = ["SCHEMA", "WorkloadJournal"]
+
+SCHEMA = "aqp-workload-v1"
+
+#: Record kinds the journal accepts.
+KINDS = ("bellwether", "predict", "delta")
+
+
+class WorkloadJournal:
+    """Append-only JSONL journal of exact evaluations, by store version."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._records = get_registry().counter(AQP_JOURNAL_RECORDS)
+        self._errors = get_registry().counter(AQP_JOURNAL_ERRORS)
+
+    # -------------------------------------------------------------- writing
+
+    def append(self, record: dict) -> None:
+        """Append one record (adds the header first if the file is new)."""
+        kind = record.get("kind")
+        if kind not in KINDS:
+            raise StorageError(f"journal record kind {kind!r} not in {KINDS}")
+        if "store_version" not in record:
+            raise StorageError("journal record missing store_version")
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = not self.path.exists()
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    if fresh:
+                        fh.write(json.dumps({"schema": SCHEMA}) + "\n")
+                    fh.write(line + "\n")
+            except OSError as exc:
+                self._errors.inc()
+                raise StorageError(
+                    f"cannot append to workload journal {self.path}: {exc}"
+                ) from exc
+        self._records.inc()
+
+    def log_bellwether(
+        self, *, store_version: int, budget, items, winner: str | None
+    ) -> None:
+        self.append(
+            {
+                "kind": "bellwether",
+                "store_version": int(store_version),
+                "budget": None if budget is None else float(budget),
+                "items": None if items is None else [int(i) for i in items],
+                "winner": winner,
+            }
+        )
+
+    def log_predict(
+        self, *, store_version: int, budget, items, region=None
+    ) -> None:
+        """``region`` is the JSON region key (``region_to_json``) or None."""
+        self.append(
+            {
+                "kind": "predict",
+                "store_version": int(store_version),
+                "budget": None if budget is None else float(budget),
+                "items": None if items is None else [int(i) for i in items],
+                "region": region,
+            }
+        )
+
+    def log_delta(self, *, store_version: int) -> None:
+        """Mark a store-version shift (an ``apply_delta``) in the stream."""
+        self.append({"kind": "delta", "store_version": int(store_version)})
+
+    # -------------------------------------------------------------- reading
+
+    def read(self) -> list[dict]:
+        """All records, strictly validated; ``[]`` if the file is absent."""
+        if not self.path.exists():
+            return []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().split("\n")
+        except OSError as exc:
+            self._errors.inc()
+            raise StorageError(f"cannot read workload journal: {exc}") from exc
+        # A well-formed journal ends with a newline, so the final split
+        # element is empty; anything else is a torn append.
+        if lines and lines[-1] == "":
+            lines.pop()
+        else:
+            self._errors.inc()
+            raise StorageError(
+                f"workload journal {self.path} has a truncated final line"
+            )
+        if not lines:
+            self._errors.inc()
+            raise StorageError(f"workload journal {self.path} is empty")
+        records: list[dict] = []
+        for lineno, line in enumerate(lines, start=1):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                self._errors.inc()
+                raise StorageError(
+                    f"workload journal {self.path} line {lineno} is not "
+                    f"valid JSON: {exc}"
+                ) from exc
+            if lineno == 1:
+                if not isinstance(obj, dict) or obj.get("schema") != SCHEMA:
+                    self._errors.inc()
+                    raise StorageError(
+                        f"workload journal {self.path} has bad header "
+                        f"{obj!r} (want schema {SCHEMA!r})"
+                    )
+                continue
+            if (
+                not isinstance(obj, dict)
+                or obj.get("kind") not in KINDS
+                or "store_version" not in obj
+            ):
+                self._errors.inc()
+                raise StorageError(
+                    f"workload journal {self.path} line {lineno} is not a "
+                    f"valid record: {obj!r}"
+                )
+            records.append(obj)
+        return records
+
+    def queries(self) -> list[dict]:
+        """Only the query records (``delta`` markers filtered out)."""
+        return [r for r in self.read() if r["kind"] != "delta"]
+
+    def __len__(self) -> int:
+        return len(self.read())

@@ -144,6 +144,11 @@ class BasicBellwetherSearch:
         """Store version the cached all-items profile was evaluated at."""
         return self._profile_version
 
+    @property
+    def costs(self) -> dict:
+        """Per-region evaluation costs as currently known (a copy)."""
+        return dict(self._costs)
+
     def has_profile(self, item_ids: Sequence | None = None) -> bool:
         """Is a profile cached for this item restriction (``None`` = all)?
 

@@ -8,7 +8,7 @@ from .classify import (
     misclassification_rate,
 )
 from .exceptions import FitError, ModelError, NotFittedError
-from .linear import LinearRegression
+from .linear import LinearRegression, fit_ridge_per_row
 from .metrics import (
     CrossValidationEstimator,
     ErrorEstimate,
@@ -47,6 +47,7 @@ __all__ = [
     "TrainingSetEstimator",
     "add_intercept",
     "default_model_factory",
+    "fit_ridge_per_row",
     "mse",
     "prefix_stats",
     "rmse",

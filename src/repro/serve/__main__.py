@@ -64,6 +64,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-subset-size", type=int, default=5,
         help="cube significance threshold K",
     )
+    parser.add_argument(
+        "--aqp",
+        action="store_true",
+        help="enable the learned approximate tier (mode=approx, /aqp)",
+    )
     args = parser.parse_args(argv)
 
     maker = make_mailorder if args.dataset == "mailorder" else make_bookstore
@@ -99,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         parallel=parallel,
         dataset_name=args.dataset,
         min_subset_size=args.min_subset_size,
+        aqp_dir=(root / "aqp") if args.aqp else None,
     )
     server = make_server(state, args.host, args.port)
     host, port = server.server_address[0], server.server_address[1]

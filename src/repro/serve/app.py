@@ -5,8 +5,11 @@ Endpoints (all JSON; see DESIGN.md §9):
 * ``GET /model`` — datasets, lattice geometry, store version.
 * ``GET /regions`` — region addressing for browse/drill-down.
 * ``GET /cube[?level=i,j]`` — lattice levels / one level's cells.
-* ``POST /bellwether`` — ``{"budget": B, "items": [ids...]}``.
-* ``POST /predict`` — ``{"items": [...], "region": key, "budget": B}``.
+* ``POST /bellwether`` — ``{"budget": B, "items": [ids...]}`` plus the
+  approximate tier's ``"mode": "approx"`` / ``"tolerance": t`` knobs.
+* ``POST /predict`` — ``{"items": [...], "region": key, "budget": B}``
+  (same ``mode``/``tolerance`` knobs).
+* ``GET /aqp`` / ``POST /aqp/train`` — approximate-tier status / retrain.
 * ``GET /healthz`` / ``GET /metricsz`` — liveness / registry snapshot.
 
 One thread per request (``ThreadingHTTPServer``); every handler funnels
@@ -32,8 +35,8 @@ from .state import ServerState, record_request
 
 __all__ = ["BellwetherHTTPServer", "ServerHandle", "make_server", "serve_in_thread"]
 
-_GET_ROUTES = ("/model", "/regions", "/cube", "/healthz", "/metricsz")
-_POST_ROUTES = ("/bellwether", "/predict")
+_GET_ROUTES = ("/model", "/regions", "/cube", "/aqp", "/healthz", "/metricsz")
+_POST_ROUTES = ("/bellwether", "/predict", "/aqp/train")
 
 
 class BellwetherHTTPServer(ThreadingHTTPServer):
@@ -66,6 +69,7 @@ class _Handler(BaseHTTPRequestHandler):
         start = time.perf_counter()
         endpoint = "unknown"
         error = False
+        self._body_consumed = False
         try:
             path, params = self._split_path()
             endpoint = path.lstrip("/") or "unknown"
@@ -76,6 +80,10 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # lint: ignore[RPR006] — a request thread answers 500, it must not die
             error = True
             status, payload = error_payload(exc, status=500)
+        # An error raised before the route read its body (405, bad level
+        # param, ...) would leave the bytes on the socket and desync the
+        # next keep-alive request — drain them before replying.
+        self._drain_body()
         self._send_json(status, payload)
         record_request(endpoint, time.perf_counter() - start, error)
 
@@ -90,21 +98,33 @@ class _Handler(BaseHTTPRequestHandler):
                 return state.regions_info()
             if path == "/cube":
                 return state.cube_info(self._level_param(params))
+            if path == "/aqp":
+                return state.aqp_status()
             if path == "/healthz":
                 return state.healthz()
             return state.metricsz()
         if path in _POST_ROUTES:
             if method != "POST":
                 raise MethodNotAllowedError(f"{path} answers POST only")
+            if path == "/aqp/train":
+                # The journal is the input; any body is drained (keep-alive
+                # connections must not leave unread bytes) and ignored.
+                self._drain_body()
+                return state.aqp_train()
             body = self._read_json()
             if path == "/bellwether":
                 return state.bellwether(
-                    budget=body.get("budget"), items=body.get("items")
+                    budget=body.get("budget"),
+                    items=body.get("items"),
+                    mode=body.get("mode"),
+                    tolerance=body.get("tolerance"),
                 )
             return state.predict(
                 items=body.get("items"),
                 region=body.get("region"),
                 budget=body.get("budget"),
+                mode=body.get("mode"),
+                tolerance=body.get("tolerance"),
             )
         raise NotFoundError(f"no endpoint {path!r}")
 
@@ -126,7 +146,16 @@ class _Handler(BaseHTTPRequestHandler):
                 f"level must be comma-separated integers: {values[0]!r}"
             ) from exc
 
+    def _drain_body(self) -> None:
+        if self._body_consumed:
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+
     def _read_json(self) -> dict:
+        self._body_consumed = True
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:

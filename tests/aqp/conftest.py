@@ -1,0 +1,80 @@
+"""Shared fixtures for the approximate-tier (repro.aqp) test blitz.
+
+One small mail-order deployment per module; servers are built per test
+(AQP state is mutable — journals grow, models swap), so nothing leaks.
+"""
+
+import pytest
+
+from repro.core import BasicBellwetherSearch, build_store
+from repro.datasets import make_mailorder
+from repro.ml import TrainingSetEstimator
+from repro.serve import ServerState
+
+N_ITEMS = 14
+N_MONTHS = 4
+SUBSET = [1, 3, 4, 6, 8, 10, 11, 13]
+BUDGETS = (15.0, 45.0, 85.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_mailorder(
+        n_items=N_ITEMS,
+        n_months=N_MONTHS,
+        seed=0,
+        error_estimator=TrainingSetEstimator(),
+    )
+
+
+@pytest.fixture()
+def search(dataset):
+    store, costs, __ = build_store(dataset.task)
+    # min_examples=3 keeps the 8-item SUBSET feasible in enough regions
+    # for the approx-vs-exact comparisons to exercise non-trivial sets.
+    return BasicBellwetherSearch(dataset.task, store, costs=costs, min_examples=3)
+
+
+@pytest.fixture()
+def make_state(dataset, tmp_path):
+    """Factory: a fresh AQP-enabled ServerState in its own directory."""
+    counter = {"n": 0}
+
+    def build(**kwargs):
+        counter["n"] += 1
+        root = tmp_path / f"state{counter['n']}"
+        store, costs, __ = build_store(dataset.task)
+        return ServerState(
+            dataset.task,
+            store,
+            dataset.hierarchies,
+            tables_dir=root / "tables",
+            costs=costs,
+            dataset_name="mailorder",
+            min_subset_size=3,
+            aqp_dir=root / "aqp",
+            **kwargs,
+        )
+
+    return build
+
+
+def warm_and_train(state, budgets=BUDGETS, subsets=(None, SUBSET)):
+    """Journal an exact workload over budgets x subsets, then train.
+
+    Infeasible (budget, subset) points are skipped, like any client
+    that answers a 409 by moving on.
+    """
+    from repro.serve import InfeasibleQueryError
+
+    for budget in budgets:
+        for items in subsets:
+            try:
+                state.bellwether(budget=budget, items=items)
+            except InfeasibleQueryError:
+                continue
+        try:
+            state.predict(items=subsets[-1], budget=budget)
+        except InfeasibleQueryError:
+            continue
+    return state.aqp_train()

@@ -1,0 +1,100 @@
+"""Fault injection: a broken workload journal must degrade, not lie.
+
+A corrupt/truncated journal makes training raise ``StorageError``; the
+server then serves exact-only (every ``mode=approx`` request falls back
+with ``fallback_reason="journal_error"``) until a repaired journal
+trains successfully — all of it visible in the ``aqp.*`` counters.
+"""
+
+import pytest
+
+from repro.obs.catalog import AQP_FALLBACKS, AQP_JOURNAL_ERRORS
+from repro.obs.metrics import get_registry
+from repro.storage import StorageError
+
+from .conftest import SUBSET, warm_and_train
+
+
+def _counter(name: str) -> float:
+    return get_registry().counter_values().get(name, 0.0)
+
+
+def _corrupt(state) -> None:
+    with open(state.aqp.journal.path, "a") as fh:
+        fh.write("{torn mid-write")
+
+
+def test_corrupt_journal_fails_training_and_degrades(make_state):
+    state = make_state()
+    state.bellwether(budget=45.0)  # journal one record
+    _corrupt(state)
+    errors_before = _counter(AQP_JOURNAL_ERRORS)
+    with pytest.raises(StorageError):
+        state.aqp_train()
+    assert _counter(AQP_JOURNAL_ERRORS) == errors_before + 1
+    status = state.aqp_status()
+    assert status["degraded"] is True
+    assert status["trained"] is False
+
+
+def test_degraded_server_serves_exact_only_with_counters(make_state):
+    state = make_state()
+    state.bellwether(budget=45.0)
+    _corrupt(state)
+    with pytest.raises(StorageError):
+        state.aqp_train()
+    fallbacks_before = _counter(AQP_FALLBACKS)
+    exact = state.bellwether(budget=45.0)
+    got = state.bellwether(budget=45.0, mode="approx")
+    assert got["mode"] == "exact"
+    assert got["requested_mode"] == "approx"
+    assert got["fallback_reason"] == "journal_error"
+    assert got["bellwether"] == exact["bellwether"]
+    assert _counter(AQP_FALLBACKS) == fallbacks_before + 1
+    # /healthz-style liveness: the exact endpoints never saw the fault.
+    assert exact["mode"] == "exact"
+    assert "fallback_reason" not in exact
+
+
+def test_corruption_after_training_keeps_model_until_retrain(make_state):
+    state = make_state()
+    warm_and_train(state)
+    _corrupt(state)
+    # The in-memory model still answers: corruption only bites on read.
+    got = state.bellwether(budget=45.0, mode="approx")
+    assert got["mode"] == "approx"
+    with pytest.raises(StorageError):
+        state.aqp_train()
+    # Now degraded: exact-only, even though a model exists in memory.
+    got = state.bellwether(budget=45.0, mode="approx")
+    assert got["mode"] == "exact"
+    assert got["fallback_reason"] == "journal_error"
+
+
+def test_repaired_journal_recovers(make_state):
+    state = make_state()
+    state.bellwether(budget=45.0)
+    _corrupt(state)
+    with pytest.raises(StorageError):
+        state.aqp_train()
+    # Repair: drop the torn tail (everything after the last newline).
+    path = state.aqp.journal.path
+    text = path.read_text()
+    path.write_text(text[: text.rindex("\n") + 1])
+    info = state.aqp_train()
+    assert info["model_version"] == 1
+    status = state.aqp_status()
+    assert status["degraded"] is False
+    assert status["trained"] is True
+    assert state.bellwether(budget=45.0, mode="approx")["mode"] == "approx"
+
+
+def test_unwritable_journal_surfaces_storage_error(make_state, tmp_path):
+    state = make_state()
+    # Replace the journal file with a directory: appends must fail loudly
+    # as StorageError (RPR006: no bare OSError escapes a public API)...
+    path = state.aqp.journal.path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.mkdir()
+    with pytest.raises(StorageError):
+        state.aqp.journal.log_delta(store_version=1)

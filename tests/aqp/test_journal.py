@@ -1,0 +1,102 @@
+"""Workload-journal contract: strict reads, torn writes, counters.
+
+The journal is the surface's only training input, so a corrupt journal
+must fail loudly (``StorageError`` + ``aqp.journal_errors``) rather than
+train on garbage.
+"""
+
+import json
+
+import pytest
+
+from repro.aqp import SCHEMA, WorkloadJournal
+from repro.obs.catalog import AQP_JOURNAL_ERRORS, AQP_JOURNAL_RECORDS
+from repro.obs.metrics import get_registry
+from repro.storage import StorageError
+
+
+def _counter(name: str) -> float:
+    return get_registry().counter_values().get(name, 0.0)
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return WorkloadJournal(tmp_path / "workload.jsonl")
+
+
+def test_round_trip_preserves_records_and_order(journal):
+    journal.log_bellwether(store_version=1, budget=20.0, items=None, winner="[1-3, WI]")
+    journal.log_predict(store_version=1, budget=None, items=[1, 2], region=["All"])
+    journal.log_delta(store_version=2)
+    journal.log_bellwether(store_version=2, budget=None, items=[3], winner=None)
+    records = journal.read()
+    assert [r["kind"] for r in records] == [
+        "bellwether", "predict", "delta", "bellwether",
+    ]
+    assert records[0]["winner"] == "[1-3, WI]"
+    assert records[0]["budget"] == 20.0
+    assert records[1]["items"] == [1, 2]
+    assert records[1]["region"] == ["All"]
+    assert records[3]["budget"] is None
+    # queries() hides the version markers but keeps query order.
+    assert [r["kind"] for r in journal.queries()] == [
+        "bellwether", "predict", "bellwether",
+    ]
+    assert len(journal) == 4
+
+
+def test_header_written_once_and_validated(journal, tmp_path):
+    journal.log_delta(store_version=1)
+    journal.log_delta(store_version=2)
+    lines = (tmp_path / "workload.jsonl").read_text().splitlines()
+    assert json.loads(lines[0]) == {"schema": SCHEMA}
+    assert len(lines) == 3
+
+
+def test_append_rejects_bad_kind_and_missing_version(journal):
+    with pytest.raises(StorageError):
+        journal.append({"kind": "nonsense", "store_version": 1})
+    with pytest.raises(StorageError):
+        journal.append({"kind": "bellwether"})
+    # Nothing was written: the journal stays absent and reads empty.
+    assert journal.read() == []
+
+
+def test_records_counter_tracks_appends(journal):
+    before = _counter(AQP_JOURNAL_RECORDS)
+    journal.log_delta(store_version=1)
+    journal.log_delta(store_version=2)
+    assert _counter(AQP_JOURNAL_RECORDS) == before + 2
+
+
+def test_missing_file_reads_empty(journal):
+    assert journal.read() == []
+    assert journal.queries() == []
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["truncate", "garbage_line", "bad_header", "empty", "non_record"],
+)
+def test_corruption_raises_storage_error_and_counts(journal, tmp_path, corruption):
+    journal.log_bellwether(store_version=1, budget=10.0, items=None, winner="w")
+    path = tmp_path / "workload.jsonl"
+    if corruption == "truncate":
+        # Tear the final append mid-line (no trailing newline).
+        path.write_text(path.read_text()[:-3])
+    elif corruption == "garbage_line":
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+    elif corruption == "bad_header":
+        lines = path.read_text().splitlines()
+        lines[0] = json.dumps({"schema": "aqp-workload-v999"})
+        path.write_text("\n".join(lines) + "\n")
+    elif corruption == "empty":
+        path.write_text("")
+    else:  # a valid JSON line that is not a valid record
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "bellwether"}) + "\n")
+    before = _counter(AQP_JOURNAL_ERRORS)
+    with pytest.raises(StorageError):
+        journal.read()
+    assert _counter(AQP_JOURNAL_ERRORS) == before + 1

@@ -1,0 +1,184 @@
+"""Property-based contracts of the approximate tier (Hypothesis).
+
+Three promises, each quantified over random subsets/budgets:
+
+1. **Determinism** — same journal, same seed, same store => bit-identical
+   surface and bit-identical answers.
+2. **Monotone tolerance** — replicating the training workload never
+   *loosens* the self-estimate: more observations of a key can only
+   shrink (never grow) the declared tolerance.
+3. **Exact fallback** — on every miss path, the served payload is
+   bit-for-bit the exact answer (only the ``requested_mode`` /
+   ``fallback_reason`` annotations differ).
+"""
+
+import functools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqp import AqpConfig, SubsetEncoder, train_surface
+from repro.core import BasicBellwetherSearch, build_store
+from repro.datasets import make_mailorder
+from repro.ml import TrainingSetEstimator
+from repro.serve import InfeasibleQueryError
+
+N_ITEMS = 12
+ITEM_IDS = list(range(1, N_ITEMS + 1))
+BUDGETS = (15.0, 45.0, 85.0)
+
+
+@functools.cache
+def _dataset():
+    return make_mailorder(
+        n_items=N_ITEMS,
+        n_months=3,
+        seed=0,
+        error_estimator=TrainingSetEstimator(),
+    )
+
+
+@functools.cache
+def _search():
+    ds = _dataset()
+    store, costs, __ = build_store(ds.task)
+    return BasicBellwetherSearch(ds.task, store, costs=costs, min_examples=3)
+
+
+@functools.cache
+def _encoder():
+    ds = _dataset()
+    return SubsetEncoder(ds.task, ds.hierarchies, quantization=8)
+
+
+def _records(subsets, budgets=BUDGETS):
+    version = int(_search().store.version)
+    return [
+        {
+            "kind": "bellwether",
+            "store_version": version,
+            "budget": float(b),
+            "items": None if items is None else list(items),
+            "winner": None,
+        }
+        for b in budgets
+        for items in subsets
+    ]
+
+
+def _train(records, seed=0):
+    return train_surface(
+        search=_search(),
+        journal_records=records,
+        encoder=_encoder(),
+        config=AqpConfig(seed=seed),
+        model_version=1,
+    )
+
+
+subsets = st.sets(st.sampled_from(ITEM_IDS), min_size=4).map(sorted)
+budgets = st.sampled_from(BUDGETS)
+
+
+# ------------------------------------------------------------- determinism
+
+
+@given(items=subsets, budget=budgets, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_training_and_answers_are_deterministic(items, budget, seed):
+    records = _records([None, items])
+    a = _train(records, seed=seed)
+    b = _train(records, seed=seed)
+    assert np.array_equal(a.coefs, b.coefs)
+    for key in a.bounds:
+        assert np.array_equal(a.bounds[key], b.bounds[key])
+    first = a.answer_bellwether(budget, items)
+    second = b.answer_bellwether(budget, items)
+    assert first == second  # frozen dataclass: float-bit equality
+
+
+# ------------------------------------------ monotone tolerance estimates
+
+
+@given(items=subsets, budget=budgets, replication=st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_tolerance_never_loosens_as_workload_grows(items, budget, replication):
+    base = _records([None, items])
+    small = _train(base)
+    large = _train(base * replication)
+    one = small.answer_bellwether(budget, items)
+    many = large.answer_bellwether(budget, items)
+    assert many.found == one.found
+    if not one.found:
+        return
+    # The replication-invariant ridge leaves the fit (hence the residual
+    # bounds) unchanged up to float noise, while the per-key observation
+    # count shrinks the exploration term — the estimate cannot grow.
+    assert many.estimated_error <= one.estimated_error + 1e-9
+
+
+# --------------------------------------------------- exact fallback paths
+
+
+@functools.cache
+def _fallback_state():
+    """A live AQP server whose model never auto-retrains (miss harness)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import ServerState
+
+    ds = _dataset()
+    store, costs, __ = build_store(ds.task)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-aqp-prop-")
+    root = Path(tmp.name)
+    state = ServerState(
+        ds.task,
+        store,
+        ds.hierarchies,
+        tables_dir=root / "tables",
+        costs=costs,
+        dataset_name="mailorder",
+        min_subset_size=3,
+        aqp_dir=root / "aqp",
+        aqp_config=AqpConfig(auto_retrain=False),
+    )
+    state._prop_tmp = tmp  # keep the directory alive with the state
+    return state
+
+
+def _strip(payload):
+    clean = dict(payload)
+    clean.pop("requested_mode", None)
+    clean.pop("fallback_reason", None)
+    return clean
+
+
+@given(items=st.one_of(st.none(), subsets), budget=budgets)
+@settings(max_examples=25, deadline=None)
+def test_fallback_is_bit_for_bit_exact_on_every_miss(items, budget):
+    state = _fallback_state()
+    try:
+        exact = state.bellwether(budget=budget, items=items)
+    except InfeasibleQueryError:
+        # The approx path must agree that the query is infeasible.
+        try:
+            state.bellwether(budget=budget, items=items, mode="approx")
+        except InfeasibleQueryError:
+            return
+        raise AssertionError("approx path answered an infeasible query")
+    # Miss path 1: no model at all (the state never trains here), or
+    # miss path 2: unseen key / tolerance once another test trained it.
+    got = state.bellwether(budget=budget, items=items, mode="approx")
+    if got["mode"] == "exact":
+        assert got["fallback_reason"] in (
+            "no_model", "unseen_key", "tolerance", "version_drift",
+        )
+        assert _strip(got) == exact
+    # Forcing an impossible tolerance always misses, even on trained keys.
+    forced = state.bellwether(
+        budget=budget, items=items, mode="approx", tolerance=1e-300
+    )
+    assert forced["mode"] == "exact"
+    assert _strip(forced) == exact

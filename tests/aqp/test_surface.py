@@ -1,0 +1,166 @@
+"""Surface/encoder unit contracts: exact feasibility, miss reasons, seeds.
+
+The surface predicts only the rmse ordinate; everything the criterion
+sees (counts, cost, coverage) is exact, so the feasible set — and the 409
+behaviour it implies — must be bit-identical to the exact search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aqp import (
+    ApproxMiss,
+    AqpConfig,
+    SubsetEncoder,
+    train_surface,
+)
+from repro.exceptions import ConfigError
+
+from .conftest import SUBSET
+
+
+@pytest.fixture()
+def encoder(dataset):
+    return SubsetEncoder(dataset.task, dataset.hierarchies, quantization=8)
+
+
+def _bellwether_record(search, budget, items):
+    return {
+        "kind": "bellwether",
+        "store_version": int(search.store.version),
+        "budget": float(budget),
+        "items": items,
+        "winner": None,
+    }
+
+
+def _train(search, encoder, records, config=None, model_version=1):
+    return train_surface(
+        search=search,
+        journal_records=records,
+        encoder=encoder,
+        config=config or AqpConfig(),
+        model_version=model_version,
+    )
+
+
+# ------------------------------------------------------------------ encoder
+
+
+def test_encoder_key_is_stable_and_order_insensitive(encoder):
+    assert encoder.key(SUBSET) == encoder.key(list(reversed(SUBSET)))
+    assert encoder.key(None) != encoder.key(SUBSET)
+    # All-items key is the saturated grid: every cell fraction is 1.
+    assert set(encoder.key(None)) == {encoder.quantization}
+
+
+def test_encoder_rejects_unknown_ids(encoder):
+    with pytest.raises(ConfigError):
+        encoder.columns_of([10_000])
+    with pytest.raises(ConfigError):
+        encoder.key([1, 10_000])
+
+
+def test_encoder_quantization_bounds(encoder):
+    for items in (None, SUBSET, SUBSET[:3]):
+        codes = np.asarray(encoder.key(items))
+        assert codes.min() >= 0
+        assert codes.max() <= encoder.quantization
+    assert len(encoder.key(SUBSET)) == encoder.n_features
+
+
+def test_encoder_rejects_bad_quantization(dataset):
+    with pytest.raises(ConfigError):
+        SubsetEncoder(dataset.task, dataset.hierarchies, quantization=0)
+
+
+# ------------------------------------------------------------------ config
+
+
+def test_config_validates_safety_and_ridge():
+    with pytest.raises(ConfigError):
+        AqpConfig(safety=0.5)
+    with pytest.raises(ConfigError):
+        AqpConfig(ridge=-1.0)
+
+
+# ------------------------------------------------------------------ surface
+
+
+def test_feasible_set_matches_exact_search_bit_for_bit(search, encoder):
+    records = [_bellwether_record(search, 45.0, None)]
+    model = _train(search, encoder, records)
+    for budget in (15.0, 45.0, 85.0, None):
+        exact = search.run(budget=budget)
+        answer = model.answer_bellwether(budget, None)
+        got = [(model.regions[j], r) for j, r in answer.feasible]
+        assert [region for region, __ in got] == [
+            rr.region for rr in exact.feasible
+        ]
+        if exact.bellwether is None:
+            assert not answer.found
+        else:
+            assert answer.found
+            winner = model.regions[answer.region_index]
+            assert answer.cost == float(search.costs[winner])
+
+
+def test_infeasible_budget_answers_not_found_without_miss(search, encoder):
+    model = _train(search, encoder, [_bellwether_record(search, 45.0, None)])
+    answer = model.answer_bellwether(0.001, None)
+    assert not answer.found
+    assert answer.feasible == ()
+
+
+def test_unseen_key_and_tolerance_misses(search, encoder):
+    model = _train(search, encoder, [_bellwether_record(search, 45.0, None)])
+    with pytest.raises(ApproxMiss) as exc:
+        model.answer_bellwether(45.0, SUBSET)
+    assert exc.value.reason == "unseen_key"
+    with pytest.raises(ApproxMiss) as exc:
+        model.answer_bellwether(45.0, None, tolerance=1e-300)
+    assert exc.value.reason == "tolerance"
+
+
+def test_prediction_within_self_estimate_on_trained_key(search, encoder):
+    records = [
+        _bellwether_record(search, b, items)
+        for b in (15.0, 45.0, 85.0)
+        for items in (None, SUBSET)
+    ]
+    model = _train(search, encoder, records)
+    for budget in (15.0, 45.0, 85.0):
+        for items in (None, SUBSET):
+            exact = search.run(budget=budget, item_ids=items)
+            answer = model.answer_bellwether(budget, items)
+            assert answer.found == (exact.bellwether is not None)
+            if not answer.found:
+                continue
+            exact_at_winner = {
+                rr.region: float(rr.rmse) for rr in exact.feasible
+            }[model.regions[answer.region_index]]
+            assert abs(answer.rmse - exact_at_winner) <= answer.estimated_error
+
+
+def test_training_is_deterministic(search, encoder):
+    records = [
+        _bellwether_record(search, b, items)
+        for b in (15.0, 85.0)
+        for items in (None, SUBSET)
+    ]
+    a = _train(search, encoder, records)
+    b = _train(search, encoder, records)
+    assert np.array_equal(a.coefs, b.coefs)
+    assert a.bounds.keys() == b.bounds.keys()
+    for key in a.bounds:
+        assert np.array_equal(a.bounds[key], b.bounds[key])
+    assert a.status() == b.status()
+
+
+def test_status_reports_geometry(search, encoder):
+    model = _train(search, encoder, [_bellwether_record(search, 45.0, None)])
+    status = model.status()
+    assert status["model_version"] == 1
+    assert status["store_version"] == int(search.store.version)
+    assert status["n_trained_keys"] == 1
+    assert status["n_regions"] == len(model.regions)

@@ -1,0 +1,51 @@
+"""The aqp-tolerance oracle: approx answers within tolerance of exact.
+
+Two pinned workloads (the aqp-smoke CI pair) drive the full lifecycle:
+exact workload -> train -> approx replay (tolerance conformance, feasible
+set equality, ε-optimal winners, bit-equal artifacts) -> novel-subset
+fallback -> mid-flight delta (fallback-then-retrain).
+"""
+
+import pytest
+
+from repro.verify import Workload, get_class, registry, run_class
+from repro.verify.workload import DeltaOp
+
+WORKLOADS = [
+    Workload(
+        name="aqp-mailorder",
+        seed=7,
+        kind="mailorder",
+        n_items=16,
+        n_months=4,
+        base_month=3,
+        deltas=(DeltaOp("retract_reappend", region_rank=0, n_victims=2),),
+        budgets=(10.0, 40.0),
+        min_subset_size=2,
+        min_examples=3,
+    ),
+    Workload(
+        name="aqp-bookstore",
+        seed=23,
+        kind="bookstore",
+        n_items=12,
+        n_months=3,
+        base_month=2,
+        deltas=(DeltaOp("retract", region_rank=1, n_victims=1),),
+        budgets=(5.0, 30.0, 80.0),
+        min_subset_size=2,
+        min_examples=3,
+    ),
+]
+
+
+def test_aqp_tolerance_is_registered_for_corpus_and_fuzz():
+    # The corpus runner and the nightly fuzz iterate the full registry, so
+    # registration alone wires the oracle into both.
+    assert "aqp-tolerance" in registry()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_aqp_tolerance_oracle_is_green(workload):
+    result = run_class(get_class("aqp-tolerance"), workload)
+    assert result.ok, "\n".join(str(m) for m in result.mismatches)

@@ -7,9 +7,17 @@ Examples
     python -m repro.analysis                        # lint src/repro + tests
     python -m repro.analysis --rule RPR001          # one rule only
     python -m repro.analysis --format json          # machine-readable
+    python -m repro.analysis --format github        # ::error annotations
     python -m repro.analysis --baseline lint_baseline.json
+    python -m repro.analysis --baseline lint_baseline.json --prune-baseline
     python -m repro.analysis --write-baseline lint_baseline.json
     python -m repro.analysis --list-rules
+
+``--format github`` emits GitHub Actions workflow commands
+(``::error file=...,line=...,title=RPRnnn::message``) so findings land
+inline on the PR diff.  ``--baseline`` warns (exit status unchanged) when
+the baseline carries entries no current finding matches; add
+``--prune-baseline`` to rewrite the file without them.
 
 Exit status: 0 when clean, 1 when findings remain after baseline/suppression
 filtering, 2 on usage errors.
@@ -27,6 +35,8 @@ from .engine import (
     Engine,
     apply_baseline,
     load_baseline,
+    prune_baseline,
+    stale_baseline_keys,
     write_baseline,
 )
 from .rules import ALL_RULES, get_rules
@@ -67,15 +77,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; github = Actions annotations)",
     )
     parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
         help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite --baseline without entries no finding matches",
     )
     parser.add_argument(
         "--write-baseline",
@@ -102,13 +117,31 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     try:
+        if args.prune_baseline and args.baseline is None:
+            raise AnalysisError("--prune-baseline needs --baseline PATH")
         engine = Engine(
             root=args.root or _default_root(),
             rules=get_rules(args.rules),
         )
         findings = engine.run(args.paths or None)
         if args.baseline is not None:
-            findings = apply_baseline(findings, load_baseline(args.baseline))
+            baseline = load_baseline(args.baseline)
+            stale = stale_baseline_keys(findings, baseline)
+            if stale and args.prune_baseline:
+                removed = prune_baseline(args.baseline, findings)
+                print(
+                    f"pruned {removed} stale entr"
+                    f"{'y' if removed == 1 else 'ies'} from {args.baseline}",
+                    file=sys.stderr,
+                )
+            elif stale:
+                print(
+                    f"warning: {len(stale)} stale baseline entr"
+                    f"{'y matches' if len(stale) == 1 else 'ies match'} "
+                    f"no finding in {args.baseline}; run --prune-baseline",
+                    file=sys.stderr,
+                )
+            findings = apply_baseline(findings, baseline)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -129,9 +162,22 @@ def main(argv: list[str] | None = None) -> int:
                 sort_keys=True,
             )
         )
+    elif args.format == "github":
+        for finding in findings:
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.rule_id}::{_github_escape(finding.message)}"
+            )
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
     else:
         for finding in findings:
             print(finding.format())
         if findings:
             print(f"\n{len(findings)} finding(s)", file=sys.stderr)
     return 1 if findings else 0
+
+
+def _github_escape(text: str) -> str:
+    """Workflow-command data escaping, per the Actions toolkit."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")

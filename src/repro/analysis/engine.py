@@ -45,6 +45,8 @@ __all__ = [
     "Scope",
     "apply_baseline",
     "load_baseline",
+    "prune_baseline",
+    "stale_baseline_keys",
     "write_baseline",
 ]
 
@@ -231,6 +233,7 @@ class Engine:
         self._scopes = dict(scopes or {})
         self.excludes = tuple(excludes)
         self._catalog_names: frozenset[str] | None = None
+        self._lock_graph = None
 
     # ------------------------------------------------------------- file walk
 
@@ -309,6 +312,26 @@ class Engine:
             )
         return self._catalog_names
 
+    def lock_graph(self):
+        """The tree-wide lock-acquisition graph RPR008 checks against.
+
+        Built once per engine from every file under ``src/repro`` (minus
+        the analysis package itself — its graph machinery mentions lock
+        names without acquiring them), using the canonical lock names of
+        :mod:`repro.analysis.guards`.
+        """
+        if self._lock_graph is None:
+            from .guards import build_lock_graph, parse_tree_files
+
+            src = self.root / "src" / "repro"
+            files = [
+                file
+                for file in self.iter_files([src] if src.is_dir() else [])
+                if not self._relpath(file).startswith("src/repro/analysis")
+            ]
+            self._lock_graph = build_lock_graph(parse_tree_files(self.root, files))
+        return self._lock_graph
+
 
 def _parse_catalog(path: Path) -> frozenset[str]:
     if not path.exists():
@@ -361,3 +384,40 @@ def apply_baseline(
 ) -> list[Finding]:
     """The findings whose ``(rule, path, message)`` is not grandfathered."""
     return [f for f in findings if f.baseline_key not in baseline]
+
+
+def stale_baseline_keys(
+    findings: Iterable[Finding], baseline: set[tuple[str, str, str]]
+) -> set[tuple[str, str, str]]:
+    """Baseline entries no current finding matches — burned-down debt that
+    would silently grandfather a future regression with the same message."""
+    live = {f.baseline_key for f in findings}
+    return baseline - live
+
+
+def prune_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Rewrite the baseline keeping only entries some finding matches.
+
+    Returns how many stale entries were dropped.  Entries are preserved
+    verbatim (advisory line numbers included); only membership changes.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload["findings"]
+        keys = [
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in entries
+        ]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise AnalysisError(f"unreadable baseline {path}: {exc!r}") from exc
+    live = {f.baseline_key for f in findings}
+    kept = [entry for entry, key in zip(entries, keys) if key in live]
+    stale = len(entries) - len(kept)
+    if stale:
+        payload["findings"] = kept
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return stale

@@ -9,27 +9,44 @@ Rule        Contract                                               Guards
 ``RPR004``  executor-submitted work is fork-safe                   exec layer
 ``RPR005``  suffstats are values outside :mod:`repro.ml`           Theorem 1
 ``RPR006``  no swallowed catch-alls; raise ``repro`` types         API surface
+``RPR007``  guarded attributes touched only under their lock       serve §9
+``RPR008``  lock pairs acquired in one consistent order            serve §9
+``RPR009``  no blocking calls inside a ``write()`` scope           serve p99
+``RPR010``  storage writes are atomic (tmp + ``os.replace``)       durability
 ==========  ====================================================== ==========
+
+RPR007–009 share the interprocedural machinery of
+:mod:`repro.analysis.guards` / :mod:`repro.analysis.callgraph`; their
+dynamic twin is the opt-in runtime checker
+(:mod:`repro.analysis.runtime`).
 """
 
 from __future__ import annotations
 
 from ..engine import AnalysisError, Rule
+from .atomic_writes import AtomicWritesRule
 from .counter_catalog import CounterCatalogRule
 from .exception_discipline import ExceptionDisciplineRule
 from .fork_safety import ForkSafetyRule
+from .guarded_fields import GuardedFieldsRule
+from .lock_order import LockOrderRule
 from .scan_accounting import ScanAccountingRule
 from .seed_discipline import SeedDisciplineRule
 from .suffstats_purity import SuffStatsPurityRule
+from .write_lock_blocking import WriteLockBlockingRule
 
 __all__ = [
     "ALL_RULES",
+    "AtomicWritesRule",
     "CounterCatalogRule",
     "ExceptionDisciplineRule",
     "ForkSafetyRule",
+    "GuardedFieldsRule",
+    "LockOrderRule",
     "ScanAccountingRule",
     "SeedDisciplineRule",
     "SuffStatsPurityRule",
+    "WriteLockBlockingRule",
     "get_rules",
 ]
 
@@ -41,6 +58,10 @@ ALL_RULES: tuple[Rule, ...] = (
     ForkSafetyRule(),
     SuffStatsPurityRule(),
     ExceptionDisciplineRule(),
+    GuardedFieldsRule(),
+    LockOrderRule(),
+    WriteLockBlockingRule(),
+    AtomicWritesRule(),
 )
 
 

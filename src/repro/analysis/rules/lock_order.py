@@ -1,0 +1,67 @@
+"""RPR008 — locks are acquired in one global order, never both ways.
+
+Deadlock needs four conditions; the one a codebase controls statically is
+circular wait.  This rule extracts the lock-acquisition graph of the whole
+``src/repro`` tree (:meth:`Engine.lock_graph` — lexically nested ``with``
+scopes plus one call-hop into same-module functions, over the canonical
+lock names of :mod:`repro.analysis.guards`) and flags every acquisition
+site whose (held, acquired) pair also occurs reversed anywhere in the
+tree.  Both sides of an inversion are reported, each pointing at the
+other, so the fix — pick one order — is visible from either end.
+
+The runtime checker (:mod:`repro.analysis.runtime`) is the dynamic twin:
+it watches the same graph online, over the same names, and catches orders
+established through call chains this one-hop analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule, Scope
+from ..guards import extract_lock_edges
+
+__all__ = ["LockOrderRule"]
+
+
+class LockOrderRule(Rule):
+    rule_id = "RPR008"
+    title = "lock pairs are acquired in one consistent order"
+    default_scope = Scope(
+        include=("src/repro",),
+        exclude=("src/repro/analysis",),
+    )
+
+    def make_visitor(self, ctx: FileContext, engine) -> ast.NodeVisitor:
+        raise NotImplementedError("RPR008 overrides check()")
+
+    def check(self, ctx: FileContext, engine) -> list[Finding]:
+        file_graph = extract_lock_edges(ctx.tree, ctx.relpath)
+        if not file_graph.edges:
+            return []
+        global_graph = engine.lock_graph()
+        findings: list[Finding] = []
+        for (first, second), sites in sorted(file_graph.edges.items()):
+            reversed_sites = sorted(
+                set(
+                    global_graph.reversed_sites(first, second)
+                    + file_graph.reversed_sites(first, second)
+                )
+            )
+            if not reversed_sites:
+                continue
+            where, line = reversed_sites[0]
+            for site_path, site_line in sorted(set(sites)):
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=site_line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"lock order inversion: {second!r} acquired "
+                            f"while holding {first!r}, but the reverse "
+                            f"order is established at {where}:{line}"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,353 @@
+"""Runtime lock-order and lock-discipline checking for the serve stack.
+
+The static rules (RPR007–RPR009) see lexical scopes and one call hop;
+this module covers the rest at runtime, cheaply enough to leave compiled
+into the hot path:
+
+* Every instrumented lock (the serve :class:`~repro.serve.locks.RWLock`,
+  plus the :class:`TrackedLock` wrappers around the instrument / cache /
+  journal mutexes) reports ``acquiring`` / ``acquired`` / ``released``
+  through the module-level hooks below.  When no checker is installed the
+  hooks are a global read and a ``None`` test — nothing else.
+
+* :func:`enable_lockcheck` installs a process-wide :class:`LockChecker`:
+  per-thread held-lock stacks, an online lock-acquisition graph with
+  cycle detection (the dynamic twin of RPR008), and non-reentrancy
+  checks.  ``acquiring`` runs *before* the lock blocks, so in strict
+  mode an inversion raises :class:`LockOrderError` deterministically
+  instead of deadlocking the repro.
+
+* :func:`assert_holds_read` / :func:`assert_holds_write` make the
+  ``*_locked`` method contract executable: ``ServerState`` hot paths
+  assert the RW lock is genuinely held whenever the checker is on.
+
+Counters land in the :mod:`repro.obs` registry under ``analysis.lock.*``
+(incremented under the checker's own mutex — the registry itself is
+single-threaded by design).  Enable via ``observe(lockcheck=True)``,
+``--lockcheck`` on the experiments / serve CLIs, or the ``lockcheck``
+pytest fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.obs.catalog import (
+    ANALYSIS_LOCK_ACQUISITIONS,
+    ANALYSIS_LOCK_ASSERTS,
+    ANALYSIS_LOCK_EDGES,
+    ANALYSIS_LOCK_VIOLATIONS,
+)
+from repro.obs.metrics import get_registry
+
+from .guards import (
+    AQP_JOURNAL_IO,
+    CUBE_TABLES_IO,
+    SERVE_INSTRUMENT,
+    SERVE_STATE_RW,
+    SUFFSTATS_CACHE_IO,
+)
+
+__all__ = [
+    "AQP_JOURNAL_IO",
+    "CUBE_TABLES_IO",
+    "LockAssertionError",
+    "LockCheckError",
+    "LockChecker",
+    "LockOrderError",
+    "SERVE_INSTRUMENT",
+    "SERVE_STATE_RW",
+    "SUFFSTATS_CACHE_IO",
+    "TrackedLock",
+    "assert_holds_read",
+    "assert_holds_write",
+    "disable_lockcheck",
+    "enable_lockcheck",
+    "get_lockchecker",
+    "lock_acquired",
+    "lock_acquiring",
+    "lock_released",
+    "set_lockchecker",
+]
+
+_REGISTRY = get_registry()
+_ACQUISITIONS = _REGISTRY.counter(ANALYSIS_LOCK_ACQUISITIONS)
+_EDGES = _REGISTRY.counter(ANALYSIS_LOCK_EDGES)
+_ASSERTS = _REGISTRY.counter(ANALYSIS_LOCK_ASSERTS)
+_VIOLATIONS = _REGISTRY.counter(ANALYSIS_LOCK_VIOLATIONS)
+
+
+class LockCheckError(ReproError):
+    """A lock-discipline violation the runtime checker caught."""
+
+
+class LockOrderError(LockCheckError):
+    """Acquiring this lock would close a cycle in the acquisition graph."""
+
+
+class LockAssertionError(LockCheckError):
+    """A ``*_locked`` code path ran without the lock it documents."""
+
+
+#: Modes that satisfy a "holds for reading" assertion.
+_READ_MODES = ("read", "write", "exclusive")
+#: Modes that satisfy a "holds for writing" assertion.
+_WRITE_MODES = ("write", "exclusive")
+
+
+class LockChecker:
+    """Process-wide held-lock stacks + online acquisition-order graph.
+
+    ``strict=True`` (the default) raises on the first violation — the
+    deterministic mode the inversion repro and the hammers use;
+    ``strict=False`` records violations for :meth:`snapshot` instead.
+    The checker's own mutex is deliberately *not* tracked.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self._mu = threading.Lock()
+        # (held, acquired) -> times observed.
+        self._edges: dict[tuple[str, str], int] = {}
+        # acquired -> set of locks ever acquired while holding it.
+        self._adj: dict[str, set[str]] = {}
+        self._violations: list[dict] = []
+        self._seen_violations: set[tuple] = set()
+        self._tls = threading.local()
+
+    # ------------------------------------------------------- per-thread state
+
+    def _held(self) -> list[tuple[str, str]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_modes(self, name: str) -> list[str]:
+        """Modes under which the calling thread holds ``name`` right now."""
+        return [mode for held, mode in self._held() if held == name]
+
+    # ------------------------------------------------------------------ hooks
+
+    def acquiring(self, name: str, mode: str, reentrant: bool = False) -> None:
+        """Called before blocking on ``name``; raises rather than deadlocks."""
+        held = self._held()
+        violation: dict | None = None
+        with self._mu:
+            _ACQUISITIONS.inc()
+            if any(h == name for h, _ in held) and not reentrant:
+                violation = {
+                    "kind": "reacquire",
+                    "lock": name,
+                    "mode": mode,
+                    "held": [h for h, _ in held],
+                    "detail": (
+                        f"thread already holds non-reentrant lock {name!r} "
+                        f"(held stack: {[h for h, _ in held]}); re-acquiring "
+                        "would deadlock (the RW lock is not upgradable)"
+                    ),
+                }
+            else:
+                cycle_via = self._reaches_locked(
+                    name, {h for h, _ in held if h != name}
+                )
+                if cycle_via is not None:
+                    violation = {
+                        "kind": "order",
+                        "lock": name,
+                        "mode": mode,
+                        "held": [h for h, _ in held],
+                        "detail": (
+                            f"acquiring {name!r} while holding {cycle_via!r} "
+                            f"closes a cycle: the graph already orders "
+                            f"{name!r} before {cycle_via!r}"
+                        ),
+                    }
+                for h, _ in held:
+                    if h == name:
+                        continue
+                    edge = (h, name)
+                    if edge not in self._edges:
+                        self._edges[edge] = 0
+                        self._adj.setdefault(h, set()).add(name)
+                        _EDGES.inc()
+                    self._edges[edge] += 1
+            if violation is not None:
+                key = (violation["kind"], name, tuple(violation["held"]))
+                if key not in self._seen_violations:
+                    self._seen_violations.add(key)
+                    self._violations.append(violation)
+                    _VIOLATIONS.inc()
+        if violation is not None and self.strict:
+            if violation["kind"] == "order":
+                raise LockOrderError(violation["detail"])
+            raise LockCheckError(violation["detail"])
+
+    def _reaches_locked(self, start: str, targets: set[str]) -> str | None:
+        """A target reachable from ``start`` in the edge graph (mutex held)."""
+        if not targets:
+            return None
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            for nxt in self._adj.get(node, ()):
+                if nxt in targets:
+                    return nxt
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return None
+
+    def acquired(self, name: str, mode: str) -> None:
+        self._held().append((name, mode))
+
+    def released(self, name: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] == name:
+                del held[i]
+                return
+
+    # ------------------------------------------------------------- assertions
+
+    def assert_holds(self, name: str, modes: tuple[str, ...], want: str) -> None:
+        with self._mu:
+            _ASSERTS.inc()
+        held = self.held_modes(name)
+        if any(mode in modes for mode in held):
+            return
+        detail = (
+            f"code path documents '{want} lock held' on {name!r} but this "
+            f"thread holds {held or 'nothing'} (wanted one of {list(modes)})"
+        )
+        with self._mu:
+            key = ("assert", name, want)
+            if key not in self._seen_violations:
+                self._seen_violations.add(key)
+                self._violations.append(
+                    {"kind": "assert", "lock": name, "mode": want,
+                     "held": held, "detail": detail}
+                )
+                _VIOLATIONS.inc()
+        raise LockAssertionError(detail)
+
+    # -------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        """The observed lock graph + violations, JSON-shaped."""
+        with self._mu:
+            edges = [
+                {"from": a, "to": b, "count": count}
+                for (a, b), count in sorted(self._edges.items())
+            ]
+            violations = [dict(v) for v in self._violations]
+        return {"edges": edges, "violations": violations}
+
+    def export_graph(self, path: str | Path) -> None:
+        """Write :meth:`snapshot` as JSON (the nightly CI artifact)."""
+        Path(path).write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @property
+    def violations(self) -> list[dict]:
+        with self._mu:
+            return [dict(v) for v in self._violations]
+
+
+# ------------------------------------------------------------- module hooks
+
+_CHECKER: LockChecker | None = None
+
+
+def enable_lockcheck(strict: bool = True) -> LockChecker:
+    """Install (and return) a fresh process-wide checker."""
+    global _CHECKER
+    _CHECKER = LockChecker(strict=strict)
+    return _CHECKER
+
+
+def disable_lockcheck() -> None:
+    global _CHECKER
+    _CHECKER = None
+
+
+def get_lockchecker() -> LockChecker | None:
+    return _CHECKER
+
+
+def set_lockchecker(checker: LockChecker | None) -> None:
+    """Restore a previously captured checker (``observe`` uses this)."""
+    global _CHECKER
+    _CHECKER = checker
+
+
+def lock_acquiring(name: str, mode: str, reentrant: bool = False) -> None:
+    checker = _CHECKER
+    if checker is not None:
+        checker.acquiring(name, mode, reentrant)
+
+
+def lock_acquired(name: str, mode: str) -> None:
+    checker = _CHECKER
+    if checker is not None:
+        checker.acquired(name, mode)
+
+
+def lock_released(name: str) -> None:
+    checker = _CHECKER
+    if checker is not None:
+        checker.released(name)
+
+
+def assert_holds_read(name: str) -> None:
+    """Assert the calling thread holds ``name`` at least for reading."""
+    checker = _CHECKER
+    if checker is not None:
+        checker.assert_holds(name, _READ_MODES, "read")
+
+
+def assert_holds_write(name: str) -> None:
+    """Assert the calling thread holds ``name`` exclusively."""
+    checker = _CHECKER
+    if checker is not None:
+        checker.assert_holds(name, _WRITE_MODES, "write")
+
+
+class TrackedLock:
+    """A mutex that reports to the checker; drop-in for ``threading.Lock``.
+
+    ``reentrant=True`` wraps an ``RLock`` and tells the checker nested
+    re-acquisition by the owner is legal.  With no checker installed the
+    overhead is one global read per operation.
+    """
+
+    def __init__(self, name: str, reentrant: bool = False):
+        self.name = name
+        self._reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        lock_acquiring(self.name, "exclusive", self._reentrant)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            lock_acquired(self.name, "exclusive")
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        lock_released(self.name)
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r}, reentrant={self._reentrant})"

@@ -18,9 +18,9 @@ exact-only serving rather than training on garbage.
 from __future__ import annotations
 
 import json
-import threading
 from pathlib import Path
 
+from repro.analysis.runtime import AQP_JOURNAL_IO, TrackedLock
 from repro.obs import get_registry
 from repro.obs.catalog import AQP_JOURNAL_ERRORS, AQP_JOURNAL_RECORDS
 from repro.storage import StorageError
@@ -38,7 +38,7 @@ class WorkloadJournal:
 
     def __init__(self, path):
         self.path = Path(path)
-        self._lock = threading.Lock()
+        self._lock = TrackedLock(AQP_JOURNAL_IO)
         self._records = get_registry().counter(AQP_JOURNAL_RECORDS)
         self._errors = get_registry().counter(AQP_JOURNAL_ERRORS)
 

@@ -212,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
         "(implies --trace)",
     )
     parser.add_argument(
+        "--lockcheck",
+        action="store_true",
+        help="enable the runtime lock checker for each figure "
+        "(raises on lock-order violations)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="append one JSON line per figure (elapsed, metrics, spans)",
@@ -251,7 +257,12 @@ def main(argv: list[str] | None = None) -> int:
     names = list(FIGURES) if "all" in args.figures else args.figures
     for name in names:
         start = time.perf_counter()
-        with observe(name, trace=tracing, profile=args.profile) as report:
+        with observe(
+            name,
+            trace=tracing,
+            profile=args.profile,
+            lockcheck=args.lockcheck,
+        ) as report:
             if name == "fig11e":
                 rendered = _fig11e(args.fast, args.append_months)
             elif name == "fig11f":

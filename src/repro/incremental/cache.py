@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import os
 import pickle
-import threading
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.runtime import SUFFSTATS_CACHE_IO, TrackedLock
 from repro.dimensions import Region
 from repro.ml import StackedSuffStats
 from repro.storage import StorageError
@@ -47,7 +47,7 @@ class SuffStatsCache:
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
-        self._io_lock = threading.RLock()
+        self._io_lock = TrackedLock(SUFFSTATS_CACHE_IO, reentrant=True)
 
     @property
     def meta_path(self) -> Path:

@@ -118,6 +118,17 @@ AQP_DRIFT_RETRAINS = "aqp.drift_retrains"
 AQP_JOURNAL_RECORDS = "aqp.journal_records"
 AQP_JOURNAL_ERRORS = "aqp.journal_errors"
 
+# ------------------------------------------------- runtime lock checking
+# Counted by repro.analysis.runtime when the opt-in lock checker is on
+# (observe(lockcheck=True) / --lockcheck): tracked acquisitions, distinct
+# acquisition-order edges observed, held-lock assertions evaluated, and
+# discipline violations (order inversions, non-reentrant re-acquisition,
+# failed assertions).  All zero when the checker is off.
+ANALYSIS_LOCK_ACQUISITIONS = "analysis.lock.acquisitions"
+ANALYSIS_LOCK_EDGES = "analysis.lock.edges"
+ANALYSIS_LOCK_ASSERTS = "analysis.lock.asserts"
+ANALYSIS_LOCK_VIOLATIONS = "analysis.lock.violations"
+
 
 #: Every registered counter name (all instruments above are counters today;
 #: gauges/histograms added later join their own tuple and ALL_NAMES).
@@ -161,6 +172,10 @@ COUNTERS: tuple[str, ...] = (
     AQP_DRIFT_RETRAINS,
     AQP_JOURNAL_RECORDS,
     AQP_JOURNAL_ERRORS,
+    ANALYSIS_LOCK_ACQUISITIONS,
+    ANALYSIS_LOCK_EDGES,
+    ANALYSIS_LOCK_ASSERTS,
+    ANALYSIS_LOCK_VIOLATIONS,
 )
 
 GAUGES: tuple[str, ...] = (

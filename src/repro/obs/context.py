@@ -82,16 +82,29 @@ class observe:
     :class:`~repro.obs.profile.ResourceProfiler` for the block, annotating
     every span with peak RSS / GC / store-read-rate deltas (and implies
     ``trace=True`` — the profiler samples at span boundaries).
+
+    ``lockcheck=True`` enables the runtime lock checker
+    (:mod:`repro.analysis.runtime`) for the block: every tracked lock
+    acquisition feeds the lock-order graph and violations raise
+    immediately.  The prior checker (usually none) is restored on exit.
     """
 
-    def __init__(self, name: str, trace: bool = False, profile: bool = False):
+    def __init__(
+        self,
+        name: str,
+        trace: bool = False,
+        profile: bool = False,
+        lockcheck: bool = False,
+    ):
         self.name = name
         self.trace = trace or profile
         self.profile = profile
+        self.lockcheck = lockcheck
         self._registry = get_registry()
         self._tracer = get_tracer()
         self._was_enabled = False
         self._prior_profiler = None
+        self._prior_checker = None
         self._before: dict[str, float] = {}
         self._t0 = 0.0
         self.report = ObsReport(name)
@@ -104,12 +117,26 @@ class observe:
         if self.profile:
             self._prior_profiler = self._tracer.profiler
             self._tracer.set_profiler(ResourceProfiler())
+        if self.lockcheck:
+            # Imported lazily: repro.analysis.runtime counts through this
+            # package's registry, so a module-level import would cycle.
+            from repro.analysis import runtime as _lockrt
+
+            self._prior_checker = _lockrt.get_lockchecker()
+            _lockrt.enable_lockcheck(strict=True)
         self._before = self._registry.as_dict()
         self._t0 = time.perf_counter()
         return self.report
 
     def __exit__(self, *exc) -> bool:
         self.report.elapsed_s = time.perf_counter() - self._t0
+        if self.lockcheck:
+            from repro.analysis import runtime as _lockrt
+
+            if self._prior_checker is None:
+                _lockrt.disable_lockcheck()
+            else:
+                _lockrt.set_lockchecker(self._prior_checker)
         if self.profile:
             self._tracer.set_profiler(self._prior_profiler)
         if self.trace:

@@ -69,7 +69,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="enable the learned approximate tier (mode=approx, /aqp)",
     )
+    parser.add_argument(
+        "--lockcheck",
+        action="store_true",
+        help="enable the runtime lock checker: track acquisition order "
+        "across all instrumented locks and raise on violations",
+    )
     args = parser.parse_args(argv)
+
+    if args.lockcheck:
+        from repro.analysis.runtime import enable_lockcheck
+
+        enable_lockcheck(strict=True)
 
     maker = make_mailorder if args.dataset == "mailorder" else make_bookstore
     ds = maker(

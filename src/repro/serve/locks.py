@@ -12,21 +12,37 @@ of cheap warm queries from starving the adoption of a store delta forever.
 The lock is deliberately not reentrant and not upgradable: a thread holding
 the read lock must release it before taking the write lock (the server's
 warm/cold two-phase pattern — check warm under read, recheck and recompute
-under write — does exactly that).
+under write — does exactly that).  The runtime checker
+(:mod:`repro.analysis.runtime`, opt-in via ``--lockcheck``) enforces both
+properties plus global acquisition order; every acquire reports through
+its hooks under the lock's canonical ``name``.
+
+Acquisition accepts an optional ``timeout`` (seconds) raising
+:class:`LockTimeoutError` — ``/healthz`` uses a short one so a wedged
+writer degrades the health check to 503 instead of hanging it.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
-__all__ = ["RWLock"]
+from repro.analysis.runtime import lock_acquired, lock_acquiring, lock_released
+from repro.exceptions import ReproError
+
+__all__ = ["LockTimeoutError", "RWLock"]
+
+
+class LockTimeoutError(ReproError):
+    """A lock was not acquired within the caller's deadline."""
 
 
 class RWLock:
     """Many concurrent readers xor one writer, writers preferred."""
 
-    def __init__(self):
+    def __init__(self, name: str = "rwlock"):
+        self.name = name
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
@@ -34,48 +50,76 @@ class RWLock:
 
     # ------------------------------------------------------------- primitives
 
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: float | None = None) -> None:
+        lock_acquiring(self.name, "read")
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+                if not self._wait(deadline):
+                    raise LockTimeoutError(
+                        f"read lock {self.name!r} not acquired within "
+                        f"{timeout:.3f}s (writer active or waiting)"
+                    )
             self._readers += 1
+        lock_acquired(self.name, "read")
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        lock_released(self.name)
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: float | None = None) -> None:
+        lock_acquiring(self.name, "write")
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
-                    self._cond.wait()
+                    if not self._wait(deadline):
+                        raise LockTimeoutError(
+                            f"write lock {self.name!r} not acquired within "
+                            f"{timeout:.3f}s ({self._readers} readers)"
+                        )
             finally:
                 self._writers_waiting -= 1
+                if self._writers_waiting == 0:
+                    # A timed-out writer was gating new readers; wake them.
+                    # (On success the writer flag re-parks them immediately.)
+                    self._cond.notify_all()
             self._writer_active = True
+        lock_acquired(self.name, "write")
 
     def release_write(self) -> None:
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+        lock_released(self.name)
+
+    def _wait(self, deadline: float | None) -> bool:
+        """One condition wait bounded by ``deadline``; False = timed out."""
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        return remaining > 0 and self._cond.wait(remaining)
 
     # ------------------------------------------------------- context managers
 
     @contextmanager
-    def read(self):
+    def read(self, timeout: float | None = None):
         """``with lock.read():`` — shared access."""
-        self.acquire_read()
+        self.acquire_read(timeout)
         try:
             yield self
         finally:
             self.release_read()
 
     @contextmanager
-    def write(self):
+    def write(self, timeout: float | None = None):
         """``with lock.write():`` — exclusive access."""
-        self.acquire_write()
+        self.acquire_write(timeout)
         try:
             yield self
         finally:

@@ -22,12 +22,18 @@ instrument updates go through ``_INSTRUMENT_LOCK`` here
 
 from __future__ import annotations
 
-import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.runtime import (
+    SERVE_INSTRUMENT,
+    SERVE_STATE_RW,
+    TrackedLock,
+    assert_holds_read,
+    assert_holds_write,
+)
 from repro.aqp import ApproxMiss, AqpConfig, AqpEngine
 from repro.core import BasicBellwetherSearch, BellwetherCubeBuilder
 from repro.exceptions import ConfigError
@@ -56,8 +62,13 @@ from repro.incremental import versions_behind
 from repro.storage import StorageError, TrainingDataStore
 from repro.storage.columnar import region_from_json, region_to_json
 
-from .errors import BadRequestError, InfeasibleQueryError, NotFoundError
-from .locks import RWLock
+from .errors import (
+    BadRequestError,
+    InfeasibleQueryError,
+    NotFoundError,
+    ServiceUnavailableError,
+)
+from .locks import LockTimeoutError, RWLock
 
 __all__ = ["ENDPOINTS", "ServerState", "record_request"]
 
@@ -76,7 +87,9 @@ ENDPOINTS = (
 
 # The registry's increments are plain ``+=`` (single-threaded by design);
 # the service is the one multi-threaded client, so it brings its own lock.
-_INSTRUMENT_LOCK = threading.Lock()
+# TrackedLock reports to the opt-in runtime checker under the canonical
+# name the static rules (RPR007/RPR008) use for the same lock.
+_INSTRUMENT_LOCK = TrackedLock(SERVE_INSTRUMENT)
 _REGISTRY = get_registry()
 _REQUESTS = _REGISTRY.counter(SERVE_REQUESTS)
 _ERRORS = _REGISTRY.counter(SERVE_ERRORS)
@@ -151,6 +164,10 @@ class ServerState:
         endpoints; omitted = exact-only serving, exactly as before.
     aqp_config:
         Optional :class:`~repro.aqp.AqpConfig` tuning the learned surface.
+    health_timeout:
+        Seconds ``/healthz`` waits for the read lock before answering 503
+        (a wedged writer must degrade the health check, not hang it).
+        ``None`` waits forever, as every other endpoint does.
     """
 
     def __init__(
@@ -167,6 +184,7 @@ class ServerState:
         min_examples: int | None = None,
         aqp_dir: str | Path | None = None,
         aqp_config: AqpConfig | None = None,
+        health_timeout: float | None = 1.0,
     ):
         est = task.error_estimator
         algebraic = (
@@ -215,10 +233,11 @@ class ServerState:
         self._cube_version: int | None = None
         # (region, item-id tuple | None, store version) -> (model, block, mean)
         self._models: dict = {}
-        self._rw = RWLock()
+        self._rw = RWLock(name=SERVE_STATE_RW)
         self._parallel = parallel
         self._known_items = {int(i) for i in task.item_ids}
         self._t0 = time.monotonic()
+        self._health_timeout = health_timeout
         # The approximate tier: journal + learned surface.  Counter updates
         # share the serve instrument lock (the registry is single-threaded
         # by design); the model reference itself is guarded by the RW lock
@@ -235,7 +254,10 @@ class ServerState:
             else None
         )
         # Pre-warm: first table build + profile, before any thread exists.
-        self._refresh_locked()
+        # The write lock is uncontended here; taking it anyway keeps the
+        # runtime checker's "write lock held" contract uniform.
+        with self._rw.write():
+            self._refresh_locked()
 
     # ------------------------------------------------------------ versioning
 
@@ -254,6 +276,7 @@ class ServerState:
         incremental maintainer), then the search profile refreshes from
         them — region reads at most, never a fact scan once tables exist.
         """
+        assert_holds_write(SERVE_STATE_RW)
         v = int(self.store.version)
         adopted = False
         if self.builder is not None and self._tables_dir is not None:
@@ -386,13 +409,21 @@ class ServerState:
     # -------------------------------------------------------------- /healthz
 
     def healthz(self) -> dict:
-        with self._rw.read():
-            return {
-                "status": "ok",
-                "dataset": self.dataset_name,
-                "store_version": int(self.store.version),
-                "uptime_s": round(time.monotonic() - self._t0, 3),
-            }
+        try:
+            with self._rw.read(timeout=self._health_timeout):
+                return {
+                    "status": "ok",
+                    "dataset": self.dataset_name,
+                    "store_version": int(self.store.version),
+                    "uptime_s": round(time.monotonic() - self._t0, 3),
+                }
+        except LockTimeoutError as exc:
+            # A writer has wedged the state past the health deadline: the
+            # process is alive but cannot answer — degrade to 503 rather
+            # than hanging the probe (which reads as a dead process).
+            raise ServiceUnavailableError(
+                f"state write-locked for over {self._health_timeout:.3f}s"
+            ) from exc
 
     # ------------------------------------------------------------- /metricsz
 
@@ -416,6 +447,7 @@ class ServerState:
             return self._regions_locked()
 
     def _regions_locked(self) -> dict:
+        assert_holds_read(SERVE_STATE_RW)
         profile = self.search.evaluate_all()
         by_region = {r.region: r for r in profile}
         entries = []
@@ -462,6 +494,7 @@ class ServerState:
             return self._cube_locked(level)
 
     def _cube_locked(self, level: tuple[int, ...] | None) -> dict:
+        assert_holds_read(SERVE_STATE_RW)
         cube = self._cube
         levels = sorted({s.level for s in cube.subsets})
         if level is None:
@@ -551,13 +584,16 @@ class ServerState:
 
     def _bellwether_exact(self, budget, ids) -> dict:
         key = frozenset(ids) if ids is not None else None
-        scans_before = _FULL_SCANS.value
+        # Unlocked `.value` reads below are a CPython-atomic int load; a
+        # racing scan from another request at worst skips one zero-scan
+        # tally, it cannot corrupt the counter.
+        scans_before = _FULL_SCANS.value  # lint: ignore[RPR007]
         payload = None
         with self._rw.read():
             if self._is_warm(key):
                 _record_cache(hit=True)
                 payload = self._bellwether_locked(budget, ids)
-                if _FULL_SCANS.value == scans_before:
+                if _FULL_SCANS.value == scans_before:  # lint: ignore[RPR007]
                     _record_zero_scan()
         if payload is None:
             with self._rw.write():
@@ -568,7 +604,7 @@ class ServerState:
                     )
                 _record_cache(hit=False)
                 payload = self._bellwether_locked(budget, ids)
-                if _FULL_SCANS.value == scans_before:
+                if _FULL_SCANS.value == scans_before:  # lint: ignore[RPR007]
                     _record_zero_scan()
         if self.aqp is not None:
             self.aqp.journal.log_bellwether(
@@ -580,6 +616,7 @@ class ServerState:
         return payload
 
     def _bellwether_locked(self, budget, ids) -> dict:
+        assert_holds_read(SERVE_STATE_RW)
         result = self.search.run(budget=budget, item_ids=ids)
         if result.bellwether is None:
             raise InfeasibleQueryError(
@@ -714,6 +751,7 @@ class ServerState:
         return payload
 
     def _predict_locked(self, ids, region, budget, allow_build: bool) -> dict | None:
+        assert_holds_read(SERVE_STATE_RW)
         if region is None:
             if not self.search.has_profile(frozenset(ids)):
                 return None
@@ -808,14 +846,15 @@ class ServerState:
 
     def _train_locked(self, drift: bool):
         """Retrain the surface at the current version.  (write lock held)"""
+        assert_holds_write(SERVE_STATE_RW)
         return self.aqp.train(
             self.search,
             costs=self.search.costs,
-            predict_fn=self._predict_exact_for_training,
+            predict_fn=self._replay_predict_locked,
             drift=drift,
         )
 
-    def _predict_exact_for_training(self, ids, region_key, budget):
+    def _replay_predict_locked(self, ids, region_key, budget):
         """Replay one journaled predict query exactly.  (write lock held)
 
         Returns None when the query no longer answers at this version

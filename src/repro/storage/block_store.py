@@ -345,7 +345,13 @@ class DiskStore(TrainingDataStore):
         arrays = {"item_ids": block.item_ids, "x": block.x, "y": block.y}
         if block.weights is not None:
             arrays["weights"] = block.weights
-        np.savez(path, **arrays)
+        # Through a file handle: a bare path would get ".npz" appended,
+        # and writing the temp then os.replace keeps a crashed or racing
+        # apply_delta from exposing a torn block to readers.
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, path)
 
     def _write_manifest(self) -> None:
         # Atomic: a crash between two block rewrites of apply_delta can leave

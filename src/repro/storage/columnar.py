@@ -29,6 +29,7 @@ installed — the raw codec has no dependencies beyond numpy.
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Iterator, Mapping, Sequence
 from pathlib import Path
 
@@ -114,12 +115,16 @@ def _write_raw(path: Path, cols: Mapping[str, np.ndarray]) -> tuple[int, dict]:
     """Write columns back-to-back; returns (total bytes, per-column meta)."""
     offset = 0
     meta: dict[str, dict] = {}
-    with path.open("wb") as f:
+    # Temp file + os.replace: truncating the live file in place would tear
+    # the memmap windows a concurrent reader holds over the old layout.
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as f:
         for name, arr in cols.items():
             payload = arr.tobytes()
             meta[name] = {"offset": offset, "dtype": arr.dtype.str}
             f.write(payload)
             offset += len(payload)
+    os.replace(tmp, path)
     return offset, meta
 
 
@@ -153,7 +158,9 @@ def _write_parquet(path: Path, cols: Mapping[str, np.ndarray]) -> tuple[int, dic
     import pyarrow as pa
 
     table = pa.table({name: pa.array(arr) for name, arr in cols.items()})
-    pq.write_table(table, path)
+    tmp = path.with_name(path.name + ".tmp")
+    pq.write_table(table, tmp)
+    os.replace(tmp, path)
     # Offsets live in the parquet footer; the manifest records dtypes only.
     meta = {name: {"dtype": arr.dtype.str} for name, arr in cols.items()}
     return path.stat().st_size, meta

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,6 +39,7 @@ from repro.obs.catalog import (
     CUBE_TABLES_BYTES_READ,
     CUBE_TABLES_BYTES_WRITTEN,
 )
+from repro.analysis.runtime import CUBE_TABLES_IO, TrackedLock
 from repro.obs.metrics import get_registry
 
 from .block_store import StorageError, _atomic_write
@@ -116,7 +116,7 @@ class CubeTableStore:
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
-        self._io_lock = threading.RLock()
+        self._io_lock = TrackedLock(CUBE_TABLES_IO, reentrant=True)
 
     @property
     def meta_path(self) -> Path:

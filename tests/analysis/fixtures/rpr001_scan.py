@@ -12,7 +12,7 @@ def fetch(store, region):
 
 
 def dump(path, block):
-    np.savez(path, x=block.x)  # expect: RPR001
+    np.savez(path, x=block.x)  # lint: ignore[RPR010]  # expect: RPR001
 
 
 def slurp(path):

@@ -1,0 +1,35 @@
+"""Deliberate RPR007 violations: guarded ServerState fields off-lock."""
+
+
+class ServerState:
+    def __init__(self, rw):
+        self._rw = rw
+        self._tables = None
+        self._cube = None
+        self._cube_version = -1
+        self._models = {}
+
+    def tables(self):
+        return self._tables  # expect: RPR007
+
+    def drop_cube(self):
+        self._cube = None  # expect: RPR007
+
+    def cache_model(self, key, model):
+        with self._rw.read():
+            self._models[key] = model  # expect: RPR007
+
+    def snapshot(self):
+        return self._snapshot_locked()  # expect: RPR007
+
+    def warm(self):
+        with self._rw.read():
+            return self.refresh()  # expect: RPR007
+
+    def refresh(self):
+        with self._rw.write():
+            self._tables = object()
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
+        return (self._tables, self._cube, dict(self._models))

@@ -1,0 +1,17 @@
+"""Deliberate RPR008 violations: one lock pair taken in both orders."""
+
+
+class Shuttle:
+    def __init__(self, a_lock, b_lock):
+        self._a_lock = a_lock
+        self._b_lock = b_lock
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:  # expect: RPR008
+                return 1
+
+    def backward(self):
+        with self._b_lock:
+            with self._a_lock:  # expect: RPR008
+                return 2

@@ -1,0 +1,30 @@
+"""Deliberate RPR009 violations: blocking work under the write lock."""
+
+import time
+
+import numpy as np
+
+
+def _rebuild(store):
+    return store.scan()
+
+
+class Refresher:
+    def __init__(self, rw, store):
+        self._rw = rw
+        self._store = store
+
+    def adopt(self):
+        with self._rw.write():
+            time.sleep(0.1)  # expect: RPR009
+            rows = self._store.scan()  # expect: RPR009
+            return np.linalg.solve(rows, rows)  # expect: RPR009
+
+    def rebuild(self):
+        with self._rw.write():
+            return _rebuild(self._store)  # expect: RPR009
+
+    def peek(self):
+        # Reads under the read lock may scan: readers do not stall readers.
+        with self._rw.read():
+            return self._store.scan()

@@ -1,0 +1,29 @@
+"""Deliberate RPR010 violations: in-place storage writes, a lost commit."""
+
+import os
+
+import numpy as np
+
+
+def dump_manifest(path, payload):
+    path.write_bytes(payload)  # expect: RPR010
+
+
+def dump_arrays(path, x):
+    np.savez(path, x=x)  # lint: ignore[RPR001]  # expect: RPR010
+
+
+def dump_rows(path, rows):
+    with path.open("wb") as f:  # expect: RPR010
+        f.write(rows)
+
+
+def forgotten_commit(path, payload):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)  # expect: RPR010
+
+
+def committed(path, payload):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)

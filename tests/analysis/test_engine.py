@@ -158,11 +158,61 @@ class TestCli:
             ["--root", str(tmp_path), "--baseline", str(baseline)]
         ) == 0
 
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        _tree(tmp_path)
+        assert main(["--root", str(tmp_path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith(
+            "::error file=src/repro/mod.py,line=4,title=RPR003::"
+        )
+        # Workflow-command data is newline/percent escaped.
+        assert "\n::" not in out.rstrip("\n")[1:]
+
+    def test_github_format_clean_tree_prints_nothing(self, tmp_path, capsys):
+        _tree(tmp_path, "x = 1\n")
+        assert main(["--root", str(tmp_path), "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_stale_baseline_warns_without_changing_exit(
+        self, tmp_path, capsys
+    ):
+        root = _tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--root", str(root), "--write-baseline", str(baseline)]
+        ) == 0
+        # Fix the violation: its baseline entry is now stale.
+        (root / "src" / "repro" / "mod.py").write_text("x = 1\n")
+        assert main(["--root", str(root), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entr" in capsys.readouterr().err
+
+    def test_prune_baseline_rewrites_the_file(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["--root", str(root), "--write-baseline", str(baseline)])
+        (root / "src" / "repro" / "mod.py").write_text("x = 1\n")
+        assert main(
+            [
+                "--root", str(root),
+                "--baseline", str(baseline),
+                "--prune-baseline",
+            ]
+        ) == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().err
+        assert json.loads(baseline.read_text())["findings"] == []
+        # A second run is quiet: nothing stale remains.
+        assert main(["--root", str(root), "--baseline", str(baseline)]) == 0
+        assert "stale" not in capsys.readouterr().err
+
+    def test_prune_without_baseline_exits_two(self, tmp_path):
+        _tree(tmp_path)
+        assert main(["--root", str(tmp_path), "--prune-baseline"]) == 2
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
-            assert rule_id in out
+        for n in range(1, 11):
+            assert f"RPR{n:03d}" in out
 
     def test_shipped_tree_is_clean_via_cli(self, capsys):
         assert main(["--root", str(REPO_ROOT)]) == 0

@@ -45,7 +45,7 @@ def _stacks_for(version: int) -> dict[Region, StackedSuffStats]:
     }
 
 
-def test_load_versioned_during_concurrent_saves_is_never_torn(tmp_path):
+def test_load_versioned_during_concurrent_saves_is_never_torn(tmp_path, lockcheck):
     cache = SuffStatsCache(tmp_path)
     cache.save(version=0, stacks=_stacks_for(0), n_cells=N_CELLS, p=P)
     stop = threading.Event()
@@ -84,7 +84,7 @@ def test_load_versioned_during_concurrent_saves_is_never_torn(tmp_path):
     assert final_version == N_VERSIONS
 
 
-def test_cube_tables_load_during_concurrent_saves_is_never_torn(tmp_path):
+def test_cube_tables_load_during_concurrent_saves_is_never_torn(tmp_path, lockcheck):
     table_store = CubeTableStore(tmp_path)
     signature = {"p": P, "geometry": "threading-test"}
 

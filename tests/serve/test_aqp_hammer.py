@@ -56,12 +56,12 @@ def _exact_rmse_by_version(dataset):
     return refs
 
 
-def test_32_threads_hammer_model_swaps(dataset, tmp_path):
+def test_32_threads_hammer_model_swaps(dataset, tmp_path, lockcheck):
     _run_hammer(dataset, tmp_path, delta_pause_s=0.25)
 
 
 @pytest.mark.slow
-def test_long_hammer_model_swaps(dataset, tmp_path):
+def test_long_hammer_model_swaps(dataset, tmp_path, lockcheck):
     """Nightly-scale variant: longer windows around every model swap."""
     _run_hammer(dataset, tmp_path, delta_pause_s=2.0, extra_trains=10)
 

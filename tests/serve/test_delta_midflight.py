@@ -50,7 +50,7 @@ def _reference_by_version(dataset):
     return refs
 
 
-def test_responses_never_mix_store_versions(dataset, tmp_path):
+def test_responses_never_mix_store_versions(dataset, tmp_path, lockcheck):
     refs = _reference_by_version(dataset)
 
     gen, regions, store = month_split_store(dataset.task, BASE_MONTH)

@@ -1,0 +1,77 @@
+"""RWLock acquisition timeouts and the /healthz 503 degradation.
+
+A wedged writer must not hang liveness probes: ``acquire_read`` /
+``acquire_write`` take an optional deadline raising
+:class:`LockTimeoutError`, and ``/healthz`` uses a short one so the
+health check answers 503 (service up, state wedged) instead of timing
+out at the transport — which reads as a dead process and gets the
+server killed.
+"""
+
+import pytest
+
+from repro.core import build_store
+from repro.serve import ServeClient, ServeHTTPError, ServerState, serve_in_thread
+from repro.serve.locks import LockTimeoutError, RWLock
+
+TIMEOUT = 0.05
+
+
+class TestRWLockTimeouts:
+    def test_read_times_out_under_writer(self):
+        lock = RWLock(name="t.rw")
+        lock.acquire_write()
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_read(timeout=TIMEOUT)
+        lock.release_write()
+        # The timed-out attempt left no residue: reads proceed.
+        with lock.read(timeout=TIMEOUT):
+            pass
+
+    def test_write_times_out_under_reader(self):
+        lock = RWLock(name="t2.rw")
+        lock.acquire_read()
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_write(timeout=TIMEOUT)
+        # The timed-out writer must stop gating new readers
+        # (writer-preference would otherwise park them forever).
+        with lock.read(timeout=TIMEOUT):
+            pass
+        lock.release_read()
+        with lock.write(timeout=TIMEOUT):
+            pass
+
+    def test_no_timeout_is_the_default_contract(self):
+        lock = RWLock(name="t3.rw")
+        with lock.read():
+            assert lock.readers == 1
+        with lock.write():
+            assert lock.writer_active
+
+
+def test_healthz_degrades_to_503_on_wedged_writer(dataset, tmp_path):
+    store, costs, __ = build_store(dataset.task)
+    state = ServerState(
+        dataset.task,
+        store,
+        dataset.hierarchies,
+        tables_dir=tmp_path / "tables",
+        costs=costs,
+        dataset_name="mailorder",
+        min_subset_size=3,
+        health_timeout=0.1,
+    )
+    with serve_in_thread(state) as handle:
+        with ServeClient(handle.host, handle.port) as client:
+            assert client.healthz()["status"] == "ok"
+            state._rw.acquire_write()  # wedge the writer
+            try:
+                with pytest.raises(ServeHTTPError) as exc_info:
+                    client.healthz()
+                assert exc_info.value.status == 503
+                payload = exc_info.value.payload["error"]
+                assert payload["type"] == "ServiceUnavailableError"
+            finally:
+                state._rw.release_write()
+            # Recovery: the probe answers ok again once the writer moves.
+            assert client.healthz()["status"] == "ok"
